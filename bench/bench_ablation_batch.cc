@@ -1,0 +1,62 @@
+// E10 — ablation: batch size for batched KISS-Tree lookups (§2.3).
+//
+// Batch size 1 degenerates to point lookups; growing batches let the
+// software-pipelined prefetching (Algorithm 1) hide more DRAM latency,
+// until the batch's working set itself stops fitting in cache.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "index/kiss_tree.h"
+#include "util/rng.h"
+
+namespace qppt {
+namespace {
+
+constexpr size_t kKeys = 1 << 22;  // 4M keys: beyond LLC
+
+void BM_BatchLookup(benchmark::State& state) {
+  size_t batch = static_cast<size_t>(state.range(0));
+  KissTree tree;
+  for (uint32_t k = 0; k < kKeys; ++k) tree.Upsert(k, k);
+  Rng rng(3);
+  std::vector<uint32_t> probes(kKeys);
+  for (auto& p : probes) p = static_cast<uint32_t>(rng.NextBounded(kKeys));
+  std::vector<KissTree::LookupJob> jobs(batch);
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    size_t i = 0;
+    while (i < probes.size()) {
+      size_t len = std::min(batch, probes.size() - i);
+      if (len == 1) {
+        KissTree::ValueRef ref;
+        tree.Lookup(probes[i], &ref);
+        sum += ref.front();
+      } else {
+        for (size_t j = 0; j < len; ++j) jobs[j].key = probes[i + j];
+        tree.BatchLookup(std::span<KissTree::LookupJob>(jobs.data(), len));
+        for (size_t j = 0; j < len; ++j) sum += jobs[j].values.front();
+      }
+      i += len;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kKeys));
+}
+
+BENCHMARK(BM_BatchLookup)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace qppt
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// E6 — ablation: prefix-tree fragment width k' (§2.1).
+//
+// "Setting k' to a high value like eight halves the maximum number of
+// memory accesses per key, but increases the memory consumption if the
+// key distribution is not dense." Sweep k' in {2, 4, 8} over dense and
+// sparse 32-bit keys; time per upsert plus a memory counter.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "index/key_encoder.h"
+#include "index/prefix_tree.h"
+#include "util/rng.h"
+
+namespace qppt {
+namespace {
+
+std::vector<uint32_t> MakeKeys(size_t n, bool dense) {
+  Rng rng(5);
+  std::vector<uint32_t> keys(n);
+  for (auto& k : keys) {
+    k = dense ? static_cast<uint32_t>(rng.NextBounded(n)) : rng.Next32();
+  }
+  return keys;
+}
+
+void RunUpserts(benchmark::State& state, size_t kprime, bool dense) {
+  size_t n = 1 << 20;
+  auto keys = MakeKeys(n, dense);
+  size_t memory = 0;
+  for (auto _ : state) {
+    PrefixTree tree({.key_len = 4, .kprime = kprime});
+    KeyBuf buf;
+    for (uint32_t k : keys) {
+      buf.clear();
+      buf.AppendU32(k);
+      tree.Upsert(buf.data(), k);
+    }
+    memory = tree.MemoryUsage();
+    benchmark::DoNotOptimize(tree.num_keys());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+  state.counters["memory_MiB"] =
+      static_cast<double>(memory) / (1024.0 * 1024.0);
+}
+
+void BM_Kprime_Dense(benchmark::State& state) {
+  RunUpserts(state, static_cast<size_t>(state.range(0)), /*dense=*/true);
+}
+void BM_Kprime_Sparse(benchmark::State& state) {
+  RunUpserts(state, static_cast<size_t>(state.range(0)), /*dense=*/false);
+}
+
+BENCHMARK(BM_Kprime_Dense)->Arg(2)->Arg(4)->Arg(8)->Unit(
+    benchmark::kMillisecond);
+BENCHMARK(BM_Kprime_Sparse)->Arg(2)->Arg(4)->Arg(8)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace qppt
+
+BENCHMARK_MAIN();

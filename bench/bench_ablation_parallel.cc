@@ -1,0 +1,45 @@
+// E11 — extension: intra-operator parallelism (§7).
+//
+// Thread-scaling of a duplicate-aware full scan over a KISS-Tree,
+// partitioned into disjoint root-bucket shards (core/parallel.h). The
+// paper argues unbalanced tries parallelize well because a key's position
+// is deterministic — no rebalancing can move data between threads'
+// subtrees mid-scan.
+
+#include <benchmark/benchmark.h>
+
+#include "core/parallel.h"
+#include "util/rng.h"
+
+namespace qppt {
+namespace {
+
+constexpr size_t kKeys = 1 << 21;  // 2M keys, ~3 values/key
+
+void BM_ParallelScan(benchmark::State& state) {
+  size_t threads = static_cast<size_t>(state.range(0));
+  KissTree tree;
+  Rng rng(1);
+  for (size_t i = 0; i < kKeys * 3; ++i) {
+    tree.Insert(static_cast<uint32_t>(rng.NextBounded(kKeys)), i);
+  }
+  for (auto _ : state) {
+    uint64_t total = ParallelCountValues(tree, threads);
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kKeys * 3));
+}
+
+BENCHMARK(BM_ParallelScan)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace qppt
+
+BENCHMARK_MAIN();

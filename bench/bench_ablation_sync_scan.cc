@@ -1,0 +1,82 @@
+// E9 — ablation: synchronous index scan vs. probe-based join (§4.2).
+//
+// The synchronous scan's advantage is skipping subtrees absent from one
+// side. Two KISS-Trees with a controlled key-overlap fraction are joined
+// (a) by the synchronous index scan and (b) by scanning the left tree and
+// point-probing the right. Low overlap should favor the synchronous scan.
+
+#include <benchmark/benchmark.h>
+
+#include "core/sync_scan.h"
+#include "index/kiss_tree.h"
+#include "util/rng.h"
+
+namespace qppt {
+namespace {
+
+constexpr size_t kKeys = 1 << 20;
+
+struct TreePair {
+  KissTree left;
+  KissTree right;
+};
+
+// Left holds keys [0, kKeys); right holds `overlap_pct`% of them plus
+// disjoint keys above the left range (same size both sides).
+TreePair MakeTrees(int overlap_pct) {
+  TreePair trees;
+  Rng rng(9);
+  for (uint32_t k = 0; k < kKeys; ++k) trees.left.Insert(k, k);
+  uint32_t disjoint_base = kKeys * 2;
+  for (uint32_t k = 0; k < kKeys; ++k) {
+    if (rng.NextBounded(100) < static_cast<uint64_t>(overlap_pct)) {
+      trees.right.Insert(k, k);
+    } else {
+      trees.right.Insert(disjoint_base + k, k);
+    }
+  }
+  return trees;
+}
+
+void BM_Join_SynchronousScan(benchmark::State& state) {
+  auto trees = MakeTrees(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    uint64_t matches = 0;
+    SynchronousScan(trees.left, trees.right,
+                    [&](uint32_t, const KissTree::ValueRef&,
+                        const KissTree::ValueRef&) { ++matches; });
+    benchmark::DoNotOptimize(matches);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kKeys));
+}
+
+void BM_Join_ProbeBased(benchmark::State& state) {
+  auto trees = MakeTrees(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    uint64_t matches = 0;
+    trees.left.ScanAll([&](uint32_t key, const KissTree::ValueRef&) {
+      KissTree::ValueRef other;
+      if (trees.right.Lookup(key, &other)) ++matches;
+    });
+    benchmark::DoNotOptimize(matches);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kKeys));
+}
+
+BENCHMARK(BM_Join_SynchronousScan)
+    ->Arg(1)
+    ->Arg(10)
+    ->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Join_ProbeBased)
+    ->Arg(1)
+    ->Arg(10)
+    ->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace qppt
+
+BENCHMARK_MAIN();

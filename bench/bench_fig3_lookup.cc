@@ -1,0 +1,141 @@
+// E2 — Figure 3(b): lookup performance of prefix-tree structures vs. hash
+// tables. Same series and sizes as Figure 3(a); structures are prefilled
+// with the dense key range and then probed with random present keys.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench_common.h"
+#include "index/chained_hash_table.h"
+#include "index/key_encoder.h"
+#include "index/kiss_tree.h"
+#include "index/open_hash_table.h"
+#include "index/prefix_tree.h"
+#include "util/rng.h"
+
+namespace qppt {
+namespace {
+
+std::vector<uint32_t> ProbeKeys(size_t n) {
+  Rng rng(77);
+  std::vector<uint32_t> keys(n);
+  for (auto& k : keys) k = static_cast<uint32_t>(rng.NextBounded(n));
+  return keys;
+}
+
+void ReportPerKey(benchmark::State& state, size_t n) {
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+
+void BM_Lookup_PT4(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  PrefixTree tree({.key_len = 4, .kprime = 4});
+  KeyBuf buf;
+  for (size_t i = 0; i < n; ++i) {
+    buf.clear();
+    buf.AppendU32(static_cast<uint32_t>(i));
+    tree.Upsert(buf.data(), i);
+  }
+  auto probes = ProbeKeys(n);
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    for (uint32_t k : probes) {
+      buf.clear();
+      buf.AppendU32(k);
+      const ValueList* v = tree.Lookup(buf.data());
+      sum += v->first();
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  ReportPerKey(state, n);
+}
+
+void BM_Lookup_GLIB(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  ChainedHashTable table;
+  for (size_t i = 0; i < n; ++i) table.Upsert(i, i);
+  auto probes = ProbeKeys(n);
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    for (uint32_t k : probes) sum += *table.Find(k);
+    benchmark::DoNotOptimize(sum);
+  }
+  ReportPerKey(state, n);
+}
+
+void BM_Lookup_BOOST(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  OpenHashTable table;
+  for (size_t i = 0; i < n; ++i) table.Upsert(i, i);
+  auto probes = ProbeKeys(n);
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    for (uint32_t k : probes) sum += *table.Find(k);
+    benchmark::DoNotOptimize(sum);
+  }
+  ReportPerKey(state, n);
+}
+
+void BM_Lookup_KISS(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  KissTree tree;
+  for (size_t i = 0; i < n; ++i) {
+    tree.Upsert(static_cast<uint32_t>(i), i);
+  }
+  auto probes = ProbeKeys(n);
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    KissTree::ValueRef ref;
+    for (uint32_t k : probes) {
+      tree.Lookup(k, &ref);
+      sum += ref.front();
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  ReportPerKey(state, n);
+}
+
+void BM_Lookup_KISS_Batched(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  KissTree tree;
+  for (size_t i = 0; i < n; ++i) {
+    tree.Upsert(static_cast<uint32_t>(i), i);
+  }
+  auto probes = ProbeKeys(n);
+  constexpr size_t kBatch = 512;
+  std::vector<KissTree::LookupJob> jobs(kBatch);
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    size_t i = 0;
+    while (i < probes.size()) {
+      size_t len = std::min(kBatch, probes.size() - i);
+      for (size_t j = 0; j < len; ++j) jobs[j].key = probes[i + j];
+      tree.BatchLookup(std::span<KissTree::LookupJob>(jobs.data(), len));
+      for (size_t j = 0; j < len; ++j) sum += jobs[j].values.front();
+      i += len;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  ReportPerKey(state, n);
+}
+
+void Sizes(benchmark::internal::Benchmark* b) {
+  int64_t max_shift = GetEnvInt64("QPPT_FIG3_MAX_SHIFT", 24);
+  for (int64_t shift = 20; shift <= max_shift; shift += 2) {
+    b->Arg(int64_t{1} << shift);
+  }
+  b->Unit(benchmark::kMillisecond);
+}
+
+BENCHMARK(BM_Lookup_PT4)->Apply(Sizes);
+BENCHMARK(BM_Lookup_GLIB)->Apply(Sizes);
+BENCHMARK(BM_Lookup_BOOST)->Apply(Sizes);
+BENCHMARK(BM_Lookup_KISS)->Apply(Sizes);
+BENCHMARK(BM_Lookup_KISS_Batched)->Apply(Sizes);
+
+}  // namespace
+}  // namespace qppt
+
+BENCHMARK_MAIN();

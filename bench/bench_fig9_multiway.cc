@@ -1,0 +1,52 @@
+// E5 — Figure 9: SSB Q4.1 under different multi-way/star join
+// compositions.
+//
+// The paper's six bars: MonetDB 7902 ms, commercial DBMS 1845 ms,
+// DexterDB 5-way 842 ms, 4-way 1091 ms, 3-way 1595 ms, 2-way 4939 ms.
+// Expected shape: 2-way worst (three materialized intermediates), the
+// 2-way -> 3-way step the largest win (it removes the largest
+// intermediate), diminishing returns after.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "ssb/queries_baseline.h"
+#include "ssb/queries_qppt.h"
+
+int main() {
+  using namespace qppt;
+  using namespace qppt::bench;
+
+  auto data = LoadSsb();
+  int reps = Repetitions();
+  std::printf("SSB Q4.1 multi-way/star join configurations (SF=%.2f, min "
+              "of %d reps)\n\n",
+              data->config.scale_factor, reps);
+
+  double column_ms = MinWallMs(reps, [&] {
+    auto r = ssb::RunColumn(*data, "4.1");
+    if (!r.ok()) std::exit(1);
+  });
+  double vector_ms = MinWallMs(reps, [&] {
+    auto r = ssb::RunVector(*data, "4.1");
+    if (!r.ok()) std::exit(1);
+  });
+
+  std::printf("%-32s %12s\n", "configuration", "time [ms]");
+  std::printf("%-32s %12.2f\n", "MonetDB (column engine)", column_ms);
+  std::printf("%-32s %12.2f\n", "Commercial (vector engine)", vector_ms);
+  for (int ways : {5, 4, 3, 2}) {
+    PlanKnobs knobs;
+    knobs.max_join_ways = ways;
+    double ms = MinWallMs(reps, [&] {
+      auto r = ssb::RunQppt(*data, "4.1", knobs);
+      if (!r.ok()) {
+        std::fprintf(stderr, "Q4.1 (%d-way) failed\n", ways);
+        std::exit(1);
+      }
+    });
+    std::printf("DexterDB %d-way join %s %12.2f\n", ways,
+                std::string(13, ' ').c_str(), ms);
+  }
+  return 0;
+}

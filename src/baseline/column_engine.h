@@ -1,0 +1,29 @@
+// Column-at-a-time baseline engine — the MonetDB proxy of §5.
+//
+// Every operator consumes and produces *full columns*: predicate
+// evaluation materializes a complete selection vector, every join step
+// gathers the (full-length) foreign-key column through the current
+// selection vector before probing, and every carried attribute becomes
+// another materialized column. This faithfully reproduces the processing
+// model whose weakness the paper targets: with a growing number of join
+// columns, more and more full-length intermediate columns have to be
+// materialized and re-gathered — the tuple reconstruction overhead that
+// makes the 4.x queries degrade (Fig. 7).
+
+#ifndef QPPT_BASELINE_COLUMN_ENGINE_H_
+#define QPPT_BASELINE_COLUMN_ENGINE_H_
+
+#include "core/plan.h"
+#include "ssb/star_spec.h"
+
+namespace qppt::baseline {
+
+// Executes `spec` column-at-a-time over the columnar copies in `data`.
+// Rows are returned in ascending group-key order (like the QPPT engine
+// before its ORDER BY post-sort).
+Result<QueryResult> RunColumnAtATime(ssb::SsbData& data,
+                                     const ssb::StarQuerySpec& spec);
+
+}  // namespace qppt::baseline
+
+#endif  // QPPT_BASELINE_COLUMN_ENGINE_H_

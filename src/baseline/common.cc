@@ -1,0 +1,98 @@
+#include "baseline/common.h"
+
+namespace qppt::baseline {
+
+Result<DimHash> BuildDimHash(const ColumnTable& table,
+                             const ssb::DimJoinSpec& dim) {
+  DimHash out;
+  out.carry_width = dim.carry.size();
+  size_t n = table.num_rows();
+
+  // Column-at-a-time predicate evaluation: the first predicate scans the
+  // full column; later ones gather through the shrinking selection vector.
+  std::vector<uint32_t> sel;
+  bool have_sel = false;
+  for (const auto& pred : dim.preds) {
+    QPPT_ASSIGN_OR_RETURN(const auto* col, table.ColumnByName(pred.column));
+    std::vector<uint32_t> next;
+    if (!have_sel) {
+      next.reserve(n / 4);
+      for (size_t i = 0; i < n; ++i) {
+        if (ssb::EvalKeyPredicate(pred.pred,
+                                  Int64FromSlot((*col)[i]))) {
+          next.push_back(static_cast<uint32_t>(i));
+        }
+      }
+    } else {
+      next.reserve(sel.size());
+      for (uint32_t i : sel) {
+        if (ssb::EvalKeyPredicate(pred.pred, Int64FromSlot((*col)[i]))) {
+          next.push_back(i);
+        }
+      }
+    }
+    sel = std::move(next);
+    have_sel = true;
+  }
+  if (!have_sel) {
+    sel.resize(n);
+    for (size_t i = 0; i < n; ++i) sel[i] = static_cast<uint32_t>(i);
+  }
+
+  QPPT_ASSIGN_OR_RETURN(const auto* key_col,
+                        table.ColumnByName(dim.key_column));
+  std::vector<const std::vector<uint64_t>*> carry_cols;
+  for (const auto& c : dim.carry) {
+    QPPT_ASSIGN_OR_RETURN(const auto* col, table.ColumnByName(c));
+    carry_cols.push_back(col);
+  }
+  for (uint32_t i : sel) {
+    uint64_t payload_idx = out.carry_width == 0
+                               ? 0
+                               : out.payload_flat.size() / out.carry_width;
+    for (const auto* col : carry_cols) {
+      out.payload_flat.push_back(Int64FromSlot((*col)[i]));
+    }
+    out.table.Upsert((*key_col)[i], payload_idx);
+  }
+  return out;
+}
+
+Result<std::vector<GroupRef>> ResolveGroupRefs(
+    const ssb::StarQuerySpec& spec) {
+  std::vector<GroupRef> refs;
+  for (const auto& name : spec.group_by) {
+    bool found = false;
+    for (size_t d = 0; d < spec.dims.size() && !found; ++d) {
+      for (size_t p = 0; p < spec.dims[d].carry.size(); ++p) {
+        if (spec.dims[d].carry[p] == name) {
+          refs.push_back({d, p});
+          found = true;
+          break;
+        }
+      }
+    }
+    if (!found) {
+      return Status::InvalidArgument("group attribute '" + name +
+                                     "' is not carried by any dimension");
+    }
+  }
+  return refs;
+}
+
+Result<Schema> ResultSchema(ssb::SsbData& data,
+                            const ssb::StarQuerySpec& spec) {
+  std::vector<ColumnDef> cols;
+  QPPT_ASSIGN_OR_RETURN(auto refs, ResolveGroupRefs(spec));
+  for (size_t g = 0; g < spec.group_by.size(); ++g) {
+    const auto& dim = spec.dims[refs[g].dim];
+    const ColumnTable& table = data.Columnar(dim.table);
+    QPPT_ASSIGN_OR_RETURN(size_t idx,
+                          table.schema().ColumnIndex(spec.group_by[g]));
+    cols.push_back(table.schema().column(idx));
+  }
+  cols.push_back({spec.agg_name, ValueType::kInt64, nullptr});
+  return Schema(std::move(cols));
+}
+
+}  // namespace qppt::baseline

@@ -1,0 +1,77 @@
+// Shared pieces of the baseline engines: dimension hash-table builds and
+// group-key packing. Both baselines build per-dimension hash tables
+// (key -> carried attributes) — the classic hash-join build side that the
+// paper contrasts with QPPT's index-based probes.
+
+#ifndef QPPT_BASELINE_COMMON_H_
+#define QPPT_BASELINE_COMMON_H_
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "index/open_hash_table.h"
+#include "ssb/star_spec.h"
+#include "storage/column_table.h"
+#include "util/status.h"
+
+namespace qppt::baseline {
+
+// Build side of one dimension join: an open-addressing hash table from the
+// dimension key to an index into the flattened carried-attribute rows.
+struct DimHash {
+  OpenHashTable table;
+  std::vector<int64_t> payload_flat;  // carry_width values per entry
+  size_t carry_width = 0;
+
+  // Probe: returns payload index, or -1 on miss.
+  int64_t Probe(int64_t key) const {
+    auto v = table.Find(static_cast<uint64_t>(key));
+    return v.has_value() ? static_cast<int64_t>(*v) : -1;
+  }
+  const int64_t* Payload(int64_t idx) const {
+    return payload_flat.data() + static_cast<size_t>(idx) * carry_width;
+  }
+};
+
+// Builds the hash table for `dim` by scanning the dimension column-wise:
+// one pass per predicate column producing a shrinking selection vector,
+// then a gather of the key and carried columns.
+Result<DimHash> BuildDimHash(const ColumnTable& table,
+                             const ssb::DimJoinSpec& dim);
+
+// Packs up to four group-key codes (each < 2^16) into one uint64 whose
+// numeric order equals the lexicographic order of the components.
+inline uint64_t PackGroupKey(const int64_t* codes, size_t n) {
+  uint64_t packed = 0;
+  for (size_t i = 0; i < n; ++i) {
+    assert(codes[i] >= 0 && codes[i] < (int64_t{1} << 16));
+    packed = (packed << 16) | static_cast<uint64_t>(codes[i]);
+  }
+  return packed;
+}
+
+inline void UnpackGroupKey(uint64_t packed, size_t n, int64_t* codes) {
+  for (size_t i = 0; i < n; ++i) {
+    codes[n - 1 - i] = static_cast<int64_t>(packed & 0xFFFF);
+    packed >>= 16;
+  }
+}
+
+// Resolves the position of each group-by attribute: (dim index, position
+// within that dim's carried attributes).
+struct GroupRef {
+  size_t dim = 0;
+  size_t pos = 0;
+};
+Result<std::vector<GroupRef>> ResolveGroupRefs(const ssb::StarQuerySpec& spec);
+
+// Builds the result schema: group columns (with their dictionaries, pulled
+// from the dimension table schemas) followed by the aggregate column.
+Result<Schema> ResultSchema(ssb::SsbData& data,
+                            const ssb::StarQuerySpec& spec);
+
+}  // namespace qppt::baseline
+
+#endif  // QPPT_BASELINE_COMMON_H_

@@ -1,0 +1,141 @@
+#include "baseline/vector_engine.h"
+
+#include <map>
+
+#include "baseline/common.h"
+
+namespace qppt::baseline {
+
+Result<QueryResult> RunVectorAtATime(ssb::SsbData& data,
+                                     const ssb::StarQuerySpec& spec) {
+  const ColumnTable& fact = data.Columnar("lineorder");
+  size_t n = fact.num_rows();
+
+  std::vector<DimHash> dim_hashes;
+  for (const auto& dim : spec.dims) {
+    QPPT_ASSIGN_OR_RETURN(auto hash,
+                          BuildDimHash(data.Columnar(dim.table), dim));
+    dim_hashes.push_back(std::move(hash));
+  }
+
+  // Resolve all columns touched per vector.
+  std::vector<const std::vector<uint64_t>*> pred_cols;
+  for (const auto& pred : spec.fact_preds) {
+    QPPT_ASSIGN_OR_RETURN(const auto* col, fact.ColumnByName(pred.column));
+    pred_cols.push_back(col);
+  }
+  std::vector<const std::vector<uint64_t>*> fk_cols;
+  for (const auto& dim : spec.dims) {
+    QPPT_ASSIGN_OR_RETURN(const auto* col, fact.ColumnByName(dim.fact_fk));
+    fk_cols.push_back(col);
+  }
+  QPPT_ASSIGN_OR_RETURN(auto bound_agg,
+                        BindScalarExpr(spec.agg_source, fact.schema()));
+  QPPT_ASSIGN_OR_RETURN(const auto* agg_lhs_col,
+                        fact.ColumnByName(spec.agg_source.lhs));
+  const std::vector<uint64_t>* agg_rhs_col = nullptr;
+  if (spec.agg_source.op != ScalarExpr::Op::kColumn) {
+    QPPT_ASSIGN_OR_RETURN(agg_rhs_col,
+                          fact.ColumnByName(spec.agg_source.rhs));
+  }
+  QPPT_ASSIGN_OR_RETURN(auto group_refs, ResolveGroupRefs(spec));
+  size_t g_n = spec.group_by.size();
+
+  std::map<uint64_t, int64_t> groups;
+
+  // Per-vector state: selection vector + per-dimension payload indexes,
+  // all of vector (not table) length — the cache-resident intermediates
+  // of the vectorized model.
+  uint32_t sel[kVectorSize];
+  uint32_t next_sel[kVectorSize];
+  int64_t payloads[4][kVectorSize];
+
+  for (size_t base = 0; base < n; base += kVectorSize) {
+    size_t len = std::min(kVectorSize, n - base);
+    // Predicate primitives.
+    size_t count = 0;
+    if (spec.fact_preds.empty()) {
+      for (size_t i = 0; i < len; ++i) sel[count++] = static_cast<uint32_t>(i);
+    } else {
+      const auto& pred0 = spec.fact_preds[0];
+      const auto& col0 = *pred_cols[0];
+      for (size_t i = 0; i < len; ++i) {
+        if (ssb::EvalKeyPredicate(pred0.pred,
+                                  Int64FromSlot(col0[base + i]))) {
+          sel[count++] = static_cast<uint32_t>(i);
+        }
+      }
+      for (size_t p = 1; p < spec.fact_preds.size(); ++p) {
+        const auto& col = *pred_cols[p];
+        size_t kept = 0;
+        for (size_t i = 0; i < count; ++i) {
+          if (ssb::EvalKeyPredicate(spec.fact_preds[p].pred,
+                                    Int64FromSlot(col[base + sel[i]]))) {
+            sel[kept++] = sel[i];
+          }
+        }
+        count = kept;
+      }
+    }
+    if (count == 0) continue;
+
+    // Hash-probe primitives, one dimension at a time within the vector.
+    for (size_t d = 0; d < spec.dims.size(); ++d) {
+      const auto& fk = *fk_cols[d];
+      size_t kept = 0;
+      for (size_t i = 0; i < count; ++i) {
+        int64_t payload =
+            dim_hashes[d].Probe(Int64FromSlot(fk[base + sel[i]]));
+        if (payload < 0) continue;
+        next_sel[kept] = sel[i];
+        for (size_t e = 0; e < d; ++e) {
+          payloads[e][kept] = payloads[e][i];  // compact alongside
+        }
+        payloads[d][kept] = payload;
+        ++kept;
+      }
+      // Compaction wrote next_sel; swap into sel.
+      for (size_t i = 0; i < kept; ++i) sel[i] = next_sel[i];
+      count = kept;
+      if (count == 0) break;
+    }
+    if (count == 0) continue;
+
+    // Aggregation primitive.
+    for (size_t i = 0; i < count; ++i) {
+      size_t row_idx = base + sel[i];
+      uint64_t row[16];
+      row[bound_agg.lhs] = (*agg_lhs_col)[row_idx];
+      if (agg_rhs_col != nullptr) row[bound_agg.rhs] = (*agg_rhs_col)[row_idx];
+      int64_t value = Int64FromSlot(bound_agg.Eval(row));
+      int64_t codes[4];
+      for (size_t g = 0; g < g_n; ++g) {
+        const auto& ref = group_refs[g];
+        codes[g] = dim_hashes[ref.dim].Payload(payloads[ref.dim][i])[ref.pos];
+      }
+      groups[PackGroupKey(codes, g_n)] += value;
+    }
+  }
+
+  QueryResult result;
+  QPPT_ASSIGN_OR_RETURN(result.schema, ResultSchema(data, spec));
+  for (const auto& [packed, total] : groups) {
+    int64_t codes[4];
+    UnpackGroupKey(packed, g_n, codes);
+    std::vector<Value> row;
+    row.reserve(g_n + 1);
+    for (size_t g = 0; g < g_n; ++g) {
+      const ColumnDef& def = result.schema.column(g);
+      if (def.type == ValueType::kString && def.dictionary != nullptr) {
+        row.push_back(Value::Str(def.dictionary->StringOf(codes[g])));
+      } else {
+        row.push_back(Value::Int(codes[g]));
+      }
+    }
+    row.push_back(Value::Int(total));
+    result.rows.push_back(std::move(row));
+  }
+  return result;
+}
+
+}  // namespace qppt::baseline

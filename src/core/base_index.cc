@@ -1,0 +1,208 @@
+#include "core/base_index.h"
+
+#include <cassert>
+
+namespace qppt {
+
+namespace {
+
+bool KissEligible(const std::vector<ValueType>& key_types) {
+  return key_types.size() == 1 && key_types[0] != ValueType::kDouble;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<BaseIndex>> BaseIndex::Build(
+    const RowTable* table, std::vector<std::string> key_columns,
+    std::vector<std::string> included_columns, Options options) {
+  auto index = std::unique_ptr<BaseIndex>(new BaseIndex());
+  QPPT_RETURN_NOT_OK(index->Init(table, /*rids=*/nullptr,
+                                 std::move(key_columns),
+                                 std::move(included_columns), options));
+  return index;
+}
+
+Result<std::unique_ptr<BaseIndex>> BaseIndex::BuildFromSnapshot(
+    const MvccTable* table, Timestamp read_ts,
+    std::vector<std::string> key_columns,
+    std::vector<std::string> included_columns, Options options) {
+  std::vector<Rid> rids = table->SnapshotRids(read_ts);
+  auto index = std::unique_ptr<BaseIndex>(new BaseIndex());
+  QPPT_RETURN_NOT_OK(index->Init(&table->storage(), &rids,
+                                 std::move(key_columns),
+                                 std::move(included_columns), options));
+  return index;
+}
+
+Status BaseIndex::Init(const RowTable* table, const std::vector<Rid>* rids,
+                       std::vector<std::string> key_columns,
+                       std::vector<std::string> included_columns,
+                       Options options) {
+  table_ = table;
+  key_names_ = std::move(key_columns);
+  included_names_ = std::move(included_columns);
+  if (key_names_.empty()) {
+    return Status::InvalidArgument("base index needs at least one key column");
+  }
+  const Schema& schema = table->schema();
+  for (const auto& name : key_names_) {
+    QPPT_ASSIGN_OR_RETURN(size_t idx, schema.ColumnIndex(name));
+    key_cols_.push_back(idx);
+    key_types_.push_back(schema.column(idx).type);
+  }
+  for (const auto& name : included_names_) {
+    QPPT_ASSIGN_OR_RETURN(size_t idx, schema.ColumnIndex(name));
+    included_cols_.push_back(idx);
+  }
+  if (options.prefer_kiss && KissEligible(key_types_)) {
+    kind_ = Kind::kKiss;
+    KissTree::Config cfg;
+    cfg.root_bits = options.kiss_root_bits;
+    cfg.mode = KissTree::PayloadMode::kValues;
+    kiss_ = std::make_unique<KissTree>(cfg);
+  } else {
+    kind_ = Kind::kPrefix;
+    PrefixTree::Config cfg;
+    cfg.key_len = key_cols_.size() * 8;
+    cfg.kprime = options.kprime;
+    cfg.mode = PrefixTree::PayloadMode::kValues;
+    prefix_ = std::make_unique<PrefixTree>(cfg);
+  }
+  heap_width_ = clustered() ? 1 + included_cols_.size() : 0;
+
+  auto index_row = [&](Rid rid) {
+    uint64_t value;
+    if (clustered()) {
+      value = heap_.size() / heap_width_;
+      heap_.push_back(rid);
+      for (size_t col : included_cols_) {
+        heap_.push_back(table_->GetSlot(rid, col));
+      }
+    } else {
+      value = rid;
+    }
+    if (kind_ == Kind::kKiss) {
+      kiss_->Insert(KissKeyOf(table_->GetSlot(rid, key_cols_[0])), value);
+    } else {
+      KeyBuf key;
+      uint64_t slots[KeyBuf::kCapacity / 8];
+      for (size_t i = 0; i < key_cols_.size(); ++i) {
+        slots[i] = table_->GetSlot(rid, key_cols_[i]);
+      }
+      EncodeKey(slots, &key);
+      prefix_->Insert(key.data(), value);
+    }
+    ++num_rows_;
+  };
+
+  if (rids != nullptr) {
+    for (Rid rid : *rids) index_row(rid);
+  } else {
+    for (Rid rid = 0; rid < table->num_rows(); ++rid) index_row(rid);
+  }
+  return Status::OK();
+}
+
+size_t BaseIndex::MemoryUsage() const {
+  size_t index_bytes =
+      kind_ == Kind::kKiss ? kiss_->MemoryUsage() : prefix_->MemoryUsage();
+  return index_bytes + heap_.capacity() * sizeof(uint64_t);
+}
+
+Result<BaseIndex::Accessor> BaseIndex::BindColumn(
+    const std::string& name) const {
+  Accessor acc;
+  acc.owner_ = this;
+  if (name == "@rid") {
+    acc.from_ = Accessor::From::kRid;
+    return acc;
+  }
+  for (size_t i = 0; i < included_names_.size(); ++i) {
+    if (included_names_[i] == name) {
+      acc.from_ = Accessor::From::kPayload;
+      acc.pos_ = 1 + i;  // slot 0 is the rid
+      return acc;
+    }
+  }
+  QPPT_ASSIGN_OR_RETURN(size_t idx, table_->schema().ColumnIndex(name));
+  acc.from_ = Accessor::From::kTable;
+  acc.pos_ = idx;
+  return acc;
+}
+
+void BaseIndex::EncodeKey(const uint64_t* key_slots, KeyBuf* out) const {
+  out->clear();
+  for (size_t i = 0; i < key_types_.size(); ++i) {
+    if (key_types_[i] == ValueType::kDouble) {
+      out->AppendDouble(DoubleFromSlot(key_slots[i]));
+    } else {
+      out->AppendI64(Int64FromSlot(key_slots[i]));
+    }
+  }
+}
+
+// ---- Database ---------------------------------------------------------------
+
+Status Database::AddTable(std::unique_ptr<RowTable> table) {
+  if (table->name().empty()) {
+    return Status::InvalidArgument("table must be named");
+  }
+  auto [it, inserted] = tables_.emplace(table->name(), std::move(table));
+  if (!inserted) {
+    return Status::AlreadyExists("table '" + it->first + "' already exists");
+  }
+  return Status::OK();
+}
+
+Result<const RowTable*> Database::table(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  return it->second.get();
+}
+
+Status Database::BuildIndex(const std::string& index_name,
+                            const std::string& table_name,
+                            std::vector<std::string> key_columns,
+                            std::vector<std::string> included_columns,
+                            BaseIndex::Options options) {
+  if (indexes_.count(index_name) > 0) {
+    return Status::AlreadyExists("index '" + index_name + "' already exists");
+  }
+  QPPT_ASSIGN_OR_RETURN(const RowTable* tbl, table(table_name));
+  QPPT_ASSIGN_OR_RETURN(
+      auto index, BaseIndex::Build(tbl, std::move(key_columns),
+                                   std::move(included_columns), options));
+  indexes_.emplace(index_name, std::move(index));
+  return Status::OK();
+}
+
+Result<const BaseIndex*> Database::index(const std::string& name) const {
+  auto it = indexes_.find(name);
+  if (it == indexes_.end()) {
+    return Status::NotFound("no index named '" + name + "'");
+  }
+  return it->second.get();
+}
+
+size_t Database::MemoryUsage() const {
+  size_t total = 0;
+  for (const auto& [name, table] : tables_) total += table->MemoryUsage();
+  for (const auto& [name, index] : indexes_) total += index->MemoryUsage();
+  return total;
+}
+
+std::vector<std::string> Database::table_names() const {
+  std::vector<std::string> names;
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> Database::index_names() const {
+  std::vector<std::string> names;
+  for (const auto& [name, index] : indexes_) names.push_back(name);
+  return names;
+}
+
+}  // namespace qppt

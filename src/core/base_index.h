@@ -1,0 +1,272 @@
+// Base indexes over row tables (§3).
+//
+// Leaf operators access base data through prefix-tree-based *base indexes*
+// that either already exist or are created once and stay in the data pool.
+// Two payload flavors (§3):
+//   - secondary index:           payload = record identifier (rid) only;
+//     attribute access costs a random read into the row table.
+//   - partially clustered index: payload = rid plus a partial record of
+//     "included" columns, stored packed next to the index. Operators read
+//     join/selection/grouping attributes without touching the base table —
+//     the paper's main lever for sequential-speed selections.
+//
+// Base indexes respect transactional isolation: BuildFromSnapshot indexes
+// the rows visible to an MVCC snapshot.
+
+#ifndef QPPT_CORE_BASE_INDEX_H_
+#define QPPT_CORE_BASE_INDEX_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "index/key_encoder.h"
+#include "index/kiss_tree.h"
+#include "index/prefix_tree.h"
+#include "storage/mvcc.h"
+#include "storage/row_table.h"
+#include "util/status.h"
+
+namespace qppt {
+
+class BaseIndex {
+ public:
+  enum class Kind : uint8_t { kKiss, kPrefix };
+
+  struct Options {
+    size_t kprime = 4;
+    bool prefer_kiss = true;
+    size_t kiss_root_bits = 26;
+  };
+
+  // Builds an index over all rows of `table`, keyed on `key_columns`.
+  // Non-empty `included_columns` makes it partially clustered.
+  static Result<std::unique_ptr<BaseIndex>> Build(
+      const RowTable* table, std::vector<std::string> key_columns,
+      std::vector<std::string> included_columns, Options options);
+  static Result<std::unique_ptr<BaseIndex>> Build(
+      const RowTable* table, std::vector<std::string> key_columns,
+      std::vector<std::string> included_columns = {}) {
+    return Build(table, std::move(key_columns), std::move(included_columns),
+                 Options{});
+  }
+
+  // Builds over the rows visible at an MVCC snapshot.
+  static Result<std::unique_ptr<BaseIndex>> BuildFromSnapshot(
+      const MvccTable* table, Timestamp read_ts,
+      std::vector<std::string> key_columns,
+      std::vector<std::string> included_columns, Options options);
+  static Result<std::unique_ptr<BaseIndex>> BuildFromSnapshot(
+      const MvccTable* table, Timestamp read_ts,
+      std::vector<std::string> key_columns,
+      std::vector<std::string> included_columns = {}) {
+    return BuildFromSnapshot(table, read_ts, std::move(key_columns),
+                             std::move(included_columns), Options{});
+  }
+
+  Kind kind() const { return kind_; }
+  bool clustered() const { return !included_cols_.empty(); }
+  const RowTable& table() const { return *table_; }
+  const KissTree* kiss() const { return kiss_.get(); }
+  const PrefixTree* prefix() const { return prefix_.get(); }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_keys() const {
+    return kind_ == Kind::kKiss ? kiss_->num_keys() : prefix_->num_keys();
+  }
+  size_t MemoryUsage() const;
+  const std::vector<std::string>& key_column_names() const {
+    return key_names_;
+  }
+
+  // --- attribute access ------------------------------------------------------
+  //
+  // Index *values* are opaque 64-bit handles: the rid for secondary
+  // indexes, a partial-record ordinal for clustered ones. An Accessor
+  // resolves one column against a value; binding happens once per query.
+
+  class Accessor {
+   public:
+    Accessor() = default;
+
+    uint64_t Get(uint64_t value) const {
+      switch (from_) {
+        case From::kRid:
+          return owner_->RidOf(value);
+        case From::kPayload:
+          return owner_->heap_[value * owner_->heap_width_ + pos_];
+        case From::kTable:
+          return owner_->table_->GetSlot(owner_->RidOf(value), pos_);
+      }
+      return 0;
+    }
+
+    // True if reading this column touches the base table (a random access
+    // the partially clustered layout is designed to avoid).
+    bool touches_table() const { return from_ == From::kTable; }
+
+   private:
+    friend class BaseIndex;
+    enum class From : uint8_t { kRid, kPayload, kTable };
+    const BaseIndex* owner_ = nullptr;
+    From from_ = From::kRid;
+    size_t pos_ = 0;
+  };
+
+  // Binds column `name`; resolution order: included payload, then base
+  // table. The pseudo-column "@rid" yields the record identifier.
+  Result<Accessor> BindColumn(const std::string& name) const;
+
+  // --- key handling ------------------------------------------------------------
+
+  void EncodeKey(const uint64_t* key_slots, KeyBuf* out) const;
+  static uint32_t KissKeyOf(uint64_t slot) {
+    return static_cast<uint32_t>(Int64FromSlot(slot));
+  }
+
+  // --- scans ----------------------------------------------------------------------
+  //
+  // F: void(uint64_t value). Single-key-column convenience paths; operators
+  // needing composite keys use the trees directly.
+
+  // Exact match on ALL key components of a multidimensional index
+  // (§4.1: conjunctive predicates prefer a multidimensional index as
+  // input). `key_slots` holds one slot per key column.
+  template <typename F>
+  void ForEachMatchComposite(const uint64_t* key_slots, F&& fn) const {
+    if (kind_ == Kind::kKiss) {
+      ForEachMatch(key_slots[0], fn);
+      return;
+    }
+    KeyBuf key;
+    EncodeKey(key_slots, &key);
+    const ValueList* vals = prefix_->Lookup(key.data());
+    if (vals != nullptr) vals->ForEach(fn);
+  }
+
+  // Range scan on the composite encoding: all keys in
+  // [lo_slots, hi_slots] (component-wise lexicographic order). With the
+  // trailing components spanning their full domain this is a prefix scan.
+  template <typename F>
+  void ForEachInCompositeRange(const uint64_t* lo_slots,
+                               const uint64_t* hi_slots, F&& fn) const {
+    if (kind_ == Kind::kKiss) {
+      ForEachInRange(lo_slots[0], hi_slots[0], fn);
+      return;
+    }
+    KeyBuf lo, hi;
+    EncodeKey(lo_slots, &lo);
+    EncodeKey(hi_slots, &hi);
+    prefix_->ScanRange(lo.data(), hi.data(),
+                       [&](const PrefixTree::ContentNode& c) {
+                         prefix_->ValuesOf(&c)->ForEach(fn);
+                       });
+  }
+
+  size_t num_key_columns() const { return key_cols_.size(); }
+
+  template <typename F>
+  void ForEachMatch(uint64_t key_slot, F&& fn) const {
+    if (kind_ == Kind::kKiss) {
+      KissTree::ValueRef vals;
+      if (kiss_->Lookup(KissKeyOf(key_slot), &vals)) vals.ForEach(fn);
+    } else {
+      KeyBuf key;
+      EncodeKey(&key_slot, &key);
+      const ValueList* vals = prefix_->Lookup(key.data());
+      if (vals != nullptr) vals->ForEach(fn);
+    }
+  }
+
+  template <typename F>
+  void ForEachInRange(uint64_t lo_slot, uint64_t hi_slot, F&& fn) const {
+    if (kind_ == Kind::kKiss) {
+      kiss_->ScanRange(KissKeyOf(lo_slot), KissKeyOf(hi_slot),
+                       [&](uint32_t, const KissTree::ValueRef& vals) {
+                         vals.ForEach(fn);
+                       });
+    } else {
+      KeyBuf lo, hi;
+      EncodeKey(&lo_slot, &lo);
+      EncodeKey(&hi_slot, &hi);
+      prefix_->ScanRange(lo.data(), hi.data(),
+                         [&](const PrefixTree::ContentNode& c) {
+                           prefix_->ValuesOf(&c)->ForEach(fn);
+                         });
+    }
+  }
+
+  template <typename F>
+  void ForEachValue(F&& fn) const {
+    if (kind_ == Kind::kKiss) {
+      kiss_->ScanAll([&](uint32_t, const KissTree::ValueRef& vals) {
+        vals.ForEach(fn);
+      });
+    } else {
+      prefix_->ScanAll([&](const PrefixTree::ContentNode& c) {
+        prefix_->ValuesOf(&c)->ForEach(fn);
+      });
+    }
+  }
+
+ private:
+  BaseIndex() = default;
+
+  Status Init(const RowTable* table, const std::vector<Rid>* rids,
+              std::vector<std::string> key_columns,
+              std::vector<std::string> included_columns, Options options);
+
+  Rid RidOf(uint64_t value) const {
+    return clustered() ? heap_[value * heap_width_] : value;
+  }
+
+  Kind kind_ = Kind::kPrefix;
+  const RowTable* table_ = nullptr;
+  std::vector<std::string> key_names_;
+  std::vector<size_t> key_cols_;
+  std::vector<ValueType> key_types_;
+  std::vector<std::string> included_names_;
+  std::vector<size_t> included_cols_;
+  std::unique_ptr<KissTree> kiss_;
+  std::unique_ptr<PrefixTree> prefix_;
+  // Partial records: heap_width_ slots per entry = [rid, included...].
+  std::vector<uint64_t> heap_;
+  size_t heap_width_ = 0;
+  size_t num_rows_ = 0;
+};
+
+// A named collection of tables and base indexes — the "data pool" the QPPT
+// execution plans of Fig. 5 start from.
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+
+  Status AddTable(std::unique_ptr<RowTable> table);
+  Result<const RowTable*> table(const std::string& name) const;
+
+  // Builds and registers an index named `index_name` over `table_name`.
+  Status BuildIndex(const std::string& index_name,
+                    const std::string& table_name,
+                    std::vector<std::string> key_columns,
+                    std::vector<std::string> included_columns = {},
+                    BaseIndex::Options options = BaseIndex::Options{});
+
+  Result<const BaseIndex*> index(const std::string& name) const;
+
+  size_t MemoryUsage() const;
+  std::vector<std::string> table_names() const;
+  std::vector<std::string> index_names() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<RowTable>> tables_;
+  std::map<std::string, std::unique_ptr<BaseIndex>> indexes_;
+};
+
+}  // namespace qppt
+
+#endif  // QPPT_CORE_BASE_INDEX_H_

@@ -1,0 +1,197 @@
+#include "core/indexed_table.h"
+
+#include <cassert>
+
+namespace qppt {
+
+namespace {
+
+// A key column is KISS-eligible if it is a single integer-like attribute
+// whose values fit 32 bits (join keys, dictionary codes, dates).
+bool KissEligible(const std::vector<ValueType>& key_types) {
+  return key_types.size() == 1 && key_types[0] != ValueType::kDouble;
+}
+
+ValueType AggOutputType(const AggTerm& term, const Schema& input) {
+  switch (term.fn) {
+    case AggFn::kCount:
+      return ValueType::kInt64;
+    case AggFn::kAvg:
+      return ValueType::kDouble;
+    default:
+      break;
+  }
+  if (term.source.op == ScalarExpr::Op::kColumn) {
+    auto idx = input.ColumnIndex(term.source.lhs);
+    if (idx.ok() && input.column(*idx).type == ValueType::kDouble) {
+      return ValueType::kDouble;
+    }
+  }
+  return ValueType::kInt64;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<IndexedTable>> IndexedTable::Create(
+    Schema schema, std::vector<std::string> key_columns, Options options) {
+  auto table = std::unique_ptr<IndexedTable>(new IndexedTable());
+  QPPT_RETURN_NOT_OK(table->Init(std::move(schema), std::move(key_columns),
+                                 AggSpec{}, nullptr, options));
+  return table;
+}
+
+Result<std::unique_ptr<IndexedTable>> IndexedTable::CreateAggregated(
+    std::vector<ColumnDef> key_columns, AggSpec agg, const Schema& agg_input,
+    Options options) {
+  if (agg.empty()) {
+    return Status::InvalidArgument(
+        "CreateAggregated requires at least one aggregate term");
+  }
+  // Output schema: key columns, then one column per aggregate.
+  std::vector<ColumnDef> cols = key_columns;
+  for (const auto& term : agg.terms()) {
+    cols.push_back({term.out_name, AggOutputType(term, agg_input), nullptr});
+  }
+  std::vector<std::string> key_names;
+  key_names.reserve(key_columns.size());
+  for (const auto& c : key_columns) key_names.push_back(c.name);
+
+  auto table = std::unique_ptr<IndexedTable>(new IndexedTable());
+  QPPT_RETURN_NOT_OK(table->Init(Schema(std::move(cols)),
+                                 std::move(key_names), std::move(agg),
+                                 &agg_input, options));
+  return table;
+}
+
+Status IndexedTable::Init(Schema schema,
+                          std::vector<std::string> key_columns, AggSpec agg,
+                          const Schema* agg_input, Options options) {
+  schema_ = std::move(schema);
+  agg_ = std::move(agg);
+  if (key_columns.empty()) {
+    return Status::InvalidArgument("indexed table needs at least one key column");
+  }
+  for (const auto& name : key_columns) {
+    QPPT_ASSIGN_OR_RETURN(size_t idx, schema_.ColumnIndex(name));
+    key_cols_.push_back(idx);
+    key_types_.push_back(schema_.column(idx).type);
+  }
+  if (!agg_.empty()) {
+    QPPT_ASSIGN_OR_RETURN(bound_agg_, BoundAggSpec::Bind(agg_, *agg_input));
+    // Aggregate tables require the key columns to lead the schema so that
+    // ScanGroups can decode in place.
+    for (size_t i = 0; i < key_cols_.size(); ++i) {
+      if (key_cols_[i] != i) {
+        return Status::InvalidArgument(
+            "aggregate table key columns must be the leading columns");
+      }
+    }
+  }
+  size_t payload = agg_.empty() ? 0 : bound_agg_.payload_size();
+  if (options.prefer_kiss && KissEligible(key_types_)) {
+    kind_ = Kind::kKiss;
+    KissTree::Config cfg;
+    cfg.root_bits = options.kiss_root_bits;
+    cfg.mode = agg_.empty() ? KissTree::PayloadMode::kValues
+                            : KissTree::PayloadMode::kAggregate;
+    cfg.agg_payload_size = payload;
+    kiss_ = std::make_unique<KissTree>(cfg);
+  } else {
+    kind_ = Kind::kPrefix;
+    PrefixTree::Config cfg;
+    cfg.key_len = encoded_key_len();
+    cfg.kprime = options.kprime;
+    cfg.mode = agg_.empty() ? PrefixTree::PayloadMode::kValues
+                            : PrefixTree::PayloadMode::kAggregate;
+    cfg.agg_payload_size = payload;
+    prefix_ = std::make_unique<PrefixTree>(cfg);
+  }
+  return Status::OK();
+}
+
+size_t IndexedTable::MemoryUsage() const {
+  size_t index_bytes =
+      kind_ == Kind::kKiss ? kiss_->MemoryUsage() : prefix_->MemoryUsage();
+  return index_bytes + rows_.capacity() * sizeof(uint64_t);
+}
+
+void IndexedTable::EncodeKey(const uint64_t* key_slots, KeyBuf* out) const {
+  out->clear();
+  for (size_t i = 0; i < key_types_.size(); ++i) {
+    if (key_types_[i] == ValueType::kDouble) {
+      out->AppendDouble(DoubleFromSlot(key_slots[i]));
+    } else {
+      out->AppendI64(Int64FromSlot(key_slots[i]));
+    }
+  }
+}
+
+void IndexedTable::DecodeKeyInto(const uint8_t* key, uint64_t* out) const {
+  for (size_t i = 0; i < key_types_.size(); ++i) {
+    const uint8_t* p = key + i * 8;
+    if (key_types_[i] == ValueType::kDouble) {
+      out[i] = SlotFromDouble(DecodeDouble(p));
+    } else {
+      out[i] = SlotFromInt64(DecodeI64(p));
+    }
+  }
+}
+
+void IndexedTable::FinalizeInto(const std::byte* payload,
+                                uint64_t* out) const {
+  size_t base = key_cols_.size();
+  for (size_t i = 0; i < bound_agg_.num_terms(); ++i) {
+    out[base + i] = bound_agg_.Finalize(payload, i);
+  }
+}
+
+void IndexedTable::Insert(const uint64_t* row) {
+  assert(agg_.empty());
+  uint64_t id = num_tuples_++;
+  rows_.insert(rows_.end(), row, row + schema_.num_columns());
+  if (kind_ == Kind::kKiss) {
+    kiss_->Insert(KissKeyOf(row[key_cols_[0]]), id);
+  } else {
+    KeyBuf key;
+    // Gather key slots in key-column order (they may be scattered in the
+    // schema for plain tables).
+    uint64_t slots[KeyBuf::kCapacity / 8];
+    for (size_t i = 0; i < key_cols_.size(); ++i) slots[i] = row[key_cols_[i]];
+    EncodeKey(slots, &key);
+    prefix_->Insert(key.data(), id);
+  }
+}
+
+bool IndexedTable::InsertIfAbsent(const uint64_t* row) {
+  assert(agg_.empty());
+  if (kind_ == Kind::kKiss) {
+    if (kiss_->Contains(KissKeyOf(row[key_cols_[0]]))) return false;
+  } else {
+    KeyBuf key;
+    uint64_t slots[KeyBuf::kCapacity / 8];
+    for (size_t i = 0; i < key_cols_.size(); ++i) slots[i] = row[key_cols_[i]];
+    EncodeKey(slots, &key);
+    if (prefix_->Find(key.data()) != nullptr) return false;
+  }
+  Insert(row);
+  return true;
+}
+
+void IndexedTable::InsertAggregated(const uint64_t* key_slots,
+                                    const uint64_t* input_row) {
+  assert(!agg_.empty());
+  ++num_tuples_;
+  bool created = false;
+  std::byte* payload;
+  if (kind_ == Kind::kKiss) {
+    payload = kiss_->FindOrCreatePayload(KissKeyOf(key_slots[0]), &created);
+  } else {
+    KeyBuf key;
+    EncodeKey(key_slots, &key);
+    payload = prefix_->FindOrCreatePayload(key.data(), &created);
+  }
+  if (created) bound_agg_.Init(payload);
+  bound_agg_.Combine(payload, input_row);
+}
+
+}  // namespace qppt

@@ -1,0 +1,77 @@
+// Join / selection buffers (§4.2, §4.3, demonstrator appendix).
+//
+// Composed operators face two costs: per-probe function-call overhead and
+// the memory latency of point accesses into large indexes. QPPT buffers
+// pending index lookups and executes them as §2.3 batch lookups, which
+// prefetch-pipelines the tree descents. The demonstrator exposes the
+// buffer size as a knob {1 (none), 64, 512, 2048}; size 1 degenerates to
+// plain point lookups, which is exactly how the ablation E7 measures the
+// benefit.
+
+#ifndef QPPT_CORE_JOIN_BUFFER_H_
+#define QPPT_CORE_JOIN_BUFFER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "index/kiss_tree.h"
+
+namespace qppt {
+
+// Buffers (key, context) probe requests against a KISS-Tree. The caller
+// owns the flush policy: Add() returns true when the buffer reached
+// capacity and must be flushed before the next Add.
+template <typename Ctx>
+class KissProbeBuffer {
+ public:
+  explicit KissProbeBuffer(size_t capacity)
+      : capacity_(capacity < 1 ? 1 : capacity) {
+    jobs_.reserve(capacity_);
+    ctxs_.reserve(capacity_);
+  }
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return jobs_.size(); }
+  bool empty() const { return jobs_.empty(); }
+
+  // Queues a probe. Returns true when the buffer is full.
+  bool Add(uint32_t key, Ctx ctx) {
+    KissTree::LookupJob job;
+    job.key = key;
+    jobs_.push_back(job);
+    ctxs_.push_back(std::move(ctx));
+    return jobs_.size() >= capacity_;
+  }
+
+  // Executes all queued probes against `tree` and invokes
+  // fn(Ctx&, bool found, const KissTree::ValueRef&) per probe, in
+  // insertion order. Leaves the buffer empty.
+  template <typename F>
+  void Flush(const KissTree& tree, F&& fn) {
+    if (jobs_.empty()) return;
+    if (capacity_ == 1) {
+      // Unbuffered mode: plain point lookups (the demonstrator's "none").
+      for (size_t i = 0; i < jobs_.size(); ++i) {
+        KissTree::ValueRef values;
+        bool found = tree.Lookup(jobs_[i].key, &values);
+        fn(ctxs_[i], found, values);
+      }
+    } else {
+      tree.BatchLookup(jobs_);
+      for (size_t i = 0; i < jobs_.size(); ++i) {
+        fn(ctxs_[i], jobs_[i].found, jobs_[i].values);
+      }
+    }
+    jobs_.clear();
+    ctxs_.clear();
+  }
+
+ private:
+  size_t capacity_;
+  std::vector<KissTree::LookupJob> jobs_;
+  std::vector<Ctx> ctxs_;
+};
+
+}  // namespace qppt
+
+#endif  // QPPT_CORE_JOIN_BUFFER_H_

@@ -1,0 +1,42 @@
+// Having operator (§4.1).
+//
+// "The logical selection and having operators are physically the same
+// operator": both scan an index for qualifying tuples and emit a new
+// indexed table. HavingOp is that operator applied to an *aggregated*
+// intermediate (group rows with finalized aggregate values) instead of a
+// base index — e.g. `having sum(revenue) > X` after a join-group.
+
+#ifndef QPPT_CORE_OPERATORS_HAVING_H_
+#define QPPT_CORE_OPERATORS_HAVING_H_
+
+#include <string>
+#include <vector>
+
+#include "core/operators/common.h"
+#include "core/plan.h"
+
+namespace qppt {
+
+struct HavingSpec {
+  std::string input_slot;           // an aggregated intermediate
+  std::vector<Residual> residuals;  // on the input's output columns
+  std::string output_slot;
+};
+
+class HavingOp : public Operator {
+ public:
+  explicit HavingOp(HavingSpec spec) : spec_(std::move(spec)) {}
+
+  std::string name() const override {
+    return "having(" + spec_.input_slot + ")";
+  }
+
+  Status Execute(ExecContext* ctx) override;
+
+ private:
+  HavingSpec spec_;
+};
+
+}  // namespace qppt
+
+#endif  // QPPT_CORE_OPERATORS_HAVING_H_

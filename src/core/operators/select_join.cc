@@ -1,0 +1,90 @@
+#include "core/operators/select_join.h"
+
+namespace qppt {
+
+Status SelectJoinOp::Execute(ExecContext* ctx) {
+  OperatorStats stats;
+  stats.name = name();
+  Timer total;
+
+  QPPT_ASSIGN_OR_RETURN(const BaseIndex* index,
+                        ctx->db().index(spec_.input_index));
+  QPPT_ASSIGN_OR_RETURN(
+      auto left,
+      BoundSide::Bind(*ctx, SideRef::Base(spec_.input_index),
+                      spec_.left_columns));
+  QPPT_ASSIGN_OR_RETURN(auto residuals,
+                        BindResiduals(*index, spec_.residuals));
+
+  // The probed main index behaves exactly like a leading assisting index:
+  // probe with `probe_column`, extend with the right side's columns. The
+  // remaining assists follow.
+  std::vector<AssistSpec> all_assists;
+  all_assists.push_back(
+      {spec_.right, spec_.probe_column, spec_.right_columns});
+  all_assists.insert(all_assists.end(), spec_.assists.begin(),
+                     spec_.assists.end());
+
+  std::vector<ColumnDef> defs = left.column_defs();
+  QPPT_ASSIGN_OR_RETURN(auto assists, BindAssists(*ctx, all_assists, &defs));
+  Schema assembled(std::move(defs));
+  const size_t width = assembled.num_columns();
+
+  QPPT_ASSIGN_OR_RETURN(
+      auto output,
+      MakeOutputTable(spec_.output, assembled, ctx->knobs().table_options));
+
+  std::vector<size_t> key_positions;
+  if (!spec_.output.agg.empty()) {
+    for (const auto& k : spec_.output.key_columns) {
+      QPPT_ASSIGN_OR_RETURN(size_t idx, assembled.ColumnIndex(k));
+      key_positions.push_back(idx);
+    }
+  }
+
+  stats.input_tuples = index->num_rows();
+
+  CandidatePipeline pipeline(std::move(assists), width, output.get(),
+                             std::move(key_positions),
+                             ctx->knobs().join_buffer_size);
+
+  // Selection scan: qualifying tuples stream straight into the probe
+  // pipeline — no intermediate index is ever materialized (§4.3).
+  auto emit = [&](uint64_t value) {
+    for (const auto& r : residuals) {
+      if (!r.Eval(value)) return;
+    }
+    uint64_t* row = pipeline.AddRow();
+    left.Fill(value, row);
+    pipeline.MaybeProcess();
+  };
+
+  switch (spec_.predicate.kind) {
+    case KeyPredicate::Kind::kPoint:
+      index->ForEachMatch(SlotFromInt64(spec_.predicate.point), emit);
+      break;
+    case KeyPredicate::Kind::kRange:
+      index->ForEachInRange(SlotFromInt64(spec_.predicate.lo),
+                            SlotFromInt64(spec_.predicate.hi), emit);
+      break;
+    case KeyPredicate::Kind::kIn:
+      for (int64_t point : spec_.predicate.in_points) {
+        index->ForEachMatch(SlotFromInt64(point), emit);
+      }
+      break;
+    case KeyPredicate::Kind::kAll:
+      index->ForEachValue(emit);
+      break;
+  }
+  pipeline.Finish();
+
+  FillOutputStats(*output, &stats);
+  stats.materialize_ms = pipeline.materialize_ms();
+  stats.index_ms = pipeline.index_ms();
+  stats.total_ms = total.ElapsedMs();
+  QPPT_RETURN_NOT_OK(ctx->Put(spec_.output.slot, std::move(output)));
+  ctx->stats()->operators.push_back(std::move(stats));
+  return Status::OK();
+}
+
+}  // namespace qppt

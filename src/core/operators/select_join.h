@@ -1,0 +1,56 @@
+// Select-join operator (§4.3) — Level-3 heterogeneous composition.
+//
+// When a selection would materialize a huge intermediate index, its
+// output-indexing cost dominates the plan (Fig. 8: ~95% of Q1.1 without
+// composition). The select-join skips that materialization: qualifying
+// tuples stream directly into the join, which point-probes the other main
+// index (buffered batch lookups — the synchronous index scan is not
+// applicable because the selection output is never indexed on the join
+// attribute). Assists and aggregation-on-insert compose as in the
+// multi-way/star join, yielding the select-join-group of Fig. 1.
+
+#ifndef QPPT_CORE_OPERATORS_SELECT_JOIN_H_
+#define QPPT_CORE_OPERATORS_SELECT_JOIN_H_
+
+#include <string>
+#include <vector>
+
+#include "core/operators/common.h"
+#include "core/plan.h"
+
+namespace qppt {
+
+struct SelectJoinSpec {
+  // Selection part (as in SelectionSpec).
+  std::string input_index;
+  KeyPredicate predicate;
+  std::vector<Residual> residuals;
+  std::vector<std::string> left_columns;  // carried from the selection side
+
+  // Join part: probe `right` with the value of `probe_column`.
+  std::string probe_column;  // must be one of left_columns
+  SideRef right;
+  std::vector<std::string> right_columns;
+  std::vector<AssistSpec> assists;
+
+  OutputSpec output;
+};
+
+class SelectJoinOp : public Operator {
+ public:
+  explicit SelectJoinOp(SelectJoinSpec spec) : spec_(std::move(spec)) {}
+
+  std::string name() const override {
+    return std::to_string(2 + spec_.assists.size()) + "-way-select-join(" +
+           spec_.input_index + " x " + spec_.right.name + ")";
+  }
+
+  Status Execute(ExecContext* ctx) override;
+
+ private:
+  SelectJoinSpec spec_;
+};
+
+}  // namespace qppt
+
+#endif  // QPPT_CORE_OPERATORS_SELECT_JOIN_H_

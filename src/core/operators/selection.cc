@@ -1,0 +1,119 @@
+#include "core/operators/selection.h"
+
+namespace qppt {
+
+Status SelectionOp::Execute(ExecContext* ctx) {
+  OperatorStats stats;
+  stats.name = name();
+  Timer total;
+
+  QPPT_ASSIGN_OR_RETURN(const BaseIndex* index,
+                        ctx->db().index(spec_.input_index));
+  QPPT_ASSIGN_OR_RETURN(auto side, BoundSide::Bind(*ctx, SideRef::Base(spec_.input_index),
+                                                   spec_.carry_columns));
+  QPPT_ASSIGN_OR_RETURN(auto residuals,
+                        BindResiduals(*index, spec_.residuals));
+
+  Schema assembled(side.column_defs());
+  QPPT_ASSIGN_OR_RETURN(
+      auto output,
+      MakeOutputTable(spec_.output, assembled, ctx->knobs().table_options));
+
+  stats.input_tuples = index->num_rows();
+  size_t width = side.num_columns();
+  std::vector<uint64_t> row(width);
+  std::vector<uint64_t> key_slots;
+  std::vector<size_t> key_positions;
+  if (!spec_.output.agg.empty()) {
+    key_slots.resize(spec_.output.key_columns.size());
+    for (const auto& k : spec_.output.key_columns) {
+      QPPT_ASSIGN_OR_RETURN(size_t idx, assembled.ColumnIndex(k));
+      key_positions.push_back(idx);
+    }
+  }
+
+  Timer phase;
+  double materialize_ms = 0;
+  auto emit = [&](uint64_t value) {
+    for (const auto& r : residuals) {
+      if (!r.Eval(value)) return;
+    }
+    side.Fill(value, row.data());
+    if (spec_.output.agg.empty()) {
+      output->Insert(row.data());
+    } else {
+      for (size_t i = 0; i < key_positions.size(); ++i) {
+        key_slots[i] = row[key_positions[i]];
+      }
+      output->InsertAggregated(key_slots.data(), row.data());
+    }
+  };
+
+  if (!spec_.composite_range.empty()) {
+    // Conjunctive predicate over a multidimensional index (§4.1). The
+    // composite encoding is scanned over the lexicographic range; the
+    // per-component box bounds are verified on each hit (a lexicographic
+    // range is a superset of the box for the middle leading-component
+    // values).
+    size_t dims = spec_.composite_range.size();
+    if (dims != index->num_key_columns()) {
+      return Status::InvalidArgument(
+          "composite_range must give one (lo, hi) pair per index key "
+          "column");
+    }
+    std::vector<BaseIndex::Accessor> key_accessors;
+    for (const auto& name : index->key_column_names()) {
+      QPPT_ASSIGN_OR_RETURN(auto acc, index->BindColumn(name));
+      key_accessors.push_back(acc);
+    }
+    std::vector<uint64_t> lo(dims), hi(dims);
+    for (size_t i = 0; i < dims; ++i) {
+      lo[i] = SlotFromInt64(spec_.composite_range[i].first);
+      hi[i] = SlotFromInt64(spec_.composite_range[i].second);
+    }
+    auto emit_boxed = [&](uint64_t value) {
+      for (size_t i = 0; i < dims; ++i) {
+        int64_t v = Int64FromSlot(key_accessors[i].Get(value));
+        if (v < spec_.composite_range[i].first ||
+            v > spec_.composite_range[i].second) {
+          return;
+        }
+      }
+      emit(value);
+    };
+    index->ForEachInCompositeRange(lo.data(), hi.data(), emit_boxed);
+  } else {
+    switch (spec_.predicate.kind) {
+      case KeyPredicate::Kind::kPoint:
+        index->ForEachMatch(SlotFromInt64(spec_.predicate.point), emit);
+        break;
+      case KeyPredicate::Kind::kRange:
+        index->ForEachInRange(SlotFromInt64(spec_.predicate.lo),
+                              SlotFromInt64(spec_.predicate.hi), emit);
+        break;
+      case KeyPredicate::Kind::kIn:
+        for (int64_t point : spec_.predicate.in_points) {
+          index->ForEachMatch(SlotFromInt64(point), emit);
+        }
+        break;
+      case KeyPredicate::Kind::kAll:
+        index->ForEachValue(emit);
+        break;
+    }
+  }
+  materialize_ms = phase.ElapsedMs();
+
+  FillOutputStats(*output, &stats);
+  // The scan interleaves materialization and indexing; attribute the
+  // whole phase to materialization and report indexing as the remainder
+  // estimated from the output index bytes per tuple (coarse, like the
+  // demonstrator's internal statistics).
+  stats.materialize_ms = materialize_ms;
+  stats.total_ms = total.ElapsedMs();
+  stats.index_ms = 0;
+  QPPT_RETURN_NOT_OK(ctx->Put(spec_.output.slot, std::move(output)));
+  ctx->stats()->operators.push_back(std::move(stats));
+  return Status::OK();
+}
+
+}  // namespace qppt

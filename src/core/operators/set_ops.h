@@ -1,0 +1,60 @@
+// Set operators (§4.1).
+//
+// Multi-predicate selections without a multidimensional base index run one
+// selection per predicate, each producing an index keyed on the record
+// identifier; intersections (AND) and distinct unions (OR) then combine
+// those rid indexes, and the last set operator keys its output on whatever
+// the next operator requests. Intersection uses the same synchronous index
+// scan as the join operators.
+
+#ifndef QPPT_CORE_OPERATORS_SET_OPS_H_
+#define QPPT_CORE_OPERATORS_SET_OPS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/operators/common.h"
+#include "core/plan.h"
+
+namespace qppt {
+
+struct SetOpSpec {
+  SideRef left;
+  std::vector<std::string> left_columns;
+  SideRef right;
+  std::vector<std::string> right_columns;
+  OutputSpec output;
+};
+
+// Keys present in BOTH inputs; output tuples are the left columns followed
+// by the right columns (one representative tuple per side per key).
+class IntersectOp : public Operator {
+ public:
+  explicit IntersectOp(SetOpSpec spec) : spec_(std::move(spec)) {}
+  std::string name() const override {
+    return "intersect(" + spec_.left.name + " & " + spec_.right.name + ")";
+  }
+  Status Execute(ExecContext* ctx) override;
+
+ private:
+  SetOpSpec spec_;
+};
+
+// Keys present in EITHER input, deduplicated. Both column lists must
+// assemble the same tuple layout (same arity and types).
+class UnionDistinctOp : public Operator {
+ public:
+  explicit UnionDistinctOp(SetOpSpec spec) : spec_(std::move(spec)) {}
+  std::string name() const override {
+    return "union_distinct(" + spec_.left.name + " | " + spec_.right.name +
+           ")";
+  }
+  Status Execute(ExecContext* ctx) override;
+
+ private:
+  SetOpSpec spec_;
+};
+
+}  // namespace qppt
+
+#endif  // QPPT_CORE_OPERATORS_SET_OPS_H_

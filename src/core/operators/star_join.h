@@ -1,0 +1,54 @@
+// Multi-way/star join operator (§4.2, Figure 6).
+//
+// A composed (n-ary) join. The two *main* indexes — both keyed on the same
+// join attribute — are joined with the synchronous index scan; for every
+// key present in both, the cross product of the left and right tuple sets
+// is formed (nested-loop over the duplicate lists). Each *assisting* index
+// is then probed with a key extracted from the assembled tuple: a miss
+// drops the combination, a hit extends it with the assist's carried
+// columns (dimension semi-join / lookup). Probes are buffered and executed
+// as §2.3 batch lookups (joinbuffer). Finally each surviving combination
+// is inserted into the output index — aggregating on insert when the spec
+// carries an AggSpec, which makes this the multi-way-select-join-group of
+// the introduction.
+//
+// A traditional 2-way join is the degenerate case with no assists.
+
+#ifndef QPPT_CORE_OPERATORS_STAR_JOIN_H_
+#define QPPT_CORE_OPERATORS_STAR_JOIN_H_
+
+#include <string>
+#include <vector>
+
+#include "core/operators/common.h"
+#include "core/plan.h"
+
+namespace qppt {
+
+struct StarJoinSpec {
+  SideRef left;                  // main index A
+  std::vector<std::string> left_columns;
+  SideRef right;                 // main index B (same key attribute)
+  std::vector<std::string> right_columns;
+  std::vector<AssistSpec> assists;
+  OutputSpec output;
+};
+
+class StarJoinOp : public Operator {
+ public:
+  explicit StarJoinOp(StarJoinSpec spec) : spec_(std::move(spec)) {}
+
+  std::string name() const override {
+    return std::to_string(2 + spec_.assists.size()) + "-way-join(" +
+           spec_.left.name + " x " + spec_.right.name + ")";
+  }
+
+  Status Execute(ExecContext* ctx) override;
+
+ private:
+  StarJoinSpec spec_;
+};
+
+}  // namespace qppt
+
+#endif  // QPPT_CORE_OPERATORS_STAR_JOIN_H_

@@ -1,0 +1,131 @@
+// Intra-operator parallelism (§7, "Future Challenges").
+//
+// The paper's argument for why QPPT parallelizes well: the prefix tree is
+// unbalanced and *deterministic* — a key's position never moves — so the
+// tree splits into disjoint subtrees by key range, and subtrees can be
+// assigned to threads without the rebalancing hazards of B-trees (a
+// balancing operation may move already-processed data into another
+// thread's subtree). This header provides that partitioning for both
+// index families plus a simple fork-join driver, which is the substrate a
+// parallel operator needs; the shipped operators remain single-threaded,
+// matching the paper's evaluation setup.
+
+#ifndef QPPT_CORE_PARALLEL_H_
+#define QPPT_CORE_PARALLEL_H_
+
+#include <cstdint>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "index/kiss_tree.h"
+#include "index/prefix_tree.h"
+
+namespace qppt {
+
+// Key subranges [lo, hi] (inclusive) covering the tree's populated key
+// span, aligned to root buckets so no level-2 node is shared between
+// shards. Returns at most `shards` non-empty ranges, in ascending order.
+inline std::vector<std::pair<uint32_t, uint32_t>> PartitionKissRange(
+    const KissTree& tree, size_t shards) {
+  std::vector<std::pair<uint32_t, uint32_t>> ranges;
+  if (tree.empty() || shards == 0) return ranges;
+  size_t l2 = tree.level2_bits();
+  uint64_t first_bucket = tree.min_key() >> l2;
+  uint64_t last_bucket = tree.max_key() >> l2;
+  uint64_t buckets = last_bucket - first_bucket + 1;
+  if (shards > buckets) shards = static_cast<size_t>(buckets);
+  uint64_t per_shard = buckets / shards;
+  uint64_t extra = buckets % shards;
+  uint64_t bucket = first_bucket;
+  for (size_t s = 0; s < shards; ++s) {
+    uint64_t take = per_shard + (s < extra ? 1 : 0);
+    uint64_t end_bucket = bucket + take - 1;
+    uint32_t lo = static_cast<uint32_t>(bucket << l2);
+    uint32_t hi = static_cast<uint32_t>(((end_bucket + 1) << l2) - 1);
+    if (bucket == first_bucket) lo = tree.min_key();
+    if (end_bucket == last_bucket) hi = tree.max_key();
+    ranges.emplace_back(lo, hi);
+    bucket = end_bucket + 1;
+  }
+  return ranges;
+}
+
+// Scans a KISS-Tree with `threads` worker threads, one disjoint key shard
+// set per thread. F: void(size_t shard, uint32_t key,
+// const KissTree::ValueRef&). Each shard is scanned in ascending key
+// order; shards run concurrently, so F must be safe for concurrent calls
+// with distinct `shard` values (e.g. write to per-shard accumulators).
+template <typename F>
+void ParallelScan(const KissTree& tree, size_t threads, F&& fn) {
+  auto ranges = PartitionKissRange(tree, threads);
+  if (ranges.empty()) return;
+  if (ranges.size() == 1) {
+    tree.ScanRange(ranges[0].first, ranges[0].second,
+                   [&](uint32_t key, const KissTree::ValueRef& values) {
+                     fn(size_t{0}, key, values);
+                   });
+    return;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(ranges.size());
+  for (size_t s = 0; s < ranges.size(); ++s) {
+    workers.emplace_back([&, s] {
+      tree.ScanRange(ranges[s].first, ranges[s].second,
+                     [&](uint32_t key, const KissTree::ValueRef& values) {
+                       fn(s, key, values);
+                     });
+    });
+  }
+  for (auto& w : workers) w.join();
+}
+
+// Scans a prefix tree with `threads` workers by splitting the root node's
+// buckets into contiguous spans. F: void(size_t shard,
+// const PrefixTree::ContentNode&).
+template <typename F>
+void ParallelScan(const PrefixTree& tree, size_t threads, F&& fn) {
+  if (tree.num_keys() == 0 || threads == 0) return;
+  size_t fanout = std::min(tree.fanout(),
+                           size_t{1} << std::min<size_t>(
+                               tree.config().kprime, tree.key_len() * 8));
+  if (threads > fanout) threads = fanout;
+  if (threads <= 1) {
+    tree.ScanRootSlots(0, fanout, [&](const PrefixTree::ContentNode& c) {
+      fn(size_t{0}, c);
+    });
+    return;
+  }
+  size_t per = fanout / threads;
+  size_t extra = fanout % threads;
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  size_t begin = 0;
+  for (size_t s = 0; s < threads; ++s) {
+    size_t take = per + (s < extra ? 1 : 0);
+    size_t end = begin + take;
+    workers.emplace_back([&, s, begin, end] {
+      tree.ScanRootSlots(begin, end, [&](const PrefixTree::ContentNode& c) {
+        fn(s, c);
+      });
+    });
+    begin = end;
+  }
+  for (auto& w : workers) w.join();
+}
+
+// Convenience: parallel duplicate-aware tuple count (sanity/statistics).
+inline uint64_t ParallelCountValues(const KissTree& tree, size_t threads) {
+  std::vector<uint64_t> counts(threads == 0 ? 1 : threads, 0);
+  ParallelScan(tree, threads,
+               [&](size_t shard, uint32_t, const KissTree::ValueRef& v) {
+                 counts[shard] += v.size();
+               });
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  return total;
+}
+
+}  // namespace qppt
+
+#endif  // QPPT_CORE_PARALLEL_H_

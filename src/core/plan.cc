@@ -1,0 +1,104 @@
+#include "core/plan.h"
+
+namespace qppt {
+
+Status ExecContext::Put(const std::string& name,
+                        std::unique_ptr<IndexedTable> table) {
+  auto [it, inserted] = slots_.emplace(name, std::move(table));
+  if (!inserted) {
+    return Status::AlreadyExists("intermediate slot '" + name +
+                                 "' already populated");
+  }
+  return Status::OK();
+}
+
+Result<const IndexedTable*> ExecContext::Get(const std::string& name) const {
+  auto it = slots_.find(name);
+  if (it == slots_.end()) {
+    return Status::NotFound("no intermediate named '" + name + "'");
+  }
+  return it->second.get();
+}
+
+Status Plan::Run(ExecContext* ctx) const {
+  Timer total;
+  for (const auto& op : operators_) {
+    Timer op_timer;
+    QPPT_RETURN_NOT_OK(op->Execute(ctx));
+    // The operator appended its stats entry; stamp the wall time.
+    if (!ctx->stats()->operators.empty()) {
+      OperatorStats& st = ctx->stats()->operators.back();
+      if (st.total_ms == 0) st.total_ms = op_timer.ElapsedMs();
+    }
+  }
+  ctx->stats()->total_ms = total.ElapsedMs();
+  return Status::OK();
+}
+
+Result<QueryResult> Plan::Execute(ExecContext* ctx) const {
+  QPPT_RETURN_NOT_OK(Run(ctx));
+  if (result_slot_.empty()) {
+    return Status::InvalidArgument("plan has no result slot configured");
+  }
+  QPPT_ASSIGN_OR_RETURN(const IndexedTable* table, ctx->Get(result_slot_));
+  return ExtractResult(*table);
+}
+
+namespace {
+
+Value SlotToValue(uint64_t slot, const ColumnDef& def) {
+  switch (def.type) {
+    case ValueType::kDouble:
+      return Value::Real(DoubleFromSlot(slot));
+    case ValueType::kString:
+      if (def.dictionary != nullptr && def.dictionary->sealed()) {
+        return Value::Str(def.dictionary->StringOf(Int64FromSlot(slot)));
+      }
+      return Value::Int(Int64FromSlot(slot));
+    case ValueType::kInt64:
+      break;
+  }
+  return Value::Int(Int64FromSlot(slot));
+}
+
+}  // namespace
+
+Result<QueryResult> ExtractResult(const IndexedTable& table) {
+  QueryResult result;
+  result.schema = table.schema();
+  size_t width = table.schema().num_columns();
+  auto emit = [&](const uint64_t* row) {
+    std::vector<Value> out;
+    out.reserve(width);
+    for (size_t c = 0; c < width; ++c) {
+      out.push_back(SlotToValue(row[c], table.schema().column(c)));
+    }
+    result.rows.push_back(std::move(out));
+  };
+  if (table.aggregated()) {
+    table.ScanGroups(emit);
+  } else {
+    table.ScanInOrder(emit);
+  }
+  return result;
+}
+
+std::string QueryResult::ToString(size_t limit) const {
+  std::string out = schema.ToString();
+  out += "\n";
+  size_t shown = 0;
+  for (const auto& row : rows) {
+    if (shown++ >= limit) {
+      out += "... (" + std::to_string(rows.size()) + " rows total)\n";
+      break;
+    }
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += " | ";
+      out += row[i].ToString();
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace qppt

@@ -1,0 +1,112 @@
+// Plan representation and execution (§3, Figure 5).
+//
+// A QPPT execution plan is an ordered list of operators. Each operator
+// consumes base indexes (from the Database) and/or intermediate indexed
+// tables (from named ExecContext slots), and produces one new indexed
+// table — the indexed table-at-a-time contract: exactly one "next call"
+// per operator, data handed over as a single index handle.
+//
+// PlanKnobs mirrors the demonstrator's optimization panel (appendix A):
+// select-join fusion on/off, join-buffer size {1, 64, 512, 2048}, and the
+// multi-way join cap {2, 3, 4, multi}.
+
+#ifndef QPPT_CORE_PLAN_H_
+#define QPPT_CORE_PLAN_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/base_index.h"
+#include "core/indexed_table.h"
+#include "core/stats.h"
+#include "util/status.h"
+
+namespace qppt {
+
+struct PlanKnobs {
+  // Fuse selections into subsequent joins where the plan allows (§4.3).
+  bool use_select_join = true;
+  // Join/selection buffer capacity; 1 disables batching (§4.2).
+  size_t join_buffer_size = 512;
+  // Maximum operator arity for multi-way/star joins; 0 = unlimited.
+  // (Interpreted by plan builders, not by operators.)
+  int max_join_ways = 0;
+  // Index construction parameters for intermediate tables.
+  IndexedTable::Options table_options;
+};
+
+class ExecContext {
+ public:
+  ExecContext(const Database* db, PlanKnobs knobs = PlanKnobs{})
+      : db_(db), knobs_(knobs) {}
+
+  const Database& db() const { return *db_; }
+  const PlanKnobs& knobs() const { return knobs_; }
+  PlanStats* stats() { return &stats_; }
+  const PlanStats& stats() const { return stats_; }
+
+  // Registers an operator's output under `name`.
+  Status Put(const std::string& name, std::unique_ptr<IndexedTable> table);
+  // Fetches an intermediate by slot name.
+  Result<const IndexedTable*> Get(const std::string& name) const;
+
+ private:
+  const Database* db_;
+  PlanKnobs knobs_;
+  std::map<std::string, std::unique_ptr<IndexedTable>> slots_;
+  PlanStats stats_;
+};
+
+class Operator {
+ public:
+  virtual ~Operator() = default;
+  virtual std::string name() const = 0;
+  virtual Status Execute(ExecContext* ctx) = 0;
+};
+
+// The final, client-visible result rows (the engine iterates the result
+// index in order while transferring to the client, §3 — order-by for free).
+struct QueryResult {
+  Schema schema;
+  std::vector<std::vector<Value>> rows;
+
+  std::string ToString(size_t limit = 20) const;
+};
+
+class Plan {
+ public:
+  Plan() = default;
+
+  Plan& Add(std::unique_ptr<Operator> op) {
+    operators_.push_back(std::move(op));
+    return *this;
+  }
+  template <typename Op, typename... Args>
+  Plan& Emplace(Args&&... args) {
+    return Add(std::make_unique<Op>(static_cast<Args&&>(args)...));
+  }
+
+  void set_result_slot(std::string slot) { result_slot_ = std::move(slot); }
+  const std::string& result_slot() const { return result_slot_; }
+  size_t num_operators() const { return operators_.size(); }
+
+  // Executes all operators in order, recording per-operator statistics.
+  Status Run(ExecContext* ctx) const;
+
+  // Runs and extracts the final result rows from the result slot.
+  Result<QueryResult> Execute(ExecContext* ctx) const;
+
+ private:
+  std::vector<std::unique_ptr<Operator>> operators_;
+  std::string result_slot_;
+};
+
+// Converts an indexed table (typically the aggregated output of the last
+// operator) into client rows, decoding dictionary-coded columns.
+Result<QueryResult> ExtractResult(const IndexedTable& table);
+
+}  // namespace qppt
+
+#endif  // QPPT_CORE_PLAN_H_

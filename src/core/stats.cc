@@ -1,0 +1,34 @@
+#include "core/stats.h"
+
+#include <cstdio>
+
+namespace qppt {
+
+std::string PlanStats::ToString() const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-28s %9s %9s %9s %12s %10s %10s\n",
+                "operator", "total_ms", "mat_ms", "idx_ms", "out_tuples",
+                "out_keys", "out_MiB");
+  out += line;
+  for (const auto& op : operators) {
+    std::snprintf(line, sizeof(line),
+                  "%-28s %9.2f %9.2f %9.2f %12llu %10llu %10.2f\n",
+                  op.name.c_str(), op.total_ms, op.materialize_ms,
+                  op.index_ms,
+                  static_cast<unsigned long long>(op.output_tuples),
+                  static_cast<unsigned long long>(op.output_keys),
+                  static_cast<double>(op.output_bytes) / (1024.0 * 1024.0));
+    out += line;
+    if (!op.output_desc.empty()) {
+      out += "    -> ";
+      out += op.output_desc;
+      out += "\n";
+    }
+  }
+  std::snprintf(line, sizeof(line), "%-28s %9.2f\n", "TOTAL", total_ms);
+  out += line;
+  return out;
+}
+
+}  // namespace qppt

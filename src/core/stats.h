@@ -1,0 +1,58 @@
+// Execution statistics (demonstrator appendix A).
+//
+// The QPPT demonstrator visualizes, per plan operator: total time and its
+// split between tuple materialization and output indexing, input/output
+// index sizes and types, and cardinalities. PlanStats collects the same.
+
+#ifndef QPPT_CORE_STATS_H_
+#define QPPT_CORE_STATS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qppt {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+  void Restart() { start_ = Clock::now(); }
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+struct OperatorStats {
+  std::string name;
+  std::string output_desc;       // e.g. "kiss(orderdate) 1.2M tuples"
+  double total_ms = 0;
+  double materialize_ms = 0;     // gathering/assembling tuples
+  double index_ms = 0;           // building the output index
+  uint64_t input_tuples = 0;
+  uint64_t output_tuples = 0;
+  uint64_t output_keys = 0;      // distinct keys / groups
+  uint64_t output_bytes = 0;     // output index memory
+};
+
+struct PlanStats {
+  std::vector<OperatorStats> operators;
+  double total_ms = 0;
+
+  void Clear() {
+    operators.clear();
+    total_ms = 0;
+  }
+
+  // Demonstrator-style per-operator breakdown.
+  std::string ToString() const;
+};
+
+}  // namespace qppt
+
+#endif  // QPPT_CORE_STATS_H_

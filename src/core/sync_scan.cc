@@ -1,0 +1,31 @@
+#include "core/sync_scan.h"
+
+#include "util/bits.h"
+
+namespace qppt {
+namespace internal {
+
+const PrefixTree::ContentNode* FindInSubtree(const PrefixTree& tree,
+                                             const PrefixTree::Node* node,
+                                             size_t bit_off,
+                                             const uint8_t* key) {
+  size_t key_len = tree.key_len();
+  size_t key_bits = key_len * 8;
+  size_t kprime = tree.config().kprime;
+  for (;;) {
+    size_t rest = key_bits - bit_off;
+    size_t width = rest < kprime ? rest : kprime;
+    uint32_t frag = ExtractFragment(key, key_len, bit_off, width);
+    PrefixTree::Slot slot = node->slots[frag];
+    if (slot == 0) return nullptr;
+    if (PrefixTree::IsContent(slot)) {
+      const auto* c = PrefixTree::AsContent(slot);
+      return CompareKeys(c->key(), key, key_len) == 0 ? c : nullptr;
+    }
+    node = PrefixTree::AsNode(slot);
+    bit_off += width;
+  }
+}
+
+}  // namespace internal
+}  // namespace qppt

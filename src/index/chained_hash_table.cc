@@ -1,0 +1,54 @@
+#include "index/chained_hash_table.h"
+
+#include "util/bits.h"
+
+namespace qppt {
+
+ChainedHashTable::ChainedHashTable(size_t initial_capacity)
+    : arena_(/*block_size=*/256 * 1024) {
+  buckets_.resize(NextPow2(initial_capacity < 16 ? 16 : initial_capacity),
+                  nullptr);
+}
+
+void ChainedHashTable::Upsert(uint64_t key, uint64_t value) {
+  size_t b = BucketOf(key);
+  for (Node* n = buckets_[b]; n != nullptr; n = n->next) {
+    if (n->key == key) {
+      n->value = value;
+      return;
+    }
+  }
+  if (size_ + 1 > buckets_.size() * 3 / 4) {
+    Grow();
+    b = BucketOf(key);
+  }
+  Node* n = static_cast<Node*>(arena_.Allocate(sizeof(Node)));
+  n->key = key;
+  n->value = value;
+  n->next = buckets_[b];
+  buckets_[b] = n;
+  ++size_;
+}
+
+std::optional<uint64_t> ChainedHashTable::Find(uint64_t key) const {
+  for (const Node* n = buckets_[BucketOf(key)]; n != nullptr; n = n->next) {
+    if (n->key == key) return n->value;
+  }
+  return std::nullopt;
+}
+
+void ChainedHashTable::Grow() {
+  std::vector<Node*> old = std::move(buckets_);
+  buckets_.assign(old.size() * 2, nullptr);
+  for (Node* head : old) {
+    while (head != nullptr) {
+      Node* next = head->next;
+      size_t b = BucketOf(head->key);
+      head->next = buckets_[b];
+      buckets_[b] = head;
+      head = next;
+    }
+  }
+}
+
+}  // namespace qppt

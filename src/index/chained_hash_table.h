@@ -1,0 +1,63 @@
+// Separate-chaining hash table — the "GLIB" comparator of Figure 3.
+//
+// GLib's GHashTable is a classic chained table: an array of bucket heads,
+// collision resolution via linked nodes, growth on load factor. We
+// reproduce that design (nodes are arena-allocated, table doubles at load
+// 0.75, MurmurHash3 finalizer as the mixer). The paper uses hash tables as
+// the stand-in for what traditional join/group operators build internally;
+// the comparison of interest is the *shape* trie-vs-hash, not GLib's exact
+// constants.
+
+#ifndef QPPT_INDEX_CHAINED_HASH_TABLE_H_
+#define QPPT_INDEX_CHAINED_HASH_TABLE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/arena.h"
+#include "util/bits.h"
+
+namespace qppt {
+
+class ChainedHashTable {
+ public:
+  explicit ChainedHashTable(size_t initial_capacity = 64);
+
+  ChainedHashTable(const ChainedHashTable&) = delete;
+  ChainedHashTable& operator=(const ChainedHashTable&) = delete;
+  ChainedHashTable(ChainedHashTable&&) = default;
+  ChainedHashTable& operator=(ChainedHashTable&&) = default;
+
+  size_t size() const { return size_; }
+
+  // Insert-or-update (Fig. 3(a) workload semantics).
+  void Upsert(uint64_t key, uint64_t value);
+
+  // Returns the value for `key` if present.
+  std::optional<uint64_t> Find(uint64_t key) const;
+
+  size_t MemoryUsage() const {
+    return buckets_.capacity() * sizeof(Node*) + arena_.bytes_reserved();
+  }
+
+ private:
+  struct Node {
+    uint64_t key;
+    uint64_t value;
+    Node* next;
+  };
+
+  void Grow();
+  size_t BucketOf(uint64_t key) const {
+    return Mix64(key) & (buckets_.size() - 1);
+  }
+
+  std::vector<Node*> buckets_;
+  Arena arena_;
+  size_t size_ = 0;
+};
+
+}  // namespace qppt
+
+#endif  // QPPT_INDEX_CHAINED_HASH_TABLE_H_

@@ -1,0 +1,34 @@
+#include "index/duplicate_chain.h"
+
+namespace qppt {
+
+void ValueList::Append(uint64_t value, PageArena* arena) {
+  if (count_ == 0) {
+    first_ = value;
+    count_ = 1;
+    return;
+  }
+  Segment* seg = head_;
+  if (seg == nullptr || seg->used == seg->capacity) {
+    // Allocate the next segment: double the previous size, capped at the
+    // page size. Total segment bytes (header + values) is a power of two,
+    // which PageArena packs without crossing page boundaries.
+    size_t prev_bytes =
+        seg == nullptr ? kFirstSegmentBytes / 2
+                       : sizeof(Segment) + seg->capacity * sizeof(uint64_t);
+    size_t bytes = prev_bytes * 2;
+    if (bytes > kMaxSegmentBytes) bytes = kMaxSegmentBytes;
+    if (bytes < kFirstSegmentBytes) bytes = kFirstSegmentBytes;
+    Segment* fresh = static_cast<Segment*>(arena->Allocate(bytes));
+    fresh->next = seg;
+    fresh->capacity =
+        static_cast<uint32_t>((bytes - sizeof(Segment)) / sizeof(uint64_t));
+    fresh->used = 0;
+    head_ = fresh;
+    seg = fresh;
+  }
+  seg->values()[seg->used++] = value;
+  ++count_;
+}
+
+}  // namespace qppt

@@ -1,0 +1,125 @@
+// Duplicate handling (§2.4, Figure 4).
+//
+// Storing duplicates as plain linked lists causes one random memory access
+// per value during scans. QPPT instead stores a key's values in memory
+// *segments* that double in size from 64 B up to the 4 KiB page size; new
+// segments are linked at the front. Hardware prefetchers stream within a
+// page, so scanning a segment is sequential-speed; the page-size cap exists
+// because prefetchers do not cross page boundaries anyway.
+//
+// Layout per key:  first value inline in the content entry (no allocation
+// for unique keys), plus a front-linked list of segments for the rest.
+//
+// LinkedDuplicateList is the naive linked-list alternative, kept for the
+// ablation benchmark (E8) that quantifies this design choice.
+
+#ifndef QPPT_INDEX_DUPLICATE_CHAIN_H_
+#define QPPT_INDEX_DUPLICATE_CHAIN_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/arena.h"
+
+namespace qppt {
+
+// A value list with an inline first value and growing duplicate segments.
+// POD-ish: lives inside prefix-tree content nodes; zero-initialized state
+// means "empty". Not thread-safe (intermediate indexes are query-private).
+class ValueList {
+ public:
+  static constexpr size_t kFirstSegmentBytes = 64;
+  static constexpr size_t kMaxSegmentBytes = PageArena::kPageSize;  // 4 KiB
+
+  ValueList() = default;
+
+  uint32_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  // Appends `value`. Segments are allocated from `arena` (4 KiB-aligned,
+  // never straddling pages).
+  void Append(uint64_t value, PageArena* arena);
+
+  // Replaces the whole list with a single value (upsert semantics used by
+  // the Fig. 3 insert/update workload).
+  void ReplaceWith(uint64_t value) {
+    count_ = 1;
+    first_ = value;
+    head_ = nullptr;
+  }
+
+  uint64_t first() const { return first_; }
+
+  // Visits every value. F: void(uint64_t). Order: insertion order is NOT
+  // preserved across segments (newest segment first, as in the paper);
+  // duplicates are a multiset.
+  template <typename F>
+  void ForEach(F&& fn) const {
+    if (count_ == 0) return;
+    fn(first_);
+    for (const Segment* seg = head_; seg != nullptr; seg = seg->next) {
+      const uint64_t* values = seg->values();
+      for (uint32_t i = 0; i < seg->used; ++i) fn(values[i]);
+    }
+  }
+
+  // Copies all values into `out` (which must have room for size() values).
+  void CopyTo(uint64_t* out) const {
+    uint64_t* p = out;
+    ForEach([&p](uint64_t v) { *p++ = v; });
+  }
+
+ private:
+  struct Segment {
+    Segment* next = nullptr;
+    uint32_t capacity = 0;  // in values
+    uint32_t used = 0;
+
+    uint64_t* values() {
+      return reinterpret_cast<uint64_t*>(this + 1);
+    }
+    const uint64_t* values() const {
+      return reinterpret_cast<const uint64_t*>(this + 1);
+    }
+  };
+  static_assert(sizeof(Segment) == 16, "segment header must stay 16 bytes");
+
+  uint64_t first_ = 0;
+  Segment* head_ = nullptr;
+  uint32_t count_ = 0;
+};
+
+// Naive linked-list duplicate storage: one node per value, allocated from a
+// general arena. One random access per value when scanning. Ablation
+// baseline only.
+class LinkedDuplicateList {
+ public:
+  LinkedDuplicateList() = default;
+
+  uint32_t size() const { return count_; }
+
+  void Append(uint64_t value, Arena* arena) {
+    Node* n = static_cast<Node*>(arena->Allocate(sizeof(Node)));
+    n->value = value;
+    n->next = head_;
+    head_ = n;
+    ++count_;
+  }
+
+  template <typename F>
+  void ForEach(F&& fn) const {
+    for (const Node* n = head_; n != nullptr; n = n->next) fn(n->value);
+  }
+
+ private:
+  struct Node {
+    uint64_t value;
+    Node* next;
+  };
+  Node* head_ = nullptr;
+  uint32_t count_ = 0;
+};
+
+}  // namespace qppt
+
+#endif  // QPPT_INDEX_DUPLICATE_CHAIN_H_

@@ -1,0 +1,28 @@
+#include "index/key_encoder.h"
+
+namespace qppt {
+
+double DecodeDouble(const uint8_t* p) {
+  uint64_t bits = DecodeU64(p);
+  if (bits & (uint64_t{1} << 63)) {
+    bits ^= (uint64_t{1} << 63);
+  } else {
+    bits = ~bits;
+  }
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+std::string KeyToHex(const uint8_t* key, size_t len) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(len * 2);
+  for (size_t i = 0; i < len; ++i) {
+    out.push_back(kHex[key[i] >> 4]);
+    out.push_back(kHex[key[i] & 0xf]);
+  }
+  return out;
+}
+
+}  // namespace qppt

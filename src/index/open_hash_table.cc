@@ -1,0 +1,50 @@
+#include "index/open_hash_table.h"
+
+namespace qppt {
+
+OpenHashTable::OpenHashTable(size_t initial_capacity) {
+  size_t cap = NextPow2(initial_capacity < 16 ? 16 : initial_capacity);
+  entries_.resize(cap);
+  occupied_.assign(cap, 0);
+}
+
+void OpenHashTable::Upsert(uint64_t key, uint64_t value) {
+  if ((size_ + 1) * 2 > entries_.size()) Grow();
+  size_t i = Mix64(key) & Mask();
+  while (occupied_[i]) {
+    if (entries_[i].key == key) {
+      entries_[i].value = value;
+      return;
+    }
+    i = (i + 1) & Mask();
+  }
+  entries_[i] = {key, value};
+  occupied_[i] = 1;
+  ++size_;
+}
+
+std::optional<uint64_t> OpenHashTable::Find(uint64_t key) const {
+  size_t i = Mix64(key) & Mask();
+  while (occupied_[i]) {
+    if (entries_[i].key == key) return entries_[i].value;
+    i = (i + 1) & Mask();
+  }
+  return std::nullopt;
+}
+
+void OpenHashTable::Grow() {
+  std::vector<Entry> old_entries = std::move(entries_);
+  std::vector<uint8_t> old_occupied = std::move(occupied_);
+  size_t cap = old_entries.size() * 2;
+  entries_.assign(cap, Entry{});
+  occupied_.assign(cap, 0);
+  for (size_t j = 0; j < old_entries.size(); ++j) {
+    if (!old_occupied[j]) continue;
+    size_t i = Mix64(old_entries[j].key) & Mask();
+    while (occupied_[i]) i = (i + 1) & Mask();
+    entries_[i] = old_entries[j];
+    occupied_[i] = 1;
+  }
+}
+
+}  // namespace qppt

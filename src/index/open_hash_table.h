@@ -1,0 +1,56 @@
+// Open-addressing hash table — the "BOOST" comparator of Figure 3.
+//
+// Boost's unordered flat tables use open addressing over a contiguous
+// entry array. We reproduce that design: power-of-two capacity, linear
+// probing, growth at load factor 0.5 (probe sequences stay short), with a
+// one-byte occupancy sidecar so any 64-bit key is representable.
+
+#ifndef QPPT_INDEX_OPEN_HASH_TABLE_H_
+#define QPPT_INDEX_OPEN_HASH_TABLE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/bits.h"
+
+namespace qppt {
+
+class OpenHashTable {
+ public:
+  explicit OpenHashTable(size_t initial_capacity = 64);
+
+  OpenHashTable(const OpenHashTable&) = delete;
+  OpenHashTable& operator=(const OpenHashTable&) = delete;
+  OpenHashTable(OpenHashTable&&) = default;
+  OpenHashTable& operator=(OpenHashTable&&) = default;
+
+  size_t size() const { return size_; }
+  size_t capacity() const { return entries_.size(); }
+
+  // Insert-or-update (Fig. 3(a) workload semantics).
+  void Upsert(uint64_t key, uint64_t value);
+
+  std::optional<uint64_t> Find(uint64_t key) const;
+
+  size_t MemoryUsage() const {
+    return entries_.capacity() * sizeof(Entry) + occupied_.capacity();
+  }
+
+ private:
+  struct Entry {
+    uint64_t key;
+    uint64_t value;
+  };
+
+  void Grow();
+  size_t Mask() const { return entries_.size() - 1; }
+
+  std::vector<Entry> entries_;
+  std::vector<uint8_t> occupied_;
+  size_t size_ = 0;
+};
+
+}  // namespace qppt
+
+#endif  // QPPT_INDEX_OPEN_HASH_TABLE_H_

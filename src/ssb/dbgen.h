@@ -1,0 +1,76 @@
+// Deterministic Star Schema Benchmark data generator.
+//
+// Substitutes for the SSB dbgen tool: same schema, same cardinality
+// ratios, same attribute domains and correlations (brand determined by
+// category determined by manufacturer; city determined by nation
+// determined by region), seeded and fully reproducible. The evaluation
+// (§5) only depends on these distributional properties, not on dbgen's
+// exact byte stream.
+//
+// Besides the row tables, Generate() builds the base-index pool the QPPT
+// plans of Fig. 5 start from (partially clustered indexes on the
+// selection/join attributes) and, on demand, columnar copies for the
+// baseline engines.
+
+#ifndef QPPT_SSB_DBGEN_H_
+#define QPPT_SSB_DBGEN_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/base_index.h"
+#include "ssb/schema.h"
+#include "storage/column_table.h"
+#include "util/status.h"
+
+namespace qppt::ssb {
+
+struct SsbConfig {
+  double scale_factor = 0.1;
+  uint64_t seed = 42;
+  size_t kiss_root_bits = 26;  // lower this for tiny test instances
+  size_t kprime = 4;
+  // Skip base-index construction (for baseline-only experiments).
+  bool build_indexes = true;
+};
+
+class SsbData {
+ public:
+  Database db;
+  SsbDictionaries dicts;
+  SsbConfig config;
+
+  // Dictionary-code helpers for formulating predicates.
+  int64_t RegionCode(const std::string& name) const {
+    return dicts.region->CodeOf(name).value();
+  }
+  int64_t NationCode(const std::string& name) const {
+    return dicts.nation->CodeOf(name).value();
+  }
+  int64_t CityCode(const std::string& name) const {
+    return dicts.city->CodeOf(name).value();
+  }
+  int64_t MfgrCode(const std::string& name) const {
+    return dicts.mfgr->CodeOf(name).value();
+  }
+  int64_t CategoryCode(const std::string& name) const {
+    return dicts.category->CodeOf(name).value();
+  }
+  int64_t BrandCode(const std::string& name) const {
+    return dicts.brand->CodeOf(name).value();
+  }
+
+  // Columnar copies for the baseline engines (built lazily, cached).
+  const ColumnTable& Columnar(const std::string& table_name);
+
+ private:
+  std::map<std::string, std::unique_ptr<ColumnTable>> columnar_;
+};
+
+// Generates tables, dictionaries, and (optionally) base indexes.
+Result<std::unique_ptr<SsbData>> Generate(const SsbConfig& config);
+
+}  // namespace qppt::ssb
+
+#endif  // QPPT_SSB_DBGEN_H_

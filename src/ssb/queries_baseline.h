@@ -1,0 +1,22 @@
+// SSB queries on the baseline engines (the Fig. 7 comparators).
+
+#ifndef QPPT_SSB_QUERIES_BASELINE_H_
+#define QPPT_SSB_QUERIES_BASELINE_H_
+
+#include <string>
+
+#include "core/plan.h"
+#include "ssb/dbgen.h"
+
+namespace qppt::ssb {
+
+// Runs query `query_id` column-at-a-time (MonetDB proxy). Rows are
+// ordered per the query's ORDER BY.
+Result<QueryResult> RunColumn(SsbData& data, const std::string& query_id);
+
+// Runs query `query_id` vector-at-a-time (commercial-DBMS proxy).
+Result<QueryResult> RunVector(SsbData& data, const std::string& query_id);
+
+}  // namespace qppt::ssb
+
+#endif  // QPPT_SSB_QUERIES_BASELINE_H_

@@ -1,0 +1,16 @@
+#include "baseline/vector_engine.h"
+#include "ssb/queries_baseline.h"
+#include "ssb/queries_qppt.h"
+#include "ssb/star_spec.h"
+
+namespace qppt::ssb {
+
+Result<QueryResult> RunVector(SsbData& data, const std::string& query_id) {
+  QPPT_ASSIGN_OR_RETURN(StarQuerySpec spec, SpecForQuery(data, query_id));
+  QPPT_ASSIGN_OR_RETURN(QueryResult result,
+                        baseline::RunVectorAtATime(data, spec));
+  ApplyOrderBy(query_id, &result);
+  return result;
+}
+
+}  // namespace qppt::ssb

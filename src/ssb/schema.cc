@@ -1,0 +1,142 @@
+#include "ssb/schema.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qppt::ssb {
+
+const char* const kRegions[5] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                                 "MIDDLE EAST"};
+
+// Five nations per region, grouped in region order.
+const char* const kNations[25] = {
+    // AFRICA
+    "ALGERIA", "ETHIOPIA", "KENYA", "MOROCCO", "MOZAMBIQUE",
+    // AMERICA
+    "ARGENTINA", "BRAZIL", "CANADA", "PERU", "UNITED STATES",
+    // ASIA
+    "CHINA", "INDIA", "INDONESIA", "JAPAN", "VIETNAM",
+    // EUROPE
+    "FRANCE", "GERMANY", "ROMANIA", "RUSSIA", "UNITED KINGDOM",
+    // MIDDLE EAST
+    "EGYPT", "IRAN", "IRAQ", "JORDAN", "SAUDI ARABIA"};
+
+std::string CityName(int nation, int digit) {
+  std::string base = kNations[nation];
+  base.resize(9, ' ');  // truncate or pad to nine characters
+  base.push_back(static_cast<char>('0' + digit));
+  return base;
+}
+
+namespace {
+
+const char* const kMonthNames[12] = {"Jan", "Feb", "Mar", "Apr",
+                                     "May", "Jun", "Jul", "Aug",
+                                     "Sep", "Oct", "Nov", "Dec"};
+
+}  // namespace
+
+SsbDictionaries MakeDictionaries() {
+  SsbDictionaries d;
+  d.region = std::make_shared<Dictionary>();
+  for (const char* r : kRegions) d.region->Add(r);
+  d.region->Seal();
+
+  d.nation = std::make_shared<Dictionary>();
+  for (const char* n : kNations) d.nation->Add(n);
+  d.nation->Seal();
+
+  d.city = std::make_shared<Dictionary>();
+  for (int n = 0; n < 25; ++n) {
+    for (int digit = 0; digit < 10; ++digit) d.city->Add(CityName(n, digit));
+  }
+  d.city->Seal();
+
+  d.mfgr = std::make_shared<Dictionary>();
+  d.category = std::make_shared<Dictionary>();
+  d.brand = std::make_shared<Dictionary>();
+  for (int m = 1; m <= 5; ++m) {
+    d.mfgr->Add("MFGR#" + std::to_string(m));
+    for (int c = 1; c <= 5; ++c) {
+      std::string cat = "MFGR#" + std::to_string(m) + std::to_string(c);
+      d.category->Add(cat);
+      for (int b = 1; b <= 40; ++b) {
+        d.brand->Add(cat + std::to_string(b));
+      }
+    }
+  }
+  d.mfgr->Seal();
+  d.category->Seal();
+  d.brand->Seal();
+
+  d.yearmonth = std::make_shared<Dictionary>();
+  for (int y = 1992; y <= 1998; ++y) {
+    for (int m = 0; m < 12; ++m) {
+      d.yearmonth->Add(std::string(kMonthNames[m]) + std::to_string(y));
+    }
+  }
+  d.yearmonth->Seal();
+  return d;
+}
+
+Schema LineorderSchema() {
+  return Schema({{"lo_custkey", ValueType::kInt64, nullptr},
+                 {"lo_partkey", ValueType::kInt64, nullptr},
+                 {"lo_suppkey", ValueType::kInt64, nullptr},
+                 {"lo_orderdate", ValueType::kInt64, nullptr},
+                 {"lo_quantity", ValueType::kInt64, nullptr},
+                 {"lo_extendedprice", ValueType::kInt64, nullptr},
+                 {"lo_discount", ValueType::kInt64, nullptr},
+                 {"lo_revenue", ValueType::kInt64, nullptr},
+                 {"lo_supplycost", ValueType::kInt64, nullptr}});
+}
+
+Schema PartSchema(const SsbDictionaries& dicts) {
+  return Schema({{"p_partkey", ValueType::kInt64, nullptr},
+                 {"p_mfgr", ValueType::kString, dicts.mfgr},
+                 {"p_category", ValueType::kString, dicts.category},
+                 {"p_brand1", ValueType::kString, dicts.brand},
+                 {"p_size", ValueType::kInt64, nullptr}});
+}
+
+Schema SupplierSchema(const SsbDictionaries& dicts) {
+  return Schema({{"s_suppkey", ValueType::kInt64, nullptr},
+                 {"s_city", ValueType::kString, dicts.city},
+                 {"s_nation", ValueType::kString, dicts.nation},
+                 {"s_region", ValueType::kString, dicts.region}});
+}
+
+Schema CustomerSchema(const SsbDictionaries& dicts) {
+  return Schema({{"c_custkey", ValueType::kInt64, nullptr},
+                 {"c_city", ValueType::kString, dicts.city},
+                 {"c_nation", ValueType::kString, dicts.nation},
+                 {"c_region", ValueType::kString, dicts.region}});
+}
+
+Schema DateSchema(const SsbDictionaries& dicts) {
+  return Schema({{"d_datekey", ValueType::kInt64, nullptr},
+                 {"d_year", ValueType::kInt64, nullptr},
+                 {"d_yearmonthnum", ValueType::kInt64, nullptr},
+                 {"d_yearmonth", ValueType::kString, dicts.yearmonth},
+                 {"d_weeknuminyear", ValueType::kInt64, nullptr}});
+}
+
+size_t LineorderCount(double sf) {
+  return std::max<size_t>(1000, static_cast<size_t>(6'000'000.0 * sf));
+}
+size_t CustomerCount(double sf) {
+  return std::max<size_t>(150, static_cast<size_t>(30'000.0 * sf));
+}
+size_t SupplierCount(double sf) {
+  return std::max<size_t>(50, static_cast<size_t>(2'000.0 * sf));
+}
+size_t PartCount(double sf) {
+  // SSB: 200,000 * (1 + floor(log2(SF))) for SF >= 1; linear below.
+  if (sf >= 1.0) {
+    return 200'000 *
+           (1 + static_cast<size_t>(std::floor(std::log2(sf))));
+  }
+  return std::max<size_t>(500, static_cast<size_t>(200'000.0 * sf));
+}
+
+}  // namespace qppt::ssb

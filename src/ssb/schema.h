@@ -1,0 +1,65 @@
+// Star Schema Benchmark schema (O'Neil et al. [13]).
+//
+// The SSB derives a pure star schema from TPC-H: one fact table
+// (lineorder) surrounded by the dimension tables part, supplier, customer
+// and date. String attributes (regions, nations, cities, part brands, ...)
+// are dictionary-encoded with order-preserving codes so prefix-tree
+// indexes and range predicates work on them directly.
+
+#ifndef QPPT_SSB_SCHEMA_H_
+#define QPPT_SSB_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace qppt::ssb {
+
+// The five SSB regions, and 25 nations (five per region), matching the
+// TPC-H name pool. Cities are the nation name truncated/padded to nine
+// characters plus a digit 0-9 (e.g. "UNITED KI1"), as in the SSB spec.
+extern const char* const kRegions[5];
+extern const char* const kNations[25];
+
+// Region index (0-4) of nation `n` (0-24).
+inline int RegionOfNation(int n) { return n / 5; }
+
+// Builds the city string for nation `n`, city digit `d`.
+std::string CityName(int nation, int digit);
+
+// Shared dictionaries for all string-typed SSB attributes.
+struct SsbDictionaries {
+  DictionaryPtr region;
+  DictionaryPtr nation;
+  DictionaryPtr city;
+  DictionaryPtr mfgr;       // MFGR#1 .. MFGR#5
+  DictionaryPtr category;   // MFGR#11 .. MFGR#55
+  DictionaryPtr brand;      // MFGR#<cat><1..40>
+  DictionaryPtr yearmonth;  // "Jan1992" .. "Dec1998"
+};
+
+// Creates and seals all dictionaries.
+SsbDictionaries MakeDictionaries();
+
+// Table schemas. Column names follow the SSB convention (lo_, p_, s_,
+// c_, d_ prefixes).
+Schema LineorderSchema();
+Schema PartSchema(const SsbDictionaries& dicts);
+Schema SupplierSchema(const SsbDictionaries& dicts);
+Schema CustomerSchema(const SsbDictionaries& dicts);
+Schema DateSchema(const SsbDictionaries& dicts);
+
+// Row counts at a given scale factor. SF=1 matches the SSB sizes
+// (lineorder 6,000,000; customer 30,000; supplier 2,000; part 200,000);
+// fractional SF scales linearly with sane floors so tiny test instances
+// stay well-formed.
+size_t LineorderCount(double sf);
+size_t CustomerCount(double sf);
+size_t SupplierCount(double sf);
+size_t PartCount(double sf);
+
+}  // namespace qppt::ssb
+
+#endif  // QPPT_SSB_SCHEMA_H_

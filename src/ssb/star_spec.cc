@@ -1,0 +1,185 @@
+#include "ssb/star_spec.h"
+
+namespace qppt::ssb {
+
+namespace {
+
+DimJoinSpec DateDim(std::vector<ColumnPred> preds,
+                    std::vector<std::string> carry = {"d_year"}) {
+  return {"date", "d_datekey", "lo_orderdate", std::move(preds),
+          std::move(carry)};
+}
+
+StarQuerySpec Q1(const std::string& id, std::vector<ColumnPred> date_preds,
+                 KeyPredicate discount, KeyPredicate quantity) {
+  StarQuerySpec spec;
+  spec.id = id;
+  spec.fact_preds = {{"lo_discount", discount}, {"lo_quantity", quantity}};
+  spec.dims = {DateDim(std::move(date_preds))};
+  spec.group_by = {"d_year"};
+  spec.agg_source = ScalarExpr::Mul("lo_extendedprice", "lo_discount");
+  spec.agg_name = "revenue";
+  return spec;
+}
+
+StarQuerySpec Q2(const std::string& id, ColumnPred part_pred,
+                 int64_t region_code) {
+  StarQuerySpec spec;
+  spec.id = id;
+  spec.dims = {
+      {"part", "p_partkey", "lo_partkey", {part_pred}, {"p_brand1"}},
+      {"supplier",
+       "s_suppkey",
+       "lo_suppkey",
+       {{"s_region", KeyPredicate::Point(region_code)}},
+       {}},
+      DateDim({}, {"d_year"})};
+  spec.group_by = {"d_year", "p_brand1"};
+  spec.agg_source = ScalarExpr::Column("lo_revenue");
+  spec.agg_name = "revenue";
+  return spec;
+}
+
+StarQuerySpec Q3(const std::string& id, ColumnPred cust_pred,
+                 ColumnPred supp_pred, std::vector<ColumnPred> date_preds,
+                 const std::string& c_attr, const std::string& s_attr) {
+  StarQuerySpec spec;
+  spec.id = id;
+  spec.dims = {
+      {"customer", "c_custkey", "lo_custkey", {cust_pred}, {c_attr}},
+      {"supplier", "s_suppkey", "lo_suppkey", {supp_pred}, {s_attr}},
+      DateDim(std::move(date_preds))};
+  spec.group_by = {c_attr, s_attr, "d_year"};
+  spec.agg_source = ScalarExpr::Column("lo_revenue");
+  spec.agg_name = "revenue";
+  return spec;
+}
+
+}  // namespace
+
+Result<StarQuerySpec> SpecForQuery(const SsbData& data,
+                                   const std::string& id) {
+  if (id == "1.1") {
+    return Q1(id, {{"d_year", KeyPredicate::Point(1993)}},
+              KeyPredicate::Range(1, 3), KeyPredicate::Range(1, 24));
+  }
+  if (id == "1.2") {
+    return Q1(id, {{"d_yearmonthnum", KeyPredicate::Point(199401)}},
+              KeyPredicate::Range(4, 6), KeyPredicate::Range(26, 35));
+  }
+  if (id == "1.3") {
+    return Q1(id,
+              {{"d_year", KeyPredicate::Point(1994)},
+               {"d_weeknuminyear", KeyPredicate::Point(6)}},
+              KeyPredicate::Range(5, 7), KeyPredicate::Range(26, 35));
+  }
+  if (id == "2.1") {
+    return Q2(id,
+              {"p_category",
+               KeyPredicate::Point(data.CategoryCode("MFGR#12"))},
+              data.RegionCode("AMERICA"));
+  }
+  if (id == "2.2") {
+    return Q2(id,
+              {"p_brand1", KeyPredicate::Range(data.BrandCode("MFGR#2221"),
+                                               data.BrandCode("MFGR#2228"))},
+              data.RegionCode("ASIA"));
+  }
+  if (id == "2.3") {
+    return Q2(id,
+              {"p_brand1", KeyPredicate::Point(data.BrandCode("MFGR#2221"))},
+              data.RegionCode("EUROPE"));
+  }
+  if (id == "3.1") {
+    return Q3(id,
+              {"c_region", KeyPredicate::Point(data.RegionCode("ASIA"))},
+              {"s_region", KeyPredicate::Point(data.RegionCode("ASIA"))},
+              {{"d_year", KeyPredicate::Range(1992, 1997)}}, "c_nation",
+              "s_nation");
+  }
+  if (id == "3.2") {
+    int64_t us = data.NationCode("UNITED STATES");
+    return Q3(id, {"c_nation", KeyPredicate::Point(us)},
+              {"s_nation", KeyPredicate::Point(us)},
+              {{"d_year", KeyPredicate::Range(1992, 1997)}}, "c_city",
+              "s_city");
+  }
+  if (id == "3.3" || id == "3.4") {
+    std::vector<int64_t> cities = {data.CityCode("UNITED KI1"),
+                                   data.CityCode("UNITED KI5")};
+    std::vector<ColumnPred> date_preds =
+        id == "3.3"
+            ? std::vector<ColumnPred>{{"d_year",
+                                       KeyPredicate::Range(1992, 1997)}}
+            : std::vector<ColumnPred>{
+                  {"d_yearmonthnum", KeyPredicate::Point(199712)}};
+    return Q3(id, {"c_city", KeyPredicate::In(cities)},
+              {"s_city", KeyPredicate::In(cities)}, std::move(date_preds),
+              "c_city", "s_city");
+  }
+  if (id == "4.1" || id == "4.2" || id == "4.3") {
+    StarQuerySpec spec;
+    spec.id = id;
+    spec.agg_source = ScalarExpr::Sub("lo_revenue", "lo_supplycost");
+    spec.agg_name = "profit";
+    int64_t america = data.RegionCode("AMERICA");
+    std::vector<int64_t> mfgr12 = {data.MfgrCode("MFGR#1"),
+                                   data.MfgrCode("MFGR#2")};
+    if (id == "4.1") {
+      spec.dims = {
+          {"customer",
+           "c_custkey",
+           "lo_custkey",
+           {{"c_region", KeyPredicate::Point(america)}},
+           {"c_nation"}},
+          {"supplier",
+           "s_suppkey",
+           "lo_suppkey",
+           {{"s_region", KeyPredicate::Point(america)}},
+           {}},
+          {"part", "p_partkey", "lo_partkey",
+           {{"p_mfgr", KeyPredicate::In(mfgr12)}}, {}},
+          DateDim({})};
+      spec.group_by = {"d_year", "c_nation"};
+    } else if (id == "4.2") {
+      spec.dims = {
+          {"customer",
+           "c_custkey",
+           "lo_custkey",
+           {{"c_region", KeyPredicate::Point(america)}},
+           {}},
+          {"supplier",
+           "s_suppkey",
+           "lo_suppkey",
+           {{"s_region", KeyPredicate::Point(america)}},
+           {"s_nation"}},
+          {"part", "p_partkey", "lo_partkey",
+           {{"p_mfgr", KeyPredicate::In(mfgr12)}}, {"p_category"}},
+          DateDim({{"d_year", KeyPredicate::Range(1997, 1998)}})};
+      spec.group_by = {"d_year", "s_nation", "p_category"};
+    } else {
+      spec.dims = {
+          {"customer",
+           "c_custkey",
+           "lo_custkey",
+           {{"c_region", KeyPredicate::Point(america)}},
+           {}},
+          {"supplier",
+           "s_suppkey",
+           "lo_suppkey",
+           {{"s_nation",
+             KeyPredicate::Point(data.NationCode("UNITED STATES"))}},
+           {"s_city"}},
+          {"part", "p_partkey", "lo_partkey",
+           {{"p_category",
+             KeyPredicate::Point(data.CategoryCode("MFGR#14"))}},
+           {"p_brand1"}},
+          DateDim({{"d_year", KeyPredicate::Range(1997, 1998)}})};
+      spec.group_by = {"d_year", "s_city", "p_brand1"};
+    }
+    return spec;
+  }
+  return Status::InvalidArgument("unknown SSB query id '" + id + "'");
+}
+
+}  // namespace qppt::ssb

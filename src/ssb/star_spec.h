@@ -1,0 +1,71 @@
+// Engine-neutral descriptions of the 13 SSB queries.
+//
+// The baseline engines (column-at-a-time and vector-at-a-time, §5) answer
+// the same queries as the QPPT plans. To keep the three implementations
+// honest about *semantics* while differing in *processing model*, the
+// query itself is described once — predicates, dimension joins, group
+// keys, aggregate — and each baseline interprets the description with its
+// own execution style. (The QPPT plans are hand-built separately in
+// queries_qppt.cc because operator composition is exactly what the paper
+// studies.)
+
+#ifndef QPPT_SSB_STAR_SPEC_H_
+#define QPPT_SSB_STAR_SPEC_H_
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/agg.h"
+#include "core/operators/common.h"
+#include "ssb/dbgen.h"
+
+namespace qppt::ssb {
+
+inline bool EvalKeyPredicate(const KeyPredicate& p, int64_t v) {
+  switch (p.kind) {
+    case KeyPredicate::Kind::kAll:
+      return true;
+    case KeyPredicate::Kind::kPoint:
+      return v == p.point;
+    case KeyPredicate::Kind::kRange:
+      return v >= p.lo && v <= p.hi;
+    case KeyPredicate::Kind::kIn:
+      return std::find(p.in_points.begin(), p.in_points.end(), v) !=
+             p.in_points.end();
+  }
+  return false;
+}
+
+// A predicate on one column of a table.
+struct ColumnPred {
+  std::string column;
+  KeyPredicate pred;
+};
+
+// One dimension join: fact.fact_fk = dim.key_column, with predicates on
+// the dimension and optionally carried dimension attributes (group keys).
+struct DimJoinSpec {
+  std::string table;
+  std::string key_column;
+  std::string fact_fk;
+  std::vector<ColumnPred> preds;
+  std::vector<std::string> carry;
+};
+
+struct StarQuerySpec {
+  std::string id;
+  std::vector<ColumnPred> fact_preds;   // on lineorder columns
+  std::vector<DimJoinSpec> dims;
+  std::vector<std::string> group_by;    // subset of the dims' carried attrs
+  ScalarExpr agg_source;                // over lineorder columns
+  std::string agg_name;                 // "revenue" / "profit"
+};
+
+// Builds the spec for an SSB query id ("1.1" .. "4.3").
+Result<StarQuerySpec> SpecForQuery(const SsbData& data,
+                                   const std::string& query_id);
+
+}  // namespace qppt::ssb
+
+#endif  // QPPT_SSB_STAR_SPEC_H_

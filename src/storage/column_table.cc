@@ -1,0 +1,26 @@
+#include "storage/column_table.h"
+
+namespace qppt {
+
+ColumnTable ColumnTable::FromRowTable(const RowTable& rows) {
+  ColumnTable table(rows.schema(), rows.name());
+  size_t n = rows.num_rows();
+  size_t cols = rows.schema().num_columns();
+  table.Reserve(n);
+  for (size_t c = 0; c < cols; ++c) {
+    auto& col = table.columns_[c];
+    col.resize(n);
+    for (size_t r = 0; r < n; ++r) {
+      col[r] = rows.GetSlot(r, c);
+    }
+  }
+  return table;
+}
+
+Result<const std::vector<uint64_t>*> ColumnTable::ColumnByName(
+    const std::string& name) const {
+  QPPT_ASSIGN_OR_RETURN(size_t idx, schema_.ColumnIndex(name));
+  return &columns_[idx];
+}
+
+}  // namespace qppt

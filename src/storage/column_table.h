@@ -1,0 +1,66 @@
+// Column-store table: one contiguous 64-bit slot vector per column.
+//
+// Substrate for the column-at-a-time and vector-at-a-time baseline engines
+// (the MonetDB / commercial-DBMS proxies of §5). Logically equivalent to a
+// RowTable; physically transposed.
+
+#ifndef QPPT_STORAGE_COLUMN_TABLE_H_
+#define QPPT_STORAGE_COLUMN_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/row_table.h"
+#include "storage/schema.h"
+
+namespace qppt {
+
+class ColumnTable {
+ public:
+  explicit ColumnTable(Schema schema, std::string name = "")
+      : schema_(std::move(schema)),
+        name_(std::move(name)),
+        columns_(schema_.num_columns()) {}
+
+  // Builds a columnar copy of `rows` (used to feed both baselines from the
+  // same generated data as the QPPT engine).
+  static ColumnTable FromRowTable(const RowTable& rows);
+
+  const Schema& schema() const { return schema_; }
+  const std::string& name() const { return name_; }
+  size_t num_rows() const {
+    return columns_.empty() ? 0 : columns_[0].size();
+  }
+
+  void Reserve(size_t rows) {
+    for (auto& col : columns_) col.reserve(rows);
+  }
+
+  // Appends a record given one slot per column.
+  void AppendRow(std::span<const uint64_t> row) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      columns_[c].push_back(row[c]);
+    }
+  }
+
+  const std::vector<uint64_t>& column(size_t i) const { return columns_[i]; }
+  std::vector<uint64_t>& mutable_column(size_t i) { return columns_[i]; }
+  Result<const std::vector<uint64_t>*> ColumnByName(
+      const std::string& name) const;
+
+  size_t MemoryUsage() const {
+    size_t total = 0;
+    for (const auto& col : columns_) total += col.capacity() * 8;
+    return total;
+  }
+
+ private:
+  Schema schema_;
+  std::string name_;
+  std::vector<std::vector<uint64_t>> columns_;
+};
+
+}  // namespace qppt
+
+#endif  // QPPT_STORAGE_COLUMN_TABLE_H_

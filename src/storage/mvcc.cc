@@ -1,0 +1,161 @@
+#include "storage/mvcc.h"
+
+namespace qppt {
+
+MvccTable::LogicalId MvccTable::Insert(const Transaction& txn,
+                                       std::span<const uint64_t> row) {
+  Rid rid = storage_.AppendRow(row);
+  Version v;
+  v.begin_ts = kTsInfinity;  // stamped at commit
+  v.end_ts = kTsInfinity;
+  v.writer_txn = txn.id;
+  v.rid = rid;
+  v.logical = heads_.size();
+  uint64_t vidx = versions_.size();
+  versions_.push_back(v);
+  heads_.push_back(vidx);
+  return v.logical;
+}
+
+Status MvccTable::Update(Transaction& txn, LogicalId id,
+                         std::span<const uint64_t> row) {
+  if (id >= heads_.size()) {
+    return Status::NotFound("logical row does not exist");
+  }
+  uint64_t head = heads_[id];
+  Version& current = versions_[head];
+  // First-updater-wins: someone else already terminated this version, or
+  // the head itself is another transaction's uncommitted write.
+  if (current.ender_txn != 0 && current.ender_txn != txn.id) {
+    return Status::AlreadyExists("write-write conflict on logical row " +
+                                 std::to_string(id));
+  }
+  if (current.begin_ts == kTsInfinity && current.writer_txn != txn.id) {
+    return Status::AlreadyExists("write-write conflict on logical row " +
+                                 std::to_string(id));
+  }
+  // The head must be visible to us (no lost updates against newer commits).
+  if (current.begin_ts != kTsInfinity && current.begin_ts > txn.read_ts) {
+    return Status::AlreadyExists(
+        "snapshot too old: row updated by a newer committed transaction");
+  }
+  if (current.begin_ts != kTsInfinity && current.end_ts <= txn.read_ts) {
+    return Status::NotFound("logical row deleted in this snapshot");
+  }
+  Rid rid = storage_.AppendRow(row);
+  Version v;
+  v.begin_ts = kTsInfinity;
+  v.end_ts = kTsInfinity;
+  v.writer_txn = txn.id;
+  v.rid = rid;
+  v.logical = id;
+  v.older = head;
+  current.ender_txn = txn.id;
+  uint64_t vidx = versions_.size();
+  versions_.push_back(v);
+  heads_[id] = vidx;
+  return Status::OK();
+}
+
+Status MvccTable::Delete(Transaction& txn, LogicalId id) {
+  if (id >= heads_.size()) {
+    return Status::NotFound("logical row does not exist");
+  }
+  uint64_t head = heads_[id];
+  Version& current = versions_[head];
+  if (current.ender_txn != 0 && current.ender_txn != txn.id) {
+    return Status::AlreadyExists("write-write conflict on logical row " +
+                                 std::to_string(id));
+  }
+  if (current.begin_ts == kTsInfinity && current.writer_txn != txn.id) {
+    return Status::AlreadyExists("write-write conflict on logical row " +
+                                 std::to_string(id));
+  }
+  if (current.begin_ts != kTsInfinity && current.begin_ts > txn.read_ts) {
+    return Status::AlreadyExists(
+        "snapshot too old: row updated by a newer committed transaction");
+  }
+  current.ender_txn = txn.id;
+  return Status::OK();
+}
+
+std::optional<Rid> MvccTable::Read(const Transaction& txn,
+                                   LogicalId id) const {
+  if (id >= heads_.size()) return std::nullopt;
+  // Own uncommitted writes are visible to the writing transaction.
+  uint64_t idx = heads_[id];
+  while (idx != kInvalidVersion) {
+    const Version& v = versions_[idx];
+    if (v.begin_ts == kTsInfinity) {
+      if (v.writer_txn == txn.id) return v.rid;  // own write
+      idx = v.older;
+      continue;
+    }
+    if (v.begin_ts <= txn.read_ts) {
+      // Committed at or before our snapshot; check termination.
+      bool ended_for_us =
+          (v.end_ts <= txn.read_ts) ||
+          (v.ender_txn != 0 && v.ender_txn == txn.id &&
+           v.end_ts == kTsInfinity);
+      if (ended_for_us) return std::nullopt;  // deleted/overwritten
+      return v.rid;
+    }
+    idx = v.older;
+  }
+  return std::nullopt;
+}
+
+void MvccTable::CommitTransaction(const Transaction& txn,
+                                  Timestamp commit_ts) {
+  for (auto& v : versions_) {
+    if (v.writer_txn == txn.id && v.begin_ts == kTsInfinity) {
+      v.begin_ts = commit_ts;
+      // Terminate the version this one replaced.
+      if (v.older != kInvalidVersion) {
+        versions_[v.older].end_ts = commit_ts;
+        versions_[v.older].ender_txn = 0;
+      }
+    }
+    if (v.ender_txn == txn.id) {
+      // Pure delete (no replacing version): stamp the end.
+      bool replaced = false;
+      if (heads_[v.logical] != kInvalidVersion) {
+        const Version& head = versions_[heads_[v.logical]];
+        replaced = head.writer_txn == txn.id && head.older != kInvalidVersion &&
+                   &versions_[head.older] == &v;
+      }
+      if (!replaced) {
+        v.end_ts = commit_ts;
+        v.ender_txn = 0;
+      }
+    }
+  }
+}
+
+void MvccTable::AbortTransaction(const Transaction& txn) {
+  // Unwind heads that point to this transaction's versions.
+  for (auto& head : heads_) {
+    while (head != kInvalidVersion && versions_[head].writer_txn == txn.id &&
+           versions_[head].begin_ts == kTsInfinity) {
+      head = versions_[head].older;
+    }
+  }
+  for (auto& v : versions_) {
+    if (v.ender_txn == txn.id) v.ender_txn = 0;
+  }
+}
+
+std::vector<Rid> MvccTable::SnapshotRids(Timestamp read_ts) const {
+  std::vector<Rid> rids;
+  rids.reserve(heads_.size());
+  Transaction snap;
+  snap.id = 0;  // matches no writer
+  snap.read_ts = read_ts;
+  for (LogicalId id = 0; id < heads_.size(); ++id) {
+    auto rid = Read(snap, id);
+    if (rid.has_value()) rids.push_back(*rid);
+  }
+  return rids;
+}
+
+}  // namespace qppt

@@ -1,0 +1,134 @@
+// Multi-version concurrency control over row tables.
+//
+// DexterDB — the prototype QPPT is implemented in (§5) — is a row-store
+// with MVCC for transactional isolation. Base indexes must respect
+// transactional visibility while *intermediate* indexes are query-private
+// (§3). This module provides the version-chain substrate: each logical row
+// has a newest-first chain of physical versions stamped with [begin, end)
+// commit timestamps; a snapshot at read-timestamp T sees the version whose
+// stamp interval contains T.
+//
+// Concurrency model: timestamps are allocated atomically, so concurrent
+// readers are safe against committed data. Writers to the *same logical
+// row* detect conflicts via first-updater-wins (write-write conflicts
+// abort). This mirrors classic MVCC as cited by the paper [3].
+
+#ifndef QPPT_STORAGE_MVCC_H_
+#define QPPT_STORAGE_MVCC_H_
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "storage/row_table.h"
+#include "util/status.h"
+
+namespace qppt {
+
+using Timestamp = uint64_t;
+
+constexpr Timestamp kTsInfinity = std::numeric_limits<Timestamp>::max();
+constexpr uint64_t kInvalidVersion = std::numeric_limits<uint64_t>::max();
+
+struct Transaction {
+  uint64_t id = 0;         // unique transaction identifier
+  Timestamp read_ts = 0;   // snapshot timestamp
+  bool committed = false;
+  bool aborted = false;
+};
+
+class TransactionManager {
+ public:
+  TransactionManager() = default;
+
+  Transaction Begin() {
+    Transaction txn;
+    txn.id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
+    txn.read_ts = last_commit_ts_.load(std::memory_order_acquire);
+    return txn;
+  }
+
+  // Assigns a commit timestamp and marks the transaction committed.
+  Timestamp Commit(Transaction& txn) {
+    Timestamp ts = last_commit_ts_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    txn.committed = true;
+    return ts;
+  }
+
+  void Abort(Transaction& txn) { txn.aborted = true; }
+
+  Timestamp last_commit_ts() const {
+    return last_commit_ts_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<uint64_t> next_txn_id_{1};
+  std::atomic<Timestamp> last_commit_ts_{0};
+};
+
+// A versioned table. Logical rows are identified by LogicalId; each version
+// is a physical row in the backing RowTable.
+class MvccTable {
+ public:
+  using LogicalId = uint64_t;
+
+  explicit MvccTable(Schema schema, std::string name = "")
+      : storage_(std::move(schema), std::move(name)) {}
+
+  const Schema& schema() const { return storage_.schema(); }
+  const RowTable& storage() const { return storage_; }
+  size_t num_logical_rows() const { return heads_.size(); }
+
+  // Inserts a new logical row; becomes visible once `commit_ts` is stamped
+  // via CommitTransaction. Returns the logical id.
+  LogicalId Insert(const Transaction& txn, std::span<const uint64_t> row);
+
+  // Installs a new version of `id`. Fails with AlreadyExists (write-write
+  // conflict) if another in-flight transaction already updated `id`, or
+  // NotFound if `id` is deleted in this snapshot.
+  Status Update(Transaction& txn, LogicalId id,
+                std::span<const uint64_t> row);
+
+  // Marks `id` deleted as of this transaction.
+  Status Delete(Transaction& txn, LogicalId id);
+
+  // Returns the physical rid of the version of `id` visible at the
+  // transaction's snapshot, or nullopt if invisible/deleted.
+  std::optional<Rid> Read(const Transaction& txn, LogicalId id) const;
+
+  // Stamps all of `txn`'s writes with `commit_ts`. Must be called after
+  // TransactionManager::Commit.
+  void CommitTransaction(const Transaction& txn, Timestamp commit_ts);
+
+  // Reverts all of `txn`'s writes.
+  void AbortTransaction(const Transaction& txn);
+
+  // Scans all logical rows visible at `read_ts` (committed data only) and
+  // returns their physical rids, in logical-id order.
+  std::vector<Rid> SnapshotRids(Timestamp read_ts) const;
+
+ private:
+  struct Version {
+    Timestamp begin_ts = kTsInfinity;  // kTsInfinity while uncommitted
+    Timestamp end_ts = kTsInfinity;
+    uint64_t writer_txn = 0;   // txn that created this version
+    uint64_t ender_txn = 0;    // in-flight txn that set end_ts (0 = none)
+    uint64_t older = kInvalidVersion;  // next-older version index
+    Rid rid = 0;               // physical row in storage_
+    LogicalId logical = 0;
+  };
+
+  // Returns version index visible at `ts`, following the chain from head.
+  uint64_t FindVisible(uint64_t head, Timestamp ts) const;
+
+  RowTable storage_;
+  std::vector<uint64_t> heads_;     // logical id -> newest version index
+  std::vector<Version> versions_;
+};
+
+}  // namespace qppt
+
+#endif  // QPPT_STORAGE_MVCC_H_

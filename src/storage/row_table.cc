@@ -1,0 +1,41 @@
+#include "storage/row_table.h"
+
+#include <cassert>
+
+namespace qppt {
+
+Rid RowTable::AppendRow(std::span<const uint64_t> row) {
+  assert(row.size() == schema_.num_columns());
+  Rid rid = num_rows();
+  slots_.insert(slots_.end(), row.begin(), row.end());
+  return rid;
+}
+
+Value RowTable::GetValue(Rid rid, size_t col) const {
+  uint64_t slot = GetSlot(rid, col);
+  const ColumnDef& def = schema_.column(col);
+  switch (def.type) {
+    case ValueType::kInt64:
+      return Value::Int(Int64FromSlot(slot));
+    case ValueType::kDouble:
+      return Value::Real(DoubleFromSlot(slot));
+    case ValueType::kString: {
+      if (def.dictionary != nullptr && def.dictionary->sealed()) {
+        return Value::Str(def.dictionary->StringOf(Int64FromSlot(slot)));
+      }
+      return Value::Int(Int64FromSlot(slot));  // undecodable: raw code
+    }
+  }
+  return Value::Int(0);
+}
+
+Result<Value> RowTable::GetValue(Rid rid, const std::string& column) const {
+  QPPT_ASSIGN_OR_RETURN(size_t idx, schema_.ColumnIndex(column));
+  if (rid >= num_rows()) {
+    return Status::OutOfRange("rid " + std::to_string(rid) +
+                              " out of range for table '" + name_ + "'");
+  }
+  return GetValue(rid, idx);
+}
+
+}  // namespace qppt

@@ -1,0 +1,72 @@
+// Row-store table: tuples stored as contiguous fixed-width records.
+//
+// This is DexterDB's storage substrate (§5): an in-memory row-store. Every
+// column occupies one 64-bit slot; a record of an N-column table is N
+// consecutive slots. The record identifier (rid) is the row's ordinal.
+
+#ifndef QPPT_STORAGE_ROW_TABLE_H_
+#define QPPT_STORAGE_ROW_TABLE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "storage/schema.h"
+#include "storage/value.h"
+#include "util/status.h"
+
+namespace qppt {
+
+using Rid = uint64_t;
+
+class RowTable {
+ public:
+  explicit RowTable(Schema schema, std::string name = "")
+      : schema_(std::move(schema)), name_(std::move(name)) {}
+
+  const Schema& schema() const { return schema_; }
+  const std::string& name() const { return name_; }
+  size_t num_rows() const {
+    return schema_.num_columns() == 0
+               ? 0
+               : slots_.size() / schema_.num_columns();
+  }
+
+  void Reserve(size_t rows) {
+    slots_.reserve(rows * schema_.num_columns());
+  }
+
+  // Appends a record; `row` must have exactly num_columns() slots.
+  // Returns the new row's rid.
+  Rid AppendRow(std::span<const uint64_t> row);
+
+  // Raw slot access (hot path for operators).
+  uint64_t GetSlot(Rid rid, size_t col) const {
+    return slots_[rid * schema_.num_columns() + col];
+  }
+  void SetSlot(Rid rid, size_t col, uint64_t slot) {
+    slots_[rid * schema_.num_columns() + col] = slot;
+  }
+  // Pointer to the first slot of `rid`'s record.
+  const uint64_t* Record(Rid rid) const {
+    return slots_.data() + rid * schema_.num_columns();
+  }
+
+  // Typed access: decodes the slot per the column's declared type
+  // (dictionary decode for strings).
+  Value GetValue(Rid rid, size_t col) const;
+  Result<Value> GetValue(Rid rid, const std::string& column) const;
+
+  // Approximate memory footprint in bytes.
+  size_t MemoryUsage() const { return slots_.capacity() * sizeof(uint64_t); }
+
+ private:
+  Schema schema_;
+  std::string name_;
+  std::vector<uint64_t> slots_;
+};
+
+}  // namespace qppt
+
+#endif  // QPPT_STORAGE_ROW_TABLE_H_

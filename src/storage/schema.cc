@@ -1,0 +1,41 @@
+#include "storage/schema.h"
+
+namespace qppt {
+
+Schema::Schema(std::vector<ColumnDef> columns) : columns_(std::move(columns)) {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    by_name_.emplace(columns_[i].name, i);
+  }
+}
+
+Result<size_t> Schema::ColumnIndex(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("schema has no column '" + name + "'");
+  }
+  return it->second;
+}
+
+Result<Schema> Schema::Project(const std::vector<std::string>& names) const {
+  std::vector<ColumnDef> cols;
+  cols.reserve(names.size());
+  for (const auto& name : names) {
+    QPPT_ASSIGN_OR_RETURN(size_t idx, ColumnIndex(name));
+    cols.push_back(columns_[idx]);
+  }
+  return Schema(std::move(cols));
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += ":";
+    out += ValueTypeToString(columns_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace qppt

@@ -1,0 +1,52 @@
+// Relation schemas: named, typed columns with fixed-width slot layout.
+
+#ifndef QPPT_STORAGE_SCHEMA_H_
+#define QPPT_STORAGE_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/value.h"
+#include "util/status.h"
+
+namespace qppt {
+
+struct ColumnDef {
+  std::string name;
+  ValueType type = ValueType::kInt64;
+  // Dictionary for string columns (shared across tables derived from the
+  // same base data). Null for numeric columns.
+  DictionaryPtr dictionary;
+};
+
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns);
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  // Returns the index of column `name`, or an error.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+  bool HasColumn(const std::string& name) const {
+    return by_name_.count(name) > 0;
+  }
+
+  // Builds a schema containing the named subset of this schema's columns,
+  // in the given order.
+  Result<Schema> Project(const std::vector<std::string>& names) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+  std::unordered_map<std::string, size_t> by_name_;
+};
+
+}  // namespace qppt
+
+#endif  // QPPT_STORAGE_SCHEMA_H_

@@ -1,0 +1,57 @@
+// Bit-manipulation helpers used by the prefix-tree index structures.
+
+#ifndef QPPT_UTIL_BITS_H_
+#define QPPT_UTIL_BITS_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace qppt {
+
+// Extracts the `width`-bit fragment starting `bit_offset` bits from the
+// most-significant end of the big-endian byte string `key` of `key_bits`
+// total bits. This is the fragment used to index a prefix-tree node at the
+// corresponding level (Section 2.1 of the paper: keys are split MSB-first
+// into fragments of k' bits so that the trie is order-preserving).
+//
+// Requires width <= 16 and bit_offset + width <= key_len * 8.
+inline uint32_t ExtractFragment(const uint8_t* key, size_t key_len,
+                                size_t bit_offset, size_t width) {
+  size_t byte = bit_offset >> 3;
+  size_t bit_in_byte = bit_offset & 7;
+  // Gather up to 3 bytes so any fragment of width <= 16 is covered even
+  // when it straddles byte boundaries. Bytes past the key end contribute
+  // zeros (they are never selected by the shift given the precondition).
+  uint32_t window = uint32_t{key[byte]} << 16;
+  if (byte + 1 < key_len) window |= uint32_t{key[byte + 1]} << 8;
+  if (byte + 2 < key_len) window |= uint32_t{key[byte + 2]};
+  window >>= (24 - bit_in_byte - width);
+  return window & ((1u << width) - 1);
+}
+
+// Fragment extraction for 32-bit integer keys (KISS-Tree fast path).
+inline uint32_t ExtractFragment32(uint32_t key, size_t bit_offset,
+                                  size_t width) {
+  return (key >> (32 - bit_offset - width)) & ((1u << width) - 1);
+}
+
+// Rounds `v` up to the next power of two (returns v if already one).
+inline uint64_t NextPow2(uint64_t v) {
+  if (v <= 1) return 1;
+  return uint64_t{1} << (64 - std::countl_zero(v - 1));
+}
+
+// 64-bit finalizer from MurmurHash3; used by the hash-table baselines.
+inline uint64_t Mix64(uint64_t h) {
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace qppt
+
+#endif  // QPPT_UTIL_BITS_H_

@@ -1,0 +1,24 @@
+// Environment-variable helpers used by benchmarks to override workload
+// parameters (e.g. QPPT_SSB_SF) without recompiling.
+
+#ifndef QPPT_UTIL_ENV_H_
+#define QPPT_UTIL_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace qppt {
+
+// Returns the value of env var `name` parsed as int64, or `fallback` if the
+// variable is unset or unparsable.
+int64_t GetEnvInt64(const char* name, int64_t fallback);
+
+// Returns the value of env var `name` parsed as double, or `fallback`.
+double GetEnvDouble(const char* name, double fallback);
+
+// Returns the value of env var `name`, or `fallback` if unset.
+std::string GetEnvString(const char* name, const std::string& fallback);
+
+}  // namespace qppt
+
+#endif  // QPPT_UTIL_ENV_H_

@@ -1,0 +1,28 @@
+// Software prefetch wrapper used by the batch-processing scheme (§2.3).
+
+#ifndef QPPT_UTIL_PREFETCH_H_
+#define QPPT_UTIL_PREFETCH_H_
+
+namespace qppt {
+
+// Hints the CPU to fetch the cache line containing `addr` into L1.
+// `addr` may be invalid; prefetching never faults.
+inline void PrefetchRead(const void* addr) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(addr, /*rw=*/0, /*locality=*/3);
+#else
+  (void)addr;
+#endif
+}
+
+inline void PrefetchWrite(const void* addr) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(addr, /*rw=*/1, /*locality=*/3);
+#else
+  (void)addr;
+#endif
+}
+
+}  // namespace qppt
+
+#endif  // QPPT_UTIL_PREFETCH_H_

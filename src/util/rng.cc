@@ -1,0 +1,4 @@
+#include "util/rng.h"
+
+// Rng is header-only; this translation unit exists so the build graph has a
+// stable object for the util component.

@@ -1,0 +1,181 @@
+// Status and Result<T>: error handling without exceptions on hot paths.
+//
+// Modeled after the Arrow/RocksDB Status idiom: cheap to return on success
+// (a single pointer-sized word), carries a code + message on failure. Use
+// Result<T> for functions that produce a value or an error.
+
+#ifndef QPPT_UTIL_STATUS_H_
+#define QPPT_UTIL_STATUS_H_
+
+#include <cassert>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace qppt {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kAlreadyExists = 4,
+  kResourceExhausted = 5,
+  kUnimplemented = 6,
+  kInternal = 7,
+  kIOError = 8,
+};
+
+// Returns a human-readable name for `code` ("OK", "Invalid argument", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+class Status {
+ public:
+  // Default construction yields OK; this is the fast path.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : state_(code == StatusCode::kOk
+                   ? nullptr
+                   : std::make_unique<State>(code, std::move(message))) {}
+
+  Status(const Status& other)
+      : state_(other.state_ ? std::make_unique<State>(*other.state_)
+                            : nullptr) {}
+  Status& operator=(const Status& other) {
+    state_ = other.state_ ? std::make_unique<State>(*other.state_) : nullptr;
+    return *this;
+  }
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const {
+    return state_ ? state_->code : StatusCode::kOk;
+  }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->message : kEmpty;
+  }
+
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+
+  std::string ToString() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  std::unique_ptr<State> state_;  // nullptr == OK
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+// Result<T>: either a value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both work.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok() &&
+           "Result must not be constructed from an OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(repr_);
+  }
+
+  // Requires ok().
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<T>(repr_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  T value_or(T fallback) const {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+// Propagates a non-OK Status out of the current function.
+#define QPPT_RETURN_NOT_OK(expr)                \
+  do {                                          \
+    ::qppt::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+// Evaluates a Result expression; assigns its value to `lhs` or propagates
+// the error. Usage: QPPT_ASSIGN_OR_RETURN(auto x, Compute());
+#define QPPT_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#define QPPT_ASSIGN_OR_RETURN(lhs, expr) \
+  QPPT_ASSIGN_OR_RETURN_IMPL(            \
+      QPPT_CONCAT_(_result_, __LINE__), lhs, expr)
+
+#define QPPT_CONCAT_INNER_(a, b) a##b
+#define QPPT_CONCAT_(a, b) QPPT_CONCAT_INNER_(a, b)
+
+}  // namespace qppt
+
+#endif  // QPPT_UTIL_STATUS_H_

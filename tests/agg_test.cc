@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "core/agg.h"
+
+namespace qppt {
+namespace {
+
+Schema InputSchema() {
+  return Schema({{"qty", ValueType::kInt64, nullptr},
+                 {"price", ValueType::kInt64, nullptr},
+                 {"weight", ValueType::kDouble, nullptr}});
+}
+
+TEST(ScalarExprTest, BindAndEval) {
+  Schema s = InputSchema();
+  uint64_t row[3] = {SlotFromInt64(3), SlotFromInt64(10),
+                     SlotFromDouble(2.5)};
+
+  auto col = BindScalarExpr(ScalarExpr::Column("price"), s);
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ(Int64FromSlot(col->Eval(row)), 10);
+
+  auto mul = BindScalarExpr(ScalarExpr::Mul("qty", "price"), s);
+  ASSERT_TRUE(mul.ok());
+  EXPECT_EQ(Int64FromSlot(mul->Eval(row)), 30);
+
+  auto sub = BindScalarExpr(ScalarExpr::Sub("price", "qty"), s);
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(Int64FromSlot(sub->Eval(row)), 7);
+
+  EXPECT_FALSE(BindScalarExpr(ScalarExpr::Column("ghost"), s).ok());
+}
+
+TEST(AggSpecTest, PayloadSizeAndToString) {
+  AggSpec spec({{AggFn::kSum, ScalarExpr::Column("qty"), "total"},
+                {AggFn::kCount, {}, "n"}});
+  EXPECT_EQ(spec.payload_size(), 16u);
+  AggSpec with_avg({{AggFn::kAvg, ScalarExpr::Column("qty"), "avg_qty"}});
+  EXPECT_EQ(with_avg.payload_size(), 16u);  // slot + shared count
+  EXPECT_EQ(spec.ToString(), "sum(qty) as total, count(*) as n");
+}
+
+TEST(BoundAggSpecTest, SumCountMinMax) {
+  Schema s = InputSchema();
+  AggSpec spec({{AggFn::kSum, ScalarExpr::Mul("qty", "price"), "rev"},
+                {AggFn::kCount, {}, "n"},
+                {AggFn::kMin, ScalarExpr::Column("qty"), "min_q"},
+                {AggFn::kMax, ScalarExpr::Column("qty"), "max_q"}});
+  auto bound = BoundAggSpec::Bind(spec, s);
+  ASSERT_TRUE(bound.ok());
+  std::vector<std::byte> payload(bound->payload_size());
+  bound->Init(payload.data());
+
+  int64_t qtys[] = {3, 7, 1};
+  int64_t prices[] = {10, 2, 100};
+  int64_t expected_rev = 0;
+  for (int i = 0; i < 3; ++i) {
+    uint64_t row[3] = {SlotFromInt64(qtys[i]), SlotFromInt64(prices[i]),
+                       SlotFromDouble(0)};
+    bound->Combine(payload.data(), row);
+    expected_rev += qtys[i] * prices[i];
+  }
+  EXPECT_EQ(Int64FromSlot(bound->Finalize(payload.data(), 0)), expected_rev);
+  EXPECT_EQ(Int64FromSlot(bound->Finalize(payload.data(), 1)), 3);
+  EXPECT_EQ(Int64FromSlot(bound->Finalize(payload.data(), 2)), 1);
+  EXPECT_EQ(Int64FromSlot(bound->Finalize(payload.data(), 3)), 7);
+}
+
+TEST(BoundAggSpecTest, DoubleSumAndAvg) {
+  Schema s = InputSchema();
+  AggSpec spec({{AggFn::kSum, ScalarExpr::Column("weight"), "w"},
+                {AggFn::kAvg, ScalarExpr::Column("qty"), "avg_q"}});
+  auto bound = BoundAggSpec::Bind(spec, s);
+  ASSERT_TRUE(bound.ok());
+  ASSERT_TRUE(bound->term_is_double(0));
+  std::vector<std::byte> payload(bound->payload_size());
+  bound->Init(payload.data());
+  for (int i = 1; i <= 4; ++i) {
+    uint64_t row[3] = {SlotFromInt64(i), SlotFromInt64(0),
+                       SlotFromDouble(i * 0.5)};
+    bound->Combine(payload.data(), row);
+  }
+  EXPECT_DOUBLE_EQ(DoubleFromSlot(bound->Finalize(payload.data(), 0)), 5.0);
+  EXPECT_DOUBLE_EQ(DoubleFromSlot(bound->Finalize(payload.data(), 1)), 2.5);
+}
+
+TEST(BoundAggSpecTest, MinMaxOnDoubles) {
+  Schema s = InputSchema();
+  AggSpec spec({{AggFn::kMin, ScalarExpr::Column("weight"), "lo"},
+                {AggFn::kMax, ScalarExpr::Column("weight"), "hi"}});
+  auto bound = BoundAggSpec::Bind(spec, s);
+  ASSERT_TRUE(bound.ok());
+  std::vector<std::byte> payload(bound->payload_size());
+  bound->Init(payload.data());
+  for (double w : {3.5, -1.25, 7.0}) {
+    uint64_t row[3] = {0, 0, SlotFromDouble(w)};
+    bound->Combine(payload.data(), row);
+  }
+  EXPECT_DOUBLE_EQ(DoubleFromSlot(bound->Finalize(payload.data(), 0)), -1.25);
+  EXPECT_DOUBLE_EQ(DoubleFromSlot(bound->Finalize(payload.data(), 1)), 7.0);
+}
+
+TEST(BoundAggSpecTest, EmptySpecIsEmpty) {
+  auto bound = BoundAggSpec::Bind(AggSpec{}, InputSchema());
+  ASSERT_TRUE(bound.ok());
+  EXPECT_TRUE(bound->empty());
+  EXPECT_EQ(bound->payload_size(), 0u);
+}
+
+}  // namespace
+}  // namespace qppt

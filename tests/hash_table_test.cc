@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "index/chained_hash_table.h"
+#include "index/open_hash_table.h"
+#include "util/rng.h"
+
+namespace qppt {
+namespace {
+
+// Differential test harness: both baseline tables must agree with
+// std::unordered_map under a random upsert/find workload.
+template <typename Table>
+void RunDifferential(Table& table, uint64_t seed, int ops) {
+  Rng rng(seed);
+  std::unordered_map<uint64_t, uint64_t> reference;
+  for (int i = 0; i < ops; ++i) {
+    uint64_t key = rng.NextBounded(static_cast<uint64_t>(ops) / 2 + 1);
+    uint64_t value = rng.Next();
+    table.Upsert(key, value);
+    reference[key] = value;
+  }
+  EXPECT_EQ(table.size(), reference.size());
+  for (const auto& [key, value] : reference) {
+    auto found = table.Find(key);
+    ASSERT_TRUE(found.has_value()) << key;
+    EXPECT_EQ(*found, value);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t key = rng.Next();  // almost surely absent
+    if (reference.count(key)) continue;
+    EXPECT_FALSE(table.Find(key).has_value());
+  }
+}
+
+TEST(ChainedHashTableTest, DifferentialVsStdUnorderedMap) {
+  ChainedHashTable table;
+  RunDifferential(table, 11, 50000);
+}
+
+TEST(OpenHashTableTest, DifferentialVsStdUnorderedMap) {
+  OpenHashTable table;
+  RunDifferential(table, 13, 50000);
+}
+
+TEST(ChainedHashTableTest, GrowthPreservesEntries) {
+  ChainedHashTable table(16);
+  for (uint64_t i = 0; i < 10000; ++i) table.Upsert(i, i * 3);
+  EXPECT_EQ(table.size(), 10000u);
+  for (uint64_t i = 0; i < 10000; ++i) {
+    auto v = table.Find(i);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i * 3);
+  }
+}
+
+TEST(OpenHashTableTest, GrowthPreservesEntries) {
+  OpenHashTable table(16);
+  for (uint64_t i = 0; i < 10000; ++i) table.Upsert(i, i * 3);
+  EXPECT_EQ(table.size(), 10000u);
+  for (uint64_t i = 0; i < 10000; ++i) {
+    auto v = table.Find(i);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i * 3);
+  }
+}
+
+TEST(OpenHashTableTest, LoadFactorStaysBelowHalf) {
+  OpenHashTable table;
+  for (uint64_t i = 0; i < 100000; ++i) table.Upsert(i, i);
+  EXPECT_LE(table.size() * 2, table.capacity());
+}
+
+TEST(ChainedHashTableTest, UpsertOverwrites) {
+  ChainedHashTable table;
+  table.Upsert(5, 1);
+  table.Upsert(5, 2);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.Find(5).value(), 2u);
+}
+
+TEST(OpenHashTableTest, UpsertOverwrites) {
+  OpenHashTable table;
+  table.Upsert(5, 1);
+  table.Upsert(5, 2);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.Find(5).value(), 2u);
+}
+
+TEST(HashTableTest, ExtremeKeys) {
+  ChainedHashTable chained;
+  OpenHashTable open;
+  for (uint64_t key : {uint64_t{0}, ~uint64_t{0}, uint64_t{1} << 63}) {
+    chained.Upsert(key, key ^ 1);
+    open.Upsert(key, key ^ 1);
+    EXPECT_EQ(chained.Find(key).value(), key ^ 1);
+    EXPECT_EQ(open.Find(key).value(), key ^ 1);
+  }
+}
+
+}  // namespace
+}  // namespace qppt

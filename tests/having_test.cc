@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/operators/having.h"
+#include "core/operators/selection.h"
+#include "core/plan.h"
+#include "util/rng.h"
+
+namespace qppt {
+namespace {
+
+class HavingTest : public ::testing::Test {
+ public:
+  void SetUp() override {
+    Schema schema({{"sku", ValueType::kInt64, nullptr},
+                   {"amount", ValueType::kInt64, nullptr}});
+    auto orders = std::make_unique<RowTable>(schema, "orders");
+    Rng rng(1);
+    for (int i = 0; i < 5000; ++i) {
+      int64_t sku = static_cast<int64_t>(rng.NextBounded(100));
+      uint64_t row[2] = {SlotFromInt64(sku),
+                         SlotFromInt64(1 + static_cast<int64_t>(
+                                               rng.NextBounded(10)))};
+      orders->AppendRow(row);
+      reference_[sku] += Int64FromSlot(row[1]);
+    }
+    ASSERT_TRUE(db_.AddTable(std::move(orders)).ok());
+    BaseIndex::Options opt;
+    opt.kiss_root_bits = 16;
+    ASSERT_TRUE(
+        db_.BuildIndex("orders_by_sku", "orders", {"sku"}, {"amount"}, opt)
+            .ok());
+  }
+
+  // Builds the group-by plan: sum(amount) per sku, then HAVING.
+  Plan MakePlan(std::vector<Residual> residuals) {
+    Plan plan;
+    SelectionSpec sel;
+    sel.input_index = "orders_by_sku";
+    sel.predicate = KeyPredicate::All();
+    sel.carry_columns = {"sku", "amount"};
+    AggSpec agg({{AggFn::kSum, ScalarExpr::Column("amount"), "total"}});
+    sel.output = {"by_sku", {"sku"}, agg};
+    plan.Emplace<SelectionOp>(sel);
+
+    HavingSpec having;
+    having.input_slot = "by_sku";
+    having.residuals = std::move(residuals);
+    having.output_slot = "result";
+    plan.Emplace<HavingOp>(having);
+    plan.set_result_slot("result");
+    return plan;
+  }
+
+  Database db_;
+  std::map<int64_t, int64_t> reference_;
+};
+
+TEST_F(HavingTest, FiltersOnAggregateValue) {
+  ExecContext ctx(&db_);
+  Plan plan = MakePlan({Residual::Ge("total", 300)});
+  auto result = plan.Execute(&ctx);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  std::map<int64_t, int64_t> expected;
+  for (const auto& [sku, total] : reference_) {
+    if (total >= 300) expected[sku] = total;
+  }
+  ASSERT_EQ(result->rows.size(), expected.size());
+  auto it = expected.begin();
+  for (const auto& row : result->rows) {
+    EXPECT_EQ(row[0].AsInt(), it->first);
+    EXPECT_EQ(row[1].AsInt(), it->second);
+    ++it;
+  }
+}
+
+TEST_F(HavingTest, FiltersOnGroupKeyToo) {
+  // Selection and having are the same physical operator: predicates on
+  // the key column work identically.
+  ExecContext ctx(&db_);
+  Plan plan = MakePlan({Residual::Between("sku", 10, 19)});
+  auto result = plan.Execute(&ctx);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 10u);
+  for (const auto& row : result->rows) {
+    EXPECT_GE(row[0].AsInt(), 10);
+    EXPECT_LE(row[0].AsInt(), 19);
+  }
+}
+
+TEST_F(HavingTest, ConjunctionOfResiduals) {
+  ExecContext ctx(&db_);
+  Plan plan =
+      MakePlan({Residual::Ge("total", 250), Residual::Lt("sku", 50)});
+  auto result = plan.Execute(&ctx);
+  ASSERT_TRUE(result.ok());
+  size_t expected = 0;
+  for (const auto& [sku, total] : reference_) {
+    if (total >= 250 && sku < 50) ++expected;
+  }
+  EXPECT_EQ(result->rows.size(), expected);
+}
+
+TEST_F(HavingTest, OutputRemainsIndexedAndOrdered) {
+  ExecContext ctx(&db_);
+  Plan plan = MakePlan({Residual::Ge("total", 0)});
+  ASSERT_TRUE(plan.Run(&ctx).ok());
+  auto out = ctx.Get("result");
+  ASSERT_TRUE(out.ok());
+  EXPECT_FALSE((*out)->aggregated());
+  int64_t prev = -1;
+  (*out)->ScanInOrder([&](const uint64_t* row) {
+    EXPECT_GT(Int64FromSlot(row[0]), prev);
+    prev = Int64FromSlot(row[0]);
+  });
+}
+
+TEST_F(HavingTest, RejectsNonAggregatedInput) {
+  ExecContext ctx(&db_);
+  Plan plan;
+  SelectionSpec sel;
+  sel.input_index = "orders_by_sku";
+  sel.predicate = KeyPredicate::All();
+  sel.carry_columns = {"sku"};
+  sel.output = {"plain", {"sku"}, {}};
+  plan.Emplace<SelectionOp>(sel);
+  HavingSpec having;
+  having.input_slot = "plain";
+  having.output_slot = "out";
+  plan.Emplace<HavingOp>(having);
+  EXPECT_TRUE(plan.Run(&ctx).IsInvalidArgument());
+}
+
+TEST_F(HavingTest, UnknownColumnFails) {
+  ExecContext ctx(&db_);
+  Plan plan = MakePlan({Residual::Ge("ghost", 1)});
+  EXPECT_TRUE(plan.Run(&ctx).IsNotFound());
+}
+
+}  // namespace
+}  // namespace qppt

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/join_buffer.h"
+#include "util/rng.h"
+
+namespace qppt {
+namespace {
+
+struct Ctx {
+  uint32_t key;
+  int tag;
+};
+
+class JoinBufferTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (uint32_t k = 0; k < 1000; k += 2) {  // even keys present
+      tree_.Insert(k, uint64_t{k} * 10);
+    }
+  }
+  KissTree tree_;
+};
+
+TEST_F(JoinBufferTest, AddReportsFull) {
+  KissProbeBuffer<Ctx> buffer(4);
+  EXPECT_EQ(buffer.capacity(), 4u);
+  EXPECT_FALSE(buffer.Add(0, {0, 0}));
+  EXPECT_FALSE(buffer.Add(2, {2, 1}));
+  EXPECT_FALSE(buffer.Add(4, {4, 2}));
+  EXPECT_TRUE(buffer.Add(6, {6, 3}));  // reached capacity
+  EXPECT_EQ(buffer.size(), 4u);
+}
+
+TEST_F(JoinBufferTest, FlushDeliversResultsInOrder) {
+  KissProbeBuffer<Ctx> buffer(8);
+  buffer.Add(10, {10, 0});   // hit
+  buffer.Add(11, {11, 1});   // miss (odd)
+  buffer.Add(998, {998, 2}); // hit
+  std::vector<int> tags;
+  buffer.Flush(tree_, [&](Ctx& ctx, bool found, const KissTree::ValueRef& v) {
+    tags.push_back(ctx.tag);
+    EXPECT_EQ(found, ctx.key % 2 == 0) << ctx.key;
+    if (found) EXPECT_EQ(v.front(), uint64_t{ctx.key} * 10);
+  });
+  EXPECT_EQ(tags, (std::vector<int>{0, 1, 2}));
+  EXPECT_TRUE(buffer.empty());
+}
+
+TEST_F(JoinBufferTest, CapacityOneUsesPointLookups) {
+  // The demonstrator's "none" setting: still correct, just unbatched.
+  KissProbeBuffer<Ctx> buffer(1);
+  for (uint32_t k = 0; k < 100; ++k) {
+    bool full = buffer.Add(k, {k, static_cast<int>(k)});
+    EXPECT_TRUE(full);  // capacity 1: always full after one Add
+    buffer.Flush(tree_,
+                 [&](Ctx& ctx, bool found, const KissTree::ValueRef&) {
+                   EXPECT_EQ(found, ctx.key % 2 == 0);
+                 });
+  }
+}
+
+TEST_F(JoinBufferTest, BatchedAndUnbatchedAgree) {
+  Rng rng(1);
+  std::vector<uint32_t> probes;
+  for (int i = 0; i < 5000; ++i) {
+    probes.push_back(static_cast<uint32_t>(rng.NextBounded(1200)));
+  }
+  auto run = [&](size_t capacity) {
+    KissProbeBuffer<Ctx> buffer(capacity);
+    std::vector<std::pair<uint32_t, bool>> results;
+    for (uint32_t p : probes) {
+      if (buffer.Add(p, {p, 0})) {
+        buffer.Flush(tree_,
+                     [&](Ctx& ctx, bool found, const KissTree::ValueRef&) {
+                       results.emplace_back(ctx.key, found);
+                     });
+      }
+    }
+    buffer.Flush(tree_,
+                 [&](Ctx& ctx, bool found, const KissTree::ValueRef&) {
+                   results.emplace_back(ctx.key, found);
+                 });
+    return results;
+  };
+  auto unbatched = run(1);
+  for (size_t capacity : {2, 64, 512, 4096}) {
+    EXPECT_EQ(run(capacity), unbatched) << capacity;
+  }
+}
+
+TEST_F(JoinBufferTest, FlushOnEmptyIsNoOp) {
+  KissProbeBuffer<Ctx> buffer(64);
+  int calls = 0;
+  buffer.Flush(tree_, [&](Ctx&, bool, const KissTree::ValueRef&) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST_F(JoinBufferTest, ZeroCapacityClampsToOne) {
+  KissProbeBuffer<Ctx> buffer(0);
+  EXPECT_EQ(buffer.capacity(), 1u);
+}
+
+}  // namespace
+}  // namespace qppt

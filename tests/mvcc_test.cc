@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "storage/mvcc.h"
+
+namespace qppt {
+namespace {
+
+Schema OneCol() {
+  return Schema({{"v", ValueType::kInt64, nullptr}});
+}
+
+uint64_t RowOf(int64_t v) { return SlotFromInt64(v); }
+
+class MvccTest : public ::testing::Test {
+ protected:
+  TransactionManager tm_;
+  MvccTable table_{OneCol(), "t"};
+
+  MvccTable::LogicalId CommittedInsert(int64_t v) {
+    Transaction txn = tm_.Begin();
+    uint64_t row[1] = {RowOf(v)};
+    auto id = table_.Insert(txn, row);
+    Timestamp ts = tm_.Commit(txn);
+    table_.CommitTransaction(txn, ts);
+    return id;
+  }
+
+  int64_t ReadAt(const Transaction& txn, MvccTable::LogicalId id) {
+    auto rid = table_.Read(txn, id);
+    EXPECT_TRUE(rid.has_value());
+    return Int64FromSlot(table_.storage().GetSlot(*rid, 0));
+  }
+};
+
+TEST_F(MvccTest, InsertInvisibleUntilCommit) {
+  Transaction writer = tm_.Begin();
+  uint64_t row[1] = {RowOf(1)};
+  auto id = table_.Insert(writer, row);
+
+  Transaction reader = tm_.Begin();
+  EXPECT_FALSE(table_.Read(reader, id).has_value());
+
+  // The writer sees its own uncommitted insert.
+  EXPECT_TRUE(table_.Read(writer, id).has_value());
+
+  Timestamp ts = tm_.Commit(writer);
+  table_.CommitTransaction(writer, ts);
+
+  // The old snapshot still does not see it; a fresh one does.
+  EXPECT_FALSE(table_.Read(reader, id).has_value());
+  Transaction later = tm_.Begin();
+  EXPECT_TRUE(table_.Read(later, id).has_value());
+}
+
+TEST_F(MvccTest, SnapshotReadsOldVersionDuringUpdate) {
+  auto id = CommittedInsert(10);
+
+  Transaction reader = tm_.Begin();
+  Transaction writer = tm_.Begin();
+  uint64_t row[1] = {RowOf(20)};
+  ASSERT_TRUE(table_.Update(writer, id, row).ok());
+  Timestamp ts = tm_.Commit(writer);
+  table_.CommitTransaction(writer, ts);
+
+  // Reader began before the commit: sees 10.
+  EXPECT_EQ(ReadAt(reader, id), 10);
+  // New snapshot sees 20.
+  Transaction later = tm_.Begin();
+  EXPECT_EQ(ReadAt(later, id), 20);
+}
+
+TEST_F(MvccTest, WriteWriteConflictAborts) {
+  auto id = CommittedInsert(10);
+  Transaction a = tm_.Begin();
+  Transaction b = tm_.Begin();
+  uint64_t row_a[1] = {RowOf(11)};
+  uint64_t row_b[1] = {RowOf(12)};
+  ASSERT_TRUE(table_.Update(a, id, row_a).ok());
+  Status st = table_.Update(b, id, row_b);
+  EXPECT_EQ(st.code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(MvccTest, UpdateAgainstNewerCommitFails) {
+  auto id = CommittedInsert(10);
+  Transaction stale = tm_.Begin();
+  // Another transaction commits an update.
+  Transaction fresh = tm_.Begin();
+  uint64_t row[1] = {RowOf(30)};
+  ASSERT_TRUE(table_.Update(fresh, id, row).ok());
+  Timestamp ts = tm_.Commit(fresh);
+  table_.CommitTransaction(fresh, ts);
+  // The stale snapshot must not blind-write over it.
+  uint64_t row2[1] = {RowOf(40)};
+  EXPECT_FALSE(table_.Update(stale, id, row2).ok());
+}
+
+TEST_F(MvccTest, AbortRestoresOldVersion) {
+  auto id = CommittedInsert(10);
+  Transaction writer = tm_.Begin();
+  uint64_t row[1] = {RowOf(99)};
+  ASSERT_TRUE(table_.Update(writer, id, row).ok());
+  tm_.Abort(writer);
+  table_.AbortTransaction(writer);
+
+  Transaction reader = tm_.Begin();
+  EXPECT_EQ(ReadAt(reader, id), 10);
+  // And the row is writable again (no lingering conflict marker).
+  Transaction again = tm_.Begin();
+  uint64_t row2[1] = {RowOf(11)};
+  EXPECT_TRUE(table_.Update(again, id, row2).ok());
+}
+
+TEST_F(MvccTest, DeleteHidesRow) {
+  auto id = CommittedInsert(10);
+  Transaction deleter = tm_.Begin();
+  ASSERT_TRUE(table_.Delete(deleter, id).ok());
+  Timestamp ts = tm_.Commit(deleter);
+  table_.CommitTransaction(deleter, ts);
+
+  Transaction reader = tm_.Begin();
+  EXPECT_FALSE(table_.Read(reader, id).has_value());
+}
+
+TEST_F(MvccTest, VersionChainAcrossManyUpdates) {
+  auto id = CommittedInsert(0);
+  std::vector<Transaction> snapshots;
+  for (int i = 1; i <= 5; ++i) {
+    snapshots.push_back(tm_.Begin());
+    Transaction w = tm_.Begin();
+    uint64_t row[1] = {RowOf(i)};
+    ASSERT_TRUE(table_.Update(w, id, row).ok());
+    Timestamp ts = tm_.Commit(w);
+    table_.CommitTransaction(w, ts);
+  }
+  // snapshot[i] was taken when the value was i.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(ReadAt(snapshots[static_cast<size_t>(i)], id), i);
+  }
+}
+
+TEST_F(MvccTest, SnapshotRidsEnumeratesVisibleRows) {
+  CommittedInsert(1);
+  auto id2 = CommittedInsert(2);
+  CommittedInsert(3);
+  // Delete row 2.
+  Transaction deleter = tm_.Begin();
+  ASSERT_TRUE(table_.Delete(deleter, id2).ok());
+  Timestamp ts = tm_.Commit(deleter);
+  table_.CommitTransaction(deleter, ts);
+
+  auto rids = table_.SnapshotRids(tm_.last_commit_ts());
+  ASSERT_EQ(rids.size(), 2u);
+  EXPECT_EQ(Int64FromSlot(table_.storage().GetSlot(rids[0], 0)), 1);
+  EXPECT_EQ(Int64FromSlot(table_.storage().GetSlot(rids[1], 0)), 3);
+}
+
+TEST_F(MvccTest, UpdateMissingRowIsNotFound) {
+  Transaction t = tm_.Begin();
+  uint64_t row[1] = {RowOf(1)};
+  EXPECT_TRUE(table_.Update(t, 999, row).IsNotFound());
+  EXPECT_TRUE(table_.Delete(t, 999).IsNotFound());
+}
+
+}  // namespace
+}  // namespace qppt

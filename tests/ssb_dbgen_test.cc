@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ssb/dbgen.h"
+
+namespace qppt::ssb {
+namespace {
+
+SsbConfig TestConfig(double sf = 0.01) {
+  SsbConfig cfg;
+  cfg.scale_factor = sf;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(SsbSchemaTest, NationRegionMapping) {
+  EXPECT_EQ(RegionOfNation(0), 0);    // ALGERIA -> AFRICA
+  EXPECT_EQ(RegionOfNation(9), 1);    // UNITED STATES -> AMERICA
+  EXPECT_EQ(RegionOfNation(19), 3);   // UNITED KINGDOM -> EUROPE
+  EXPECT_EQ(RegionOfNation(24), 4);   // SAUDI ARABIA -> MIDDLE EAST
+}
+
+TEST(SsbSchemaTest, CityNames) {
+  // The SSB city format: nation truncated/padded to 9 chars + digit.
+  EXPECT_EQ(CityName(19, 1), "UNITED KI1");
+  EXPECT_EQ(CityName(19, 5), "UNITED KI5");
+  EXPECT_EQ(CityName(4, 0), "MOZAMBIQU0");
+  EXPECT_EQ(CityName(10, 3), "CHINA    3");
+}
+
+TEST(SsbSchemaTest, DictionariesAreOrderPreserving) {
+  SsbDictionaries d = MakeDictionaries();
+  EXPECT_EQ(d.region->size(), 5u);
+  EXPECT_EQ(d.nation->size(), 25u);
+  EXPECT_EQ(d.city->size(), 250u);
+  EXPECT_EQ(d.mfgr->size(), 5u);
+  EXPECT_EQ(d.category->size(), 25u);
+  EXPECT_EQ(d.brand->size(), 1000u);
+  // The Q2.2 BETWEEN range must cover exactly brands 2221..2228.
+  int64_t lo = d.brand->CodeOf("MFGR#2221").value();
+  int64_t hi = d.brand->CodeOf("MFGR#2228").value();
+  EXPECT_EQ(hi - lo, 7);
+}
+
+TEST(SsbDbgenTest, RowCountsMatchScaleFactor) {
+  auto data = Generate(TestConfig(0.01));
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ((*data)->db.table("lineorder").value()->num_rows(),
+            LineorderCount(0.01));
+  EXPECT_EQ((*data)->db.table("customer").value()->num_rows(),
+            CustomerCount(0.01));
+  EXPECT_EQ((*data)->db.table("supplier").value()->num_rows(),
+            SupplierCount(0.01));
+  EXPECT_EQ((*data)->db.table("part").value()->num_rows(), PartCount(0.01));
+  // Seven years of dates.
+  EXPECT_EQ((*data)->db.table("date").value()->num_rows(), 2557u);
+}
+
+TEST(SsbDbgenTest, DeterministicForSeed) {
+  auto a = Generate(TestConfig());
+  auto b = Generate(TestConfig());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  const RowTable* ta = (*a)->db.table("lineorder").value();
+  const RowTable* tb = (*b)->db.table("lineorder").value();
+  ASSERT_EQ(ta->num_rows(), tb->num_rows());
+  for (Rid r = 0; r < std::min<Rid>(1000, ta->num_rows()); ++r) {
+    for (size_t c = 0; c < ta->schema().num_columns(); ++c) {
+      ASSERT_EQ(ta->GetSlot(r, c), tb->GetSlot(r, c));
+    }
+  }
+}
+
+TEST(SsbDbgenTest, DateTableIsACalendar) {
+  auto data = Generate(TestConfig());
+  ASSERT_TRUE(data.ok());
+  const RowTable* date = (*data)->db.table("date").value();
+  std::set<int64_t> years;
+  int64_t prev_key = 0;
+  for (Rid r = 0; r < date->num_rows(); ++r) {
+    int64_t key = Int64FromSlot(date->GetSlot(r, 0));
+    EXPECT_GT(key, prev_key);  // strictly increasing datekeys
+    prev_key = key;
+    years.insert(Int64FromSlot(date->GetSlot(r, 1)));
+    int64_t week = Int64FromSlot(date->GetSlot(r, 4));
+    EXPECT_GE(week, 1);
+    EXPECT_LE(week, 53);
+  }
+  EXPECT_EQ(years.size(), 7u);
+  EXPECT_EQ(*years.begin(), 1992);
+  EXPECT_EQ(*years.rbegin(), 1998);
+  // 1992 and 1996 are leap years: 5*365 + 2*366 = 2557 days.
+  EXPECT_EQ(date->num_rows(), 2557u);
+}
+
+TEST(SsbDbgenTest, AttributeDomains) {
+  auto data = Generate(TestConfig());
+  ASSERT_TRUE(data.ok());
+  const RowTable* lo = (*data)->db.table("lineorder").value();
+  for (Rid r = 0; r < std::min<Rid>(5000, lo->num_rows()); ++r) {
+    int64_t quantity = Int64FromSlot(lo->GetSlot(r, 4));
+    int64_t discount = Int64FromSlot(lo->GetSlot(r, 6));
+    int64_t price = Int64FromSlot(lo->GetSlot(r, 5));
+    int64_t revenue = Int64FromSlot(lo->GetSlot(r, 7));
+    EXPECT_GE(quantity, 1);
+    EXPECT_LE(quantity, 50);
+    EXPECT_GE(discount, 0);
+    EXPECT_LE(discount, 10);
+    EXPECT_EQ(revenue, price * (100 - discount) / 100);
+  }
+}
+
+TEST(SsbDbgenTest, HierarchyCorrelations) {
+  // brand determines category determines manufacturer; city determines
+  // nation determines region.
+  auto data = Generate(TestConfig());
+  ASSERT_TRUE(data.ok());
+  const RowTable* part = (*data)->db.table("part").value();
+  const auto& dicts = (*data)->dicts;
+  for (Rid r = 0; r < std::min<Rid>(500, part->num_rows()); ++r) {
+    std::string mfgr =
+        dicts.mfgr->StringOf(Int64FromSlot(part->GetSlot(r, 1)));
+    std::string category =
+        dicts.category->StringOf(Int64FromSlot(part->GetSlot(r, 2)));
+    std::string brand =
+        dicts.brand->StringOf(Int64FromSlot(part->GetSlot(r, 3)));
+    EXPECT_EQ(category.substr(0, mfgr.size()), mfgr);
+    EXPECT_EQ(brand.substr(0, category.size()), category);
+  }
+  const RowTable* cust = (*data)->db.table("customer").value();
+  for (Rid r = 0; r < std::min<Rid>(500, cust->num_rows()); ++r) {
+    std::string city =
+        dicts.city->StringOf(Int64FromSlot(cust->GetSlot(r, 1)));
+    std::string nation =
+        dicts.nation->StringOf(Int64FromSlot(cust->GetSlot(r, 2)));
+    std::string nine = nation;
+    nine.resize(9, ' ');
+    EXPECT_EQ(city.substr(0, 9), nine);
+  }
+}
+
+TEST(SsbDbgenTest, BaseIndexPoolBuilt) {
+  auto data = Generate(TestConfig());
+  ASSERT_TRUE(data.ok());
+  for (const char* name :
+       {"lo_partkey", "lo_custkey", "lo_discount", "p_category", "p_brand1",
+        "p_mfgr", "s_region", "s_nation", "s_city", "c_region", "c_nation",
+        "c_city", "d_datekey", "d_year", "d_yearmonthnum"}) {
+    EXPECT_TRUE((*data)->db.index(name).ok()) << name;
+  }
+  // Fact indexes cover every lineorder row.
+  EXPECT_EQ((*data)->db.index("lo_partkey").value()->num_rows(),
+            (*data)->db.table("lineorder").value()->num_rows());
+}
+
+TEST(SsbDbgenTest, ColumnarCopiesMatchRowStore) {
+  auto data = Generate(TestConfig());
+  ASSERT_TRUE(data.ok());
+  const ColumnTable& lo_col = (*data)->Columnar("lineorder");
+  const RowTable* lo_row = (*data)->db.table("lineorder").value();
+  ASSERT_EQ(lo_col.num_rows(), lo_row->num_rows());
+  for (Rid r = 0; r < std::min<Rid>(1000, lo_row->num_rows()); ++r) {
+    for (size_t c = 0; c < lo_row->schema().num_columns(); ++c) {
+      ASSERT_EQ(lo_col.column(c)[r], lo_row->GetSlot(r, c));
+    }
+  }
+  // Cached: same object on second call.
+  EXPECT_EQ(&(*data)->Columnar("lineorder"), &lo_col);
+}
+
+}  // namespace
+}  // namespace qppt::ssb

@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "util/arena.h"
+#include "util/bits.h"
+#include "util/env.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace qppt {
+namespace {
+
+// ---- Status / Result --------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing key");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "missing key");
+  EXPECT_EQ(s.ToString(), "Not found: missing key");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status s = Status::InvalidArgument("bad k'");
+  Status t = s;
+  EXPECT_TRUE(t.IsInvalidArgument());
+  EXPECT_EQ(t.message(), "bad k'");
+  EXPECT_TRUE(s.IsInvalidArgument());  // source unchanged
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= 8; ++c) {
+    EXPECT_NE(StatusCodeToString(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::OutOfRange("past the end");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+Result<int> Half(int v) {
+  if (v % 2 != 0) return Status::InvalidArgument("odd");
+  return v / 2;
+}
+
+Status UseHalf(int v, int* out) {
+  QPPT_ASSIGN_OR_RETURN(*out, Half(v));
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseHalf(10, &out).ok());
+  EXPECT_EQ(out, 5);
+  EXPECT_TRUE(UseHalf(3, &out).IsInvalidArgument());
+}
+
+// ---- Arena --------------------------------------------------------------------
+
+TEST(ArenaTest, AllocationsAreAligned) {
+  Arena arena;
+  for (size_t align : {size_t{1}, size_t{2}, size_t{8}, size_t{64}}) {
+    void* p = arena.Allocate(17, align);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % align, 0u) << align;
+  }
+}
+
+TEST(ArenaTest, LargeAllocationGetsOwnBlock) {
+  Arena arena(/*block_size=*/1024);
+  void* p = arena.Allocate(1 << 20);
+  ASSERT_NE(p, nullptr);
+  // Still usable afterwards.
+  void* q = arena.Allocate(16);
+  ASSERT_NE(q, nullptr);
+  EXPECT_GE(arena.bytes_reserved(), (1u << 20));
+}
+
+TEST(ArenaTest, AllocationsDoNotOverlap) {
+  Arena arena(/*block_size=*/256);
+  std::vector<std::pair<char*, size_t>> allocs;
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    size_t size = 1 + rng.NextBounded(100);
+    char* p = static_cast<char*>(arena.Allocate(size));
+    std::memset(p, static_cast<int>(i & 0xff), size);
+    allocs.emplace_back(p, size);
+  }
+  // Verify every region still holds its fill pattern (no overlap).
+  for (int i = 0; i < 200; ++i) {
+    auto [p, size] = allocs[static_cast<size_t>(i)];
+    for (size_t j = 0; j < size; ++j) {
+      ASSERT_EQ(static_cast<unsigned char>(p[j]), i & 0xff);
+    }
+  }
+}
+
+TEST(ArenaTest, ResetReclaims) {
+  Arena arena;
+  arena.Allocate(1000);
+  EXPECT_GT(arena.bytes_allocated(), 0u);
+  arena.Reset();
+  EXPECT_EQ(arena.bytes_allocated(), 0u);
+  EXPECT_EQ(arena.bytes_reserved(), 0u);
+  void* p = arena.Allocate(8);
+  EXPECT_NE(p, nullptr);
+}
+
+TEST(ArenaTest, NewConstructsObject) {
+  Arena arena;
+  struct Point {
+    int x, y;
+    Point(int a, int b) : x(a), y(b) {}
+  };
+  Point* p = arena.New<Point>(3, 4);
+  EXPECT_EQ(p->x, 3);
+  EXPECT_EQ(p->y, 4);
+}
+
+TEST(PageArenaTest, PowerOfTwoAllocationsNeverStraddlePages) {
+  PageArena arena;
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    size_t size = size_t{64} << rng.NextBounded(7);  // 64..4096
+    uintptr_t p = reinterpret_cast<uintptr_t>(arena.Allocate(size));
+    uintptr_t first_page = p / PageArena::kPageSize;
+    uintptr_t last_page = (p + size - 1) / PageArena::kPageSize;
+    ASSERT_EQ(first_page, last_page)
+        << "allocation of " << size << " crossed a page boundary";
+  }
+}
+
+TEST(PageArenaTest, OversizedAllocationIsPageAligned) {
+  PageArena arena;
+  uintptr_t p = reinterpret_cast<uintptr_t>(arena.Allocate(3 * 4096 + 5));
+  EXPECT_EQ(p % PageArena::kPageSize, 0u);
+}
+
+// ---- Bits -----------------------------------------------------------------------
+
+TEST(BitsTest, ExtractFragmentMsbFirst) {
+  // Key bytes: 0xAB 0xCD = bits 1010 1011 1100 1101.
+  uint8_t key[2] = {0xAB, 0xCD};
+  EXPECT_EQ(ExtractFragment(key, 2, 0, 4), 0xAu);
+  EXPECT_EQ(ExtractFragment(key, 2, 4, 4), 0xBu);
+  EXPECT_EQ(ExtractFragment(key, 2, 8, 4), 0xCu);
+  EXPECT_EQ(ExtractFragment(key, 2, 12, 4), 0xDu);
+}
+
+TEST(BitsTest, ExtractFragmentStraddleExact) {
+  uint8_t key[2] = {0b10101011, 0b11001101};
+  // offset 6, width 6: bits "11" + "1100" = 0b111100 = 60.
+  EXPECT_EQ(ExtractFragment(key, 2, 6, 6), 60u);
+  // offset 3, width 8: 0b01011110 0... bits 3..10 = 0 1011 110 -> 0b01011110=94
+  EXPECT_EQ(ExtractFragment(key, 2, 3, 8), 94u);
+}
+
+TEST(BitsTest, ExtractFragmentAtKeyEnd) {
+  uint8_t key[1] = {0x5A};
+  EXPECT_EQ(ExtractFragment(key, 1, 4, 4), 0xAu);
+  EXPECT_EQ(ExtractFragment(key, 1, 6, 2), 0x2u);
+}
+
+TEST(BitsTest, ExtractFragment32MatchesByteVersion) {
+  uint32_t k = 0xDEADBEEF;
+  uint8_t bytes[4] = {0xDE, 0xAD, 0xBE, 0xEF};
+  for (size_t off = 0; off <= 28; off += 4) {
+    EXPECT_EQ(ExtractFragment32(k, off, 4),
+              ExtractFragment(bytes, 4, off, 4));
+  }
+}
+
+TEST(BitsTest, NextPow2) {
+  EXPECT_EQ(NextPow2(0), 1u);
+  EXPECT_EQ(NextPow2(1), 1u);
+  EXPECT_EQ(NextPow2(2), 2u);
+  EXPECT_EQ(NextPow2(3), 4u);
+  EXPECT_EQ(NextPow2(1023), 1024u);
+  EXPECT_EQ(NextPow2(1024), 1024u);
+}
+
+// ---- Rng ------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, BoundedStaysInBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(11);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+// ---- Env ------------------------------------------------------------------------
+
+TEST(EnvTest, FallbacksWhenUnset) {
+  ::unsetenv("QPPT_TEST_ENV_VAR");
+  EXPECT_EQ(GetEnvInt64("QPPT_TEST_ENV_VAR", 42), 42);
+  EXPECT_EQ(GetEnvDouble("QPPT_TEST_ENV_VAR", 1.5), 1.5);
+  EXPECT_EQ(GetEnvString("QPPT_TEST_ENV_VAR", "dflt"), "dflt");
+}
+
+TEST(EnvTest, ParsesWhenSet) {
+  ::setenv("QPPT_TEST_ENV_VAR", "-7", 1);
+  EXPECT_EQ(GetEnvInt64("QPPT_TEST_ENV_VAR", 42), -7);
+  ::setenv("QPPT_TEST_ENV_VAR", "2.25", 1);
+  EXPECT_EQ(GetEnvDouble("QPPT_TEST_ENV_VAR", 0.0), 2.25);
+  ::setenv("QPPT_TEST_ENV_VAR", "hello", 1);
+  EXPECT_EQ(GetEnvString("QPPT_TEST_ENV_VAR", ""), "hello");
+  ::unsetenv("QPPT_TEST_ENV_VAR");
+}
+
+TEST(EnvTest, UnparsableFallsBack) {
+  ::setenv("QPPT_TEST_ENV_VAR", "notanumber", 1);
+  EXPECT_EQ(GetEnvInt64("QPPT_TEST_ENV_VAR", 42), 42);
+  ::unsetenv("QPPT_TEST_ENV_VAR");
+}
+
+}  // namespace
+}  // namespace qppt
