@@ -4,8 +4,9 @@
 // software-pipelined prefetching (Algorithm 1) hide more DRAM latency,
 // until the batch's working set itself stops fitting in cache.
 
+#include <algorithm>
 #include <benchmark/benchmark.h>
-
+#include <cstdint>
 #include <vector>
 
 #include "index/kiss_tree.h"

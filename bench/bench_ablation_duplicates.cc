@@ -7,7 +7,7 @@
 // per value.
 
 #include <benchmark/benchmark.h>
-
+#include <cstdint>
 #include <vector>
 
 #include "index/duplicate_chain.h"

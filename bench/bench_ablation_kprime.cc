@@ -6,7 +6,7 @@
 // sparse 32-bit keys; time per upsert plus a memory counter.
 
 #include <benchmark/benchmark.h>
-
+#include <cstdint>
 #include <vector>
 
 #include "index/key_encoder.h"

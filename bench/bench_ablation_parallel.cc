@@ -7,6 +7,7 @@
 // subtrees mid-scan.
 
 #include <benchmark/benchmark.h>
+#include <cstdint>
 
 #include "core/parallel.h"
 #include "util/rng.h"

@@ -6,6 +6,7 @@
 // point-probing the right. Low overlap should favor the synchronous scan.
 
 #include <benchmark/benchmark.h>
+#include <cstdint>
 
 #include "core/sync_scan.h"
 #include "index/kiss_tree.h"

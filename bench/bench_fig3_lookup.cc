@@ -2,8 +2,9 @@
 // tables. Same series and sizes as Figure 3(a); structures are prefilled
 // with the dense key range and then probed with random present keys.
 
+#include <algorithm>
 #include <benchmark/benchmark.h>
-
+#include <cstdint>
 #include <vector>
 
 #include "bench_common.h"
@@ -122,8 +123,13 @@ void BM_Lookup_KISS_Batched(benchmark::State& state) {
 }
 
 void Sizes(benchmark::internal::Benchmark* b) {
-  int64_t max_shift = GetEnvInt64("QPPT_FIG3_MAX_SHIFT", 24);
-  for (int64_t shift = 20; shift <= max_shift; shift += 2) {
+  // Clamp: a shift outside [10, 30] would be useless or UB, and a
+  // benchmark registered with zero args would read state.range(0) out of
+  // bounds, so a max_shift below the 2^20 start still emits one size.
+  int64_t max_shift =
+      std::clamp<int64_t>(GetEnvInt64("QPPT_FIG3_MAX_SHIFT", 24), 10, 30);
+  for (int64_t shift = std::min<int64_t>(20, max_shift); shift <= max_shift;
+       shift += 2) {
     b->Arg(int64_t{1} << shift);
   }
   b->Unit(benchmark::kMillisecond);

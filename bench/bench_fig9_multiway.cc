@@ -8,6 +8,7 @@
 // intermediate), diminishing returns after.
 
 #include <cstdio>
+#include <string>
 
 #include "bench_common.h"
 #include "ssb/queries_baseline.h"

@@ -8,6 +8,8 @@
 //
 //   ./examples/index_explorer [num_keys]
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>

@@ -8,7 +8,9 @@
 //
 //   ./examples/olap_retail
 
+#include <cstdint>
 #include <cstdio>
+#include <memory>
 
 #include "core/operators/selection.h"
 #include "core/operators/star_join.h"

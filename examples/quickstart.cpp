@@ -7,7 +7,9 @@
 //
 //   ./examples/quickstart
 
+#include <cstdint>
 #include <cstdio>
+#include <memory>
 
 #include "core/operators/selection.h"
 #include "core/operators/star_join.h"

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Tier-1 verify: configure, build, and run the full test suite.
+# Usage: scripts/verify.sh [Release|Debug]  (default: Release)
+set -euo pipefail
+
+BUILD_TYPE="${1:-Release}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="$ROOT/build"
+
+cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE="$BUILD_TYPE"
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+cd "$BUILD_DIR"
+ctest --output-on-failure -j"$(nproc)"

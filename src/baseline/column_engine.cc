@@ -1,7 +1,9 @@
 #include "baseline/column_engine.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <map>
+#include <vector>
 
 #include "baseline/common.h"
 

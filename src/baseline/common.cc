@@ -1,5 +1,8 @@
 #include "baseline/common.h"
 
+#include <cstdint>
+#include <vector>
+
 namespace qppt::baseline {
 
 Result<DimHash> BuildDimHash(const ColumnTable& table,

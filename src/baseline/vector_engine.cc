@@ -1,6 +1,9 @@
 #include "baseline/vector_engine.h"
 
+#include <algorithm>
+#include <cstdint>
 #include <map>
+#include <vector>
 
 #include "baseline/common.h"
 

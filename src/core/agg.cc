@@ -1,6 +1,8 @@
 #include "core/agg.h"
 
+#include <cstdint>
 #include <limits>
+#include <string>
 
 namespace qppt {
 

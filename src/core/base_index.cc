@@ -1,6 +1,10 @@
 #include "core/base_index.h"
 
 #include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
 
 namespace qppt {
 

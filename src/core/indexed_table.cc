@@ -1,6 +1,10 @@
 #include "core/indexed_table.h"
 
 #include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
 
 namespace qppt {
 

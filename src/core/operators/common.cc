@@ -1,5 +1,10 @@
 #include "core/operators/common.h"
 
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
 namespace qppt {
 
 Result<BoundSide> BoundSide::Bind(const ExecContext& ctx, const SideRef& ref,

@@ -5,6 +5,7 @@
 #define QPPT_CORE_OPERATORS_COMMON_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 

@@ -1,5 +1,9 @@
 #include "core/operators/having.h"
 
+#include <cstdint>
+#include <string>
+#include <vector>
+
 namespace qppt {
 
 Status HavingOp::Execute(ExecContext* ctx) {

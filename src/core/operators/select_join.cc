@@ -1,5 +1,8 @@
 #include "core/operators/select_join.h"
 
+#include <cstdint>
+#include <vector>
+
 namespace qppt {
 
 Status SelectJoinOp::Execute(ExecContext* ctx) {

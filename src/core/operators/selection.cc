@@ -1,5 +1,8 @@
 #include "core/operators/selection.h"
 
+#include <cstdint>
+#include <vector>
+
 namespace qppt {
 
 Status SelectionOp::Execute(ExecContext* ctx) {

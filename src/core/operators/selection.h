@@ -10,6 +10,7 @@
 #ifndef QPPT_CORE_OPERATORS_SELECTION_H_
 #define QPPT_CORE_OPERATORS_SELECTION_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 

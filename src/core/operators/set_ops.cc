@@ -1,5 +1,8 @@
 #include "core/operators/set_ops.h"
 
+#include <cstdint>
+#include <vector>
+
 #include "core/sync_scan.h"
 
 namespace qppt {

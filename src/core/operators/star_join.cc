@@ -1,5 +1,8 @@
 #include "core/operators/star_join.h"
 
+#include <cstdint>
+#include <vector>
+
 #include "core/sync_scan.h"
 
 namespace qppt {

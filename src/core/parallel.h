@@ -13,6 +13,7 @@
 #ifndef QPPT_CORE_PARALLEL_H_
 #define QPPT_CORE_PARALLEL_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <thread>
 #include <utility>

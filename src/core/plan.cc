@@ -1,5 +1,10 @@
 #include "core/plan.h"
 
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
 namespace qppt {
 
 Status ExecContext::Put(const std::string& name,

@@ -1,6 +1,7 @@
 #include "core/stats.h"
 
 #include <cstdio>
+#include <string>
 
 namespace qppt {
 

@@ -1,5 +1,7 @@
 #include "core/sync_scan.h"
 
+#include <cstdint>
+
 #include "util/bits.h"
 
 namespace qppt {

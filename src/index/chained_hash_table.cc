@@ -1,5 +1,8 @@
 #include "index/chained_hash_table.h"
 
+#include <cstdint>
+#include <vector>
+
 #include "util/bits.h"
 
 namespace qppt {

@@ -1,5 +1,7 @@
 #include "index/duplicate_chain.h"
 
+#include <cstdint>
+
 namespace qppt {
 
 void ValueList::Append(uint64_t value, PageArena* arena) {

@@ -1,5 +1,9 @@
 #include "index/key_encoder.h"
 
+#include <cstdint>
+#include <cstring>
+#include <string>
+
 namespace qppt {
 
 double DecodeDouble(const uint8_t* p) {

@@ -1,21 +1,50 @@
 #include "index/kiss_tree.h"
 
-#include <sys/mman.h>
-
 #include <bit>
 #include <cassert>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <new>
+#include <sys/mman.h>
+#include <unistd.h>
+#include <vector>
 
 namespace qppt {
+
+size_t CompactSlab::bytes_resident() const {
+  const size_t page_size = static_cast<size_t>(::sysconf(_SC_PAGESIZE));
+  size_t pages = 0;
+  std::vector<unsigned char> vec(kChunkBytes / page_size);
+  for (char* chunk : chunks_) {
+    if (::mincore(chunk, kChunkBytes, vec.data()) == 0) {
+      for (unsigned char v : vec) pages += v & 1;
+    }
+  }
+  return pages * page_size;
+}
+
+CompactSlab::~CompactSlab() {
+  for (char* chunk : chunks_) {
+    ::munmap(chunk, kChunkBytes);
+  }
+}
 
 uint32_t CompactSlab::Allocate(size_t bytes) {
   bytes = (bytes + kGranularity - 1) & ~(kGranularity - 1);
   assert(bytes <= kChunkBytes);
   if (used_in_chunk_ + bytes > kChunkBytes) {
-    chunks_.emplace_back(new char[kChunkBytes]);
+    // Anonymous mappings are zero-filled on demand, so a freshly allocated
+    // node needs no memset and costs physical memory only for the pages
+    // its written slots land on.
+    void* mem = ::mmap(nullptr, kChunkBytes, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+    if (mem == MAP_FAILED) {
+      std::perror("CompactSlab: mmap of chunk failed");
+      std::abort();
+    }
+    chunks_.push_back(static_cast<char*>(mem));
     used_in_chunk_ = 0;
   }
   size_t chunk = chunks_.size() - 1;
@@ -85,7 +114,7 @@ size_t KissTree::MemoryUsage() const {
     size_t last = (max_key_ >> level2_bits_) * sizeof(uint32_t) / 4096;
     root_touched = (last - first + 1) * 4096;
   }
-  return root_touched + slab_.bytes_reserved() +
+  return root_touched + slab_.bytes_resident() +
          value_arena_.bytes_reserved() + dup_arena_.bytes_reserved();
 }
 
@@ -95,8 +124,9 @@ uint64_t* KissTree::FindOrCreateEntrySlot(uint32_t key) {
   uint32_t handle = root_[bucket];
   if (!config_.compress) {
     if (handle == CompactSlab::kNullHandle) {
+      // Slab memory is zero on allocation (anonymous mapping), so the new
+      // node's empty slots need no explicit clear.
       handle = slab_.Allocate(l2_fanout_ * sizeof(uint64_t));
-      std::memset(slab_.Resolve(handle), 0, l2_fanout_ * sizeof(uint64_t));
       root_[bucket] = handle;
     }
     return UncompressedEntries(handle) + slot;

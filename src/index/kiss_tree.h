@@ -41,7 +41,11 @@
 namespace qppt {
 
 // Slab allocator addressed by 32-bit compact handles (8-byte granularity),
-// used for level-2 nodes so root entries stay 4 bytes.
+// used for level-2 nodes so root entries stay 4 bytes. Chunks are anonymous
+// MAP_NORESERVE mappings, so allocations come back zero-filled and physical
+// pages materialize only when a slot is first written — the same on-demand
+// allocation trick the paper uses for the root array. This is what keeps
+// wide uncompressed level-2 nodes (small root_bits) cheap on sparse keys.
 class CompactSlab {
  public:
   static constexpr size_t kChunkBytes = size_t{1} << 20;  // 1 MiB
@@ -49,17 +53,20 @@ class CompactSlab {
   static constexpr uint32_t kNullHandle = 0;
 
   CompactSlab() = default;
+  ~CompactSlab();
   CompactSlab(const CompactSlab&) = delete;
   CompactSlab& operator=(const CompactSlab&) = delete;
   CompactSlab(CompactSlab&&) = default;
-  CompactSlab& operator=(CompactSlab&&) = default;
+  CompactSlab& operator=(CompactSlab&&) = delete;
 
-  // Allocates `bytes` (rounded up to 8) and returns a non-zero handle.
+  // Allocates `bytes` (rounded up to 8) of zero-filled memory and returns
+  // a non-zero handle. Handles are never freed (the tree's RCU garbage
+  // stays in the slab), so every allocation is virgin zero pages.
   uint32_t Allocate(size_t bytes);
 
   void* Resolve(uint32_t handle) {
     uint32_t unit = handle - 1;
-    return chunks_[unit >> kUnitsPerChunkLog2].get() +
+    return chunks_[unit >> kUnitsPerChunkLog2] +
            (unit & (kUnitsPerChunk - 1)) * kGranularity;
   }
   const void* Resolve(uint32_t handle) const {
@@ -68,12 +75,17 @@ class CompactSlab {
 
   size_t bytes_reserved() const { return chunks_.size() * kChunkBytes; }
 
+  // Physical bytes actually materialized by the OS (resident pages, via
+  // mincore). With lazy-zero chunks this is what a sparse tree truly
+  // costs; bytes_reserved() only counts virtual reservation.
+  size_t bytes_resident() const;
+
  private:
   static constexpr size_t kUnitsPerChunk = kChunkBytes / kGranularity;
   static constexpr size_t kUnitsPerChunkLog2 = 17;
   static_assert((size_t{1} << kUnitsPerChunkLog2) == kUnitsPerChunk);
 
-  std::vector<std::unique_ptr<char[]>> chunks_;
+  std::vector<char*> chunks_;  // anonymous mappings, munmap'd in ~CompactSlab
   size_t used_in_chunk_ = kChunkBytes;  // forces allocation on first use
 };
 

@@ -1,5 +1,8 @@
 #include "index/open_hash_table.h"
 
+#include <cstdint>
+#include <vector>
+
 namespace qppt {
 
 OpenHashTable::OpenHashTable(size_t initial_capacity) {

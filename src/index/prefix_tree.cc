@@ -1,6 +1,8 @@
 #include "index/prefix_tree.h"
 
 #include <cassert>
+#include <cstdint>
+#include <cstring>
 #include <new>
 
 namespace qppt {

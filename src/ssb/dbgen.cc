@@ -1,5 +1,10 @@
 #include "ssb/dbgen.h"
 
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
 #include "util/rng.h"
 
 namespace qppt::ssb {

@@ -15,6 +15,7 @@
 #ifndef QPPT_SSB_DBGEN_H_
 #define QPPT_SSB_DBGEN_H_
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>

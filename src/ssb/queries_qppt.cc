@@ -1,6 +1,9 @@
 #include "ssb/queries_qppt.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
 
 #include "core/operators/select_join.h"
 #include "core/operators/selection.h"

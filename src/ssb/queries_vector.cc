@@ -1,4 +1,6 @@
 #include "baseline/vector_engine.h"
+
+#include <string>
 #include "ssb/queries_baseline.h"
 #include "ssb/queries_qppt.h"
 #include "ssb/star_spec.h"

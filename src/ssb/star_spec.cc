@@ -1,5 +1,9 @@
 #include "ssb/star_spec.h"
 
+#include <cstdint>
+#include <string>
+#include <vector>
+
 namespace qppt::ssb {
 
 namespace {

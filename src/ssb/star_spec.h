@@ -13,6 +13,7 @@
 #define QPPT_SSB_STAR_SPEC_H_
 
 #include <algorithm>
+#include <cstdint>
 #include <string>
 #include <vector>
 

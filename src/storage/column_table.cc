@@ -1,5 +1,9 @@
 #include "storage/column_table.h"
 
+#include <cstdint>
+#include <string>
+#include <vector>
+
 namespace qppt {
 
 ColumnTable ColumnTable::FromRowTable(const RowTable& rows) {

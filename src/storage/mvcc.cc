@@ -1,5 +1,8 @@
 #include "storage/mvcc.h"
 
+#include <cstdint>
+#include <vector>
+
 namespace qppt {
 
 MvccTable::LogicalId MvccTable::Insert(const Transaction& txn,

@@ -1,6 +1,8 @@
 #include "storage/row_table.h"
 
 #include <cassert>
+#include <cstdint>
+#include <string>
 
 namespace qppt {
 

@@ -1,5 +1,8 @@
 #include "storage/schema.h"
 
+#include <string>
+#include <vector>
+
 namespace qppt {
 
 Schema::Schema(std::vector<ColumnDef> columns) : columns_(std::move(columns)) {

@@ -1,6 +1,8 @@
 #include "storage/value.h"
 
+#include <cstdint>
 #include <cstring>
+#include <string>
 
 namespace qppt {
 

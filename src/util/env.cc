@@ -1,6 +1,8 @@
 #include "util/env.h"
 
+#include <cstdint>
 #include <cstdlib>
+#include <string>
 
 namespace qppt {
 

@@ -1,5 +1,7 @@
 #include "util/status.h"
 
+#include <string>
+
 namespace qppt {
 
 std::string_view StatusCodeToString(StatusCode code) {

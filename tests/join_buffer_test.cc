@@ -42,7 +42,9 @@ TEST_F(JoinBufferTest, FlushDeliversResultsInOrder) {
   buffer.Flush(tree_, [&](Ctx& ctx, bool found, const KissTree::ValueRef& v) {
     tags.push_back(ctx.tag);
     EXPECT_EQ(found, ctx.key % 2 == 0) << ctx.key;
-    if (found) EXPECT_EQ(v.front(), uint64_t{ctx.key} * 10);
+    if (found) {
+      EXPECT_EQ(v.front(), uint64_t{ctx.key} * 10);
+    }
   });
   EXPECT_EQ(tags, (std::vector<int>{0, 1, 2}));
   EXPECT_TRUE(buffer.empty());

@@ -80,8 +80,12 @@ TEST(KeyEncoderTest, DoubleRoundTripAndOrder) {
       KeyBuf kb;
       kb.AppendDouble(b);
       int cmp = std::memcmp(ka.data(), kb.data(), 8);
-      if (a < b) ASSERT_LT(cmp, 0) << a << " vs " << b;
-      if (a > b) ASSERT_GT(cmp, 0) << a << " vs " << b;
+      if (a < b) {
+        ASSERT_LT(cmp, 0) << a << " vs " << b;
+      }
+      if (a > b) {
+        ASSERT_GT(cmp, 0) << a << " vs " << b;
+      }
     }
   }
 }

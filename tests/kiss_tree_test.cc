@@ -239,7 +239,9 @@ TEST(KissTreeTest, AggregatePayloads) {
   size_t visited = 0;
   uint32_t prev_key = 0;
   tree.ScanPayloads([&](uint32_t key, const std::byte* p) {
-    if (visited > 0) EXPECT_GT(key, prev_key);
+    if (visited > 0) {
+      EXPECT_GT(key, prev_key);
+    }
     prev_key = key;
     ++visited;
     EXPECT_EQ(reinterpret_cast<const int64_t*>(p)[0], reference.at(key));
