@@ -4,11 +4,17 @@
 // partitioned into disjoint root-bucket shards (core/parallel.h). The
 // paper argues unbalanced tries parallelize well because a key's position
 // is deterministic — no rebalancing can move data between threads'
-// subtrees mid-scan.
+// subtrees mid-scan. Reports in the shared engine-bench row format
+// (bench_common.h), one row per thread count; `morsels` is the number of
+// disjoint shards the partitioner produced.
+//
+//   QPPT_BENCH_REPS=5 ./bench_ablation_parallel
 
-#include <benchmark/benchmark.h>
 #include <cstdint>
+#include <cstdio>
+#include <string>
 
+#include "bench_common.h"
 #include "core/parallel.h"
 #include "util/rng.h"
 
@@ -17,30 +23,47 @@ namespace {
 
 constexpr size_t kKeys = 1 << 21;  // 2M keys, ~3 values/key
 
-void BM_ParallelScan(benchmark::State& state) {
-  size_t threads = static_cast<size_t>(state.range(0));
+void Run() {
   KissTree tree;
   Rng rng(1);
   for (size_t i = 0; i < kKeys * 3; ++i) {
     tree.Insert(static_cast<uint32_t>(rng.NextBounded(kKeys)), i);
   }
-  for (auto _ : state) {
-    uint64_t total = ParallelCountValues(tree, threads);
-    benchmark::DoNotOptimize(total);
+  int reps = bench::Repetitions();
+  std::printf("parallel KISS-Tree scan ablation: %zu keys, %zu values, "
+              "%d reps (min)\n",
+              tree.num_keys(), size_t{kKeys * 3}, reps);
+  bench::PrintThroughputHeader();
+  double serial_ms = 0;
+  double t8_ms = 0;
+  for (size_t threads : {1, 2, 4, 8}) {
+    uint64_t total = 0;
+    double ms = bench::MinWallMs(reps, [&] {
+      total = ParallelCountValues(tree, threads);
+    });
+    if (total != kKeys * 3) {
+      std::fprintf(stderr, "scan dropped values: %llu\n",
+                   static_cast<unsigned long long>(total));
+      std::exit(1);
+    }
+    if (threads == 1) serial_ms = ms;
+    if (threads == 8) t8_ms = ms;
+    bench::LatencyRecorder lat;
+    lat.Add(ms);
+    size_t shards = PartitionKissRange(tree, threads).size();
+    bench::PrintThroughputRow("ablation_parallel",
+                              "t=" + std::to_string(threads),
+                              /*n=*/1, ms, lat, shards);
   }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                          static_cast<int64_t>(kKeys * 3));
+  if (serial_ms > 0 && t8_ms > 0) {
+    std::printf("(speedup at t=8: %.2fx over t=1)\n", serial_ms / t8_ms);
+  }
 }
-
-BENCHMARK(BM_ParallelScan)
-    ->Arg(1)
-    ->Arg(2)
-    ->Arg(4)
-    ->Arg(8)
-    ->Unit(benchmark::kMillisecond)
-    ->UseRealTime();
 
 }  // namespace
 }  // namespace qppt
 
-BENCHMARK_MAIN();
+int main() {
+  qppt::Run();
+  return 0;
+}

@@ -3,9 +3,12 @@
 #ifndef QPPT_BENCH_BENCH_COMMON_H_
 #define QPPT_BENCH_BENCH_COMMON_H_
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/stats.h"
 #include "ssb/dbgen.h"
@@ -50,6 +53,55 @@ double MinWallMs(int reps, F&& fn) {
     if (ms < best) best = ms;
   }
   return best;
+}
+
+// ---- shared throughput/latency reporting -------------------------------------
+//
+// One row format shared by the parallel/engine benches
+// (bench_ablation_parallel, bench_engine_throughput), so thread-scaling
+// numbers stay comparable across binaries:
+//
+//   bench                config          n   wall_ms       qps   p50_ms   p99_ms  morsels
+
+// Per-query latency samples with percentile extraction.
+class LatencyRecorder {
+ public:
+  void Add(double ms) { samples_ms_.push_back(ms); }
+  void Merge(const LatencyRecorder& other) {
+    samples_ms_.insert(samples_ms_.end(), other.samples_ms_.begin(),
+                       other.samples_ms_.end());
+  }
+  size_t count() const { return samples_ms_.size(); }
+
+  // p in [0, 100]; nearest-rank on the sorted samples.
+  double Percentile(double p) const {
+    if (samples_ms_.empty()) return 0;
+    std::vector<double> sorted = samples_ms_;
+    std::sort(sorted.begin(), sorted.end());
+    size_t rank = static_cast<size_t>(p / 100.0 *
+                                      static_cast<double>(sorted.size()));
+    if (rank >= sorted.size()) rank = sorted.size() - 1;
+    return sorted[rank];
+  }
+
+ private:
+  std::vector<double> samples_ms_;
+};
+
+inline void PrintThroughputHeader() {
+  std::printf("%-20s %-14s %6s %9s %9s %8s %8s %8s\n", "bench", "config",
+              "n", "wall_ms", "qps", "p50_ms", "p99_ms", "morsels");
+}
+
+inline void PrintThroughputRow(const std::string& bench,
+                               const std::string& config, size_t n,
+                               double wall_ms, const LatencyRecorder& lat,
+                               uint64_t morsels) {
+  double qps = wall_ms > 0 ? 1000.0 * static_cast<double>(n) / wall_ms : 0;
+  std::printf("%-20s %-14s %6zu %9.2f %9.1f %8.2f %8.2f %8llu\n",
+              bench.c_str(), config.c_str(), n, wall_ms, qps,
+              lat.Percentile(50), lat.Percentile(99),
+              static_cast<unsigned long long>(morsels));
 }
 
 }  // namespace qppt::bench

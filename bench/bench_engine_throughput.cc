@@ -1,0 +1,150 @@
+// Engine throughput: the SSB QPPT query flight through the morsel engine.
+//
+// Two experiments, both in the shared row format (bench_common.h):
+//
+//  1. flight — the 13-query SSB flight run back-to-back by ONE client,
+//     once on a serial EngineRunner (threads=1) and once on a parallel
+//     one (threads=QPPT_ENGINE_THREADS). The speedup line at the end is
+//     the intra-query morsel-parallelism payoff (ISSUE 2 acceptance:
+//     >= 3x at 8 workers on an 8-core machine).
+//
+//  2. closed-loop — QPPT_ENGINE_CLIENTS concurrent client threads, each
+//     looping the flight against the SAME parallel runner for
+//     QPPT_BENCH_REPS rounds, no think time. Reports aggregate
+//     queries/sec and per-query p50/p99 latency — the multi-query
+//     admission story.
+//
+// Knobs: QPPT_SSB_SF (default 0.1), QPPT_ENGINE_THREADS (default 8),
+//        QPPT_ENGINE_CLIENTS (default 4), QPPT_BENCH_REPS (default 3).
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/parallel.h"
+#include "engine/session.h"
+#include "ssb/queries_qppt.h"
+
+namespace qppt {
+namespace {
+
+struct FlightResult {
+  double wall_ms = 0;
+  uint64_t morsels = 0;
+  bench::LatencyRecorder lat;
+  size_t queries = 0;
+};
+
+// One pass over all 13 queries on `runner`.
+FlightResult RunFlight(engine::EngineRunner& runner, const ssb::SsbData& data,
+                       const PlanKnobs& knobs) {
+  FlightResult r;
+  Timer wall;
+  for (const auto& id : ssb::AllQueryIds()) {
+    PlanStats stats;
+    auto result = ssb::RunQppt(runner, data, id, knobs, &stats);
+    if (!result.ok()) {
+      std::fprintf(stderr, "Q%s failed: %s\n", id.c_str(),
+                   result.status().ToString().c_str());
+      std::exit(1);
+    }
+    r.lat.Add(stats.wall_ms);
+    r.morsels += stats.TotalMorsels();
+    ++r.queries;
+  }
+  r.wall_ms = wall.ElapsedMs();
+  return r;
+}
+
+void Run() {
+  size_t threads = static_cast<size_t>(GetEnvInt64("QPPT_ENGINE_THREADS", 8));
+  size_t clients = static_cast<size_t>(GetEnvInt64("QPPT_ENGINE_CLIENTS", 4));
+  int reps = bench::Repetitions();
+  auto data = bench::LoadSsb();
+  PlanKnobs knobs;
+
+  std::printf("engine throughput: SSB SF=%.2f, %zu workers, %zu clients, "
+              "%d reps\n",
+              bench::SsbScaleFactor(), threads, clients, reps);
+  bench::PrintThroughputHeader();
+
+  // ---- experiment 1: single-client flight, serial vs parallel ------------
+  double flight_ms[2] = {0, 0};
+  size_t config_threads[2] = {1, threads};
+  for (int c = 0; c < 2; ++c) {
+    engine::EngineConfig cfg;
+    cfg.threads = config_threads[c];
+    engine::EngineRunner runner(cfg);
+    FlightResult best;
+    double best_ms = 1e300;
+    for (int rep = 0; rep < reps; ++rep) {
+      FlightResult r = RunFlight(runner, *data, knobs);
+      if (r.wall_ms < best_ms) {
+        best_ms = r.wall_ms;
+        best = r;
+      }
+    }
+    flight_ms[c] = best_ms;
+    bench::PrintThroughputRow("flight",
+                              "t=" + std::to_string(config_threads[c]),
+                              best.queries, best.wall_ms, best.lat,
+                              best.morsels);
+  }
+  if (flight_ms[1] > 0) {
+    std::printf("(flight speedup: %.2fx at t=%zu over t=1)\n",
+                flight_ms[0] / flight_ms[1], threads);
+  }
+
+  // ---- experiment 2: closed-loop concurrent clients ----------------------
+  {
+    engine::EngineConfig cfg;
+    cfg.threads = threads;
+    engine::EngineRunner runner(cfg);
+    RunFlight(runner, *data, knobs);  // warm-up
+
+    std::mutex mu;
+    bench::LatencyRecorder all_lat;
+    uint64_t all_morsels = 0;
+    size_t all_queries = 0;
+    Timer wall;
+    ForkJoin fork(clients);
+    for (size_t c = 0; c < clients; ++c) {
+      fork.Spawn([&] {
+        bench::LatencyRecorder lat;
+        uint64_t morsels = 0;
+        size_t queries = 0;
+        for (int rep = 0; rep < reps; ++rep) {
+          for (const auto& id : ssb::AllQueryIds()) {
+            PlanStats stats;
+            auto result = ssb::RunQppt(runner, *data, id, knobs, &stats);
+            if (!result.ok()) std::exit(1);
+            lat.Add(stats.wall_ms);
+            morsels += stats.TotalMorsels();
+            ++queries;
+          }
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        all_lat.Merge(lat);
+        all_morsels += morsels;
+        all_queries += queries;
+      });
+    }
+    fork.Join();
+    double ms = wall.ElapsedMs();
+    bench::PrintThroughputRow(
+        "closed-loop",
+        "c=" + std::to_string(clients) + ",t=" + std::to_string(threads),
+        all_queries, ms, all_lat, all_morsels);
+  }
+}
+
+}  // namespace
+}  // namespace qppt
+
+int main() {
+  qppt::Run();
+  return 0;
+}

@@ -1,0 +1,119 @@
+// engine_server — the engine layer as an in-process "database server".
+//
+// Simulates the deployment the engine was built for: one EngineRunner
+// (fixed morsel worker pool) admitting a mixed workload from several
+// client threads at once —
+//   * OLAP clients running SSB queries through QuerySessions, and
+//   * lookup clients hammering point/range reads against a materialized
+//     indexed table, answered by batched shared synchronous scans.
+//
+// Usage: ./engine_server [scale_factor] [workers] [clients]
+//        (defaults: 0.05, hardware threads, 4)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/operators/selection.h"
+#include "core/parallel.h"
+#include "engine/session.h"
+#include "ssb/dbgen.h"
+#include "ssb/queries_qppt.h"
+
+using namespace qppt;
+
+int main(int argc, char** argv) {
+  double sf = argc > 1 ? std::atof(argv[1]) : 0.05;
+  size_t workers = argc > 2 ? static_cast<size_t>(std::atoi(argv[2]))
+                            : std::thread::hardware_concurrency();
+  size_t clients = argc > 3 ? static_cast<size_t>(std::atoi(argv[3])) : 4;
+
+  std::printf("generating SSB data at SF=%.2f ...\n", sf);
+  ssb::SsbConfig cfg;
+  cfg.scale_factor = sf;
+  cfg.seed = 7;
+  auto data_or = ssb::Generate(cfg);
+  if (!data_or.ok()) {
+    std::fprintf(stderr, "%s\n", data_or.status().ToString().c_str());
+    return 1;
+  }
+  auto data = std::move(data_or).value();
+
+  engine::EngineConfig engine_cfg;
+  engine_cfg.threads = workers;
+  engine::EngineRunner runner(engine_cfg);
+  std::printf("engine up: %zu morsel workers, %zu clients\n",
+              runner.threads(), clients);
+
+  // Materialize a lineorder slice keyed on lo_orderdate once; the lookup
+  // clients then serve "order activity on day X" reads from it.
+  SelectionSpec sel;
+  sel.input_index = "lo_discount";
+  sel.predicate = KeyPredicate::All();
+  sel.carry_columns = {"lo_orderdate", "lo_extendedprice"};
+  sel.output = {"by_date", {"lo_orderdate"}, {}};
+  Plan mat_plan;
+  mat_plan.Emplace<SelectionOp>(sel);
+  ExecContext mat_ctx(&data->db);
+  if (auto st = mat_plan.Run(&mat_ctx); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  const IndexedTable* by_date = mat_ctx.Get("by_date").value();
+  std::printf("materialized by_date: %zu tuples, %zu distinct days\n\n",
+              by_date->num_tuples(), by_date->num_keys());
+
+  // Mixed workload: even client ids run OLAP flights, odd ids run lookups.
+  const std::vector<std::string> olap_ids = {"1.1", "2.1", "3.1", "4.1"};
+  ForkJoin fork(clients);
+  std::vector<std::string> reports(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    fork.Spawn([&, c] {
+      auto session = runner.OpenSession();
+      char buf[160];
+      if (c % 2 == 0) {
+        for (const auto& id : olap_ids) {
+          PlanStats stats;
+          auto result = ssb::RunQppt(runner, *data, id, PlanKnobs{}, &stats);
+          if (!result.ok()) return;
+          std::snprintf(buf, sizeof(buf),
+                        "  client %zu: Q%s -> %4zu rows  %7.2f ms  "
+                        "%3llu morsels\n",
+                        c, id.c_str(), result->rows.size(), stats.wall_ms,
+                        static_cast<unsigned long long>(stats.TotalMorsels()));
+          reports[c] += buf;
+        }
+      } else {
+        uint64_t hits = 0;
+        size_t reads = 400;
+        for (size_t i = 0; i < reads; ++i) {
+          // A valid d_datekey: y*10000 + m*100 + d in the SSB domain.
+          int64_t day = (1992 + static_cast<int64_t>(i % 7)) * 10000 +
+                        (1 + static_cast<int64_t>((i / 7) % 12)) * 100 +
+                        (1 + static_cast<int64_t>((c + i) % 28));
+          hits += session.PointRead(*by_date, day).size();
+        }
+        std::snprintf(buf, sizeof(buf),
+                      "  client %zu: %zu point reads -> %llu order rows\n",
+                      c, reads, static_cast<unsigned long long>(hits));
+        reports[c] += buf;
+      }
+    });
+  }
+  fork.Join();
+
+  std::printf("workload report:\n");
+  for (const auto& r : reports) std::printf("%s", r.c_str());
+  auto rs = runner.read_stats();
+  std::printf("\nengine totals: %llu queries admitted, %llu reads answered "
+              "by %llu shared scans (%.1f reads/scan)\n",
+              static_cast<unsigned long long>(runner.queries_admitted()),
+              static_cast<unsigned long long>(rs.reads),
+              static_cast<unsigned long long>(rs.shared_scans),
+              rs.shared_scans > 0 ? static_cast<double>(rs.batched_keys) /
+                                        static_cast<double>(rs.shared_scans)
+                                  : 0.0);
+  return 0;
+}

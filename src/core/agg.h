@@ -122,6 +122,12 @@ class BoundAggSpec {
   // Folds `row` (input-tuple slots) into the accumulator.
   void Combine(std::byte* payload, const uint64_t* row) const;
 
+  // Folds accumulator `src` into `dst` (both initialized with Init). This
+  // is the partial-state merge the engine's parallel aggregation uses:
+  // each worker folds into a private accumulator, and the partials are
+  // merged once at the end (sum/count/avg add, min/max compare).
+  void Merge(std::byte* dst, const std::byte* src) const;
+
   // Reads the finalized value of term `i` (AVG divides by the count slot).
   // `is_double` per-term tells how to interpret the slot.
   uint64_t Finalize(const std::byte* payload, size_t i) const;

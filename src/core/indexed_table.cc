@@ -181,6 +181,47 @@ bool IndexedTable::InsertIfAbsent(const uint64_t* row) {
   return true;
 }
 
+std::unique_ptr<IndexedTable> IndexedTable::CloneEmpty() const {
+  auto t = std::unique_ptr<IndexedTable>(new IndexedTable());
+  t->kind_ = kind_;
+  t->schema_ = schema_;
+  t->key_cols_ = key_cols_;
+  t->key_types_ = key_types_;
+  t->agg_ = agg_;
+  t->bound_agg_ = bound_agg_;
+  if (kind_ == Kind::kKiss) {
+    t->kiss_ = std::make_unique<KissTree>(kiss_->config());
+  } else {
+    t->prefix_ = std::make_unique<PrefixTree>(prefix_->config());
+  }
+  return t;
+}
+
+void IndexedTable::MergeFrom(const IndexedTable& other) {
+  assert(kind_ == other.kind_ &&
+         schema_.num_columns() == other.schema_.num_columns());
+  if (agg_.empty()) {
+    other.ScanInOrder([&](const uint64_t* row) { Insert(row); });
+    return;
+  }
+  num_tuples_ += other.num_tuples_;
+  if (kind_ == Kind::kKiss) {
+    other.kiss_->ScanPayloads([&](uint32_t key, const std::byte* src) {
+      bool created = false;
+      std::byte* dst = kiss_->FindOrCreatePayload(key, &created);
+      if (created) bound_agg_.Init(dst);
+      bound_agg_.Merge(dst, src);
+    });
+  } else {
+    other.prefix_->ScanAll([&](const PrefixTree::ContentNode& c) {
+      bool created = false;
+      std::byte* dst = prefix_->FindOrCreatePayload(c.key(), &created);
+      if (created) bound_agg_.Init(dst);
+      bound_agg_.Merge(dst, other.prefix_->PayloadOf(&c));
+    });
+  }
+}
+
 void IndexedTable::InsertAggregated(const uint64_t* key_slots,
                                     const uint64_t* input_row) {
   assert(!agg_.empty());

@@ -118,6 +118,18 @@ class IndexedTable {
   // `key_slots` (one slot per key column).
   void InsertAggregated(const uint64_t* key_slots, const uint64_t* input_row);
 
+  // --- parallel partials (engine layer) ---------------------------------------
+
+  // A fresh empty table with identical schema, keys, aggregation, and
+  // index configuration — the per-worker partial output of a parallel
+  // operator.
+  std::unique_ptr<IndexedTable> CloneEmpty() const;
+
+  // Folds `other` (a CloneEmpty sibling) into this table: plain tables
+  // re-insert the tuples, aggregate tables merge the per-group
+  // accumulators (BoundAggSpec::Merge). Single-threaded.
+  void MergeFrom(const IndexedTable& other);
+
   // In-order scan over groups: fn(const uint64_t* out_row) where out_row
   // has schema(): decoded key columns followed by finalized aggregates.
   template <typename F>

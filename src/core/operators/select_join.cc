@@ -1,7 +1,12 @@
 #include "core/operators/select_join.h"
 
+#include <algorithm>
 #include <cstdint>
+#include <limits>
+#include <memory>
 #include <vector>
+
+#include "engine/parallel_ops.h"
 
 namespace qppt {
 
@@ -47,43 +52,92 @@ Status SelectJoinOp::Execute(ExecContext* ctx) {
 
   stats.input_tuples = index->num_rows();
 
-  CandidatePipeline pipeline(std::move(assists), width, output.get(),
-                             std::move(key_positions),
-                             ctx->knobs().join_buffer_size);
+  // Parallel path: the selection scan runs over a KISS-indexed range/all
+  // predicate, so it partitions into disjoint key-range morsels; each
+  // worker streams its qualifiers through a private probe pipeline into a
+  // private partial output (§4.3 composition preserved per worker).
+  engine::WorkerPool* pool = ctx->worker_pool();
+  const KissTree* kiss = index->kiss();
+  const bool parallel =
+      pool != nullptr && ctx->knobs().threads > 1 && kiss != nullptr &&
+      (spec_.predicate.kind == KeyPredicate::Kind::kRange ||
+       spec_.predicate.kind == KeyPredicate::Kind::kAll) &&
+      index->num_rows() >= engine::kMinParallelInputTuples;
 
-  // Selection scan: qualifying tuples stream straight into the probe
-  // pipeline — no intermediate index is ever materialized (§4.3).
-  auto emit = [&](uint64_t value) {
-    for (const auto& r : residuals) {
-      if (!r.Eval(value)) return;
+  if (parallel) {
+    uint32_t lo = 0;
+    uint32_t hi = std::numeric_limits<uint32_t>::max();
+    if (spec_.predicate.kind == KeyPredicate::Kind::kRange) {
+      lo = BaseIndex::KissKeyOf(SlotFromInt64(spec_.predicate.lo));
+      hi = BaseIndex::KissKeyOf(SlotFromInt64(spec_.predicate.hi));
     }
-    uint64_t* row = pipeline.AddRow();
-    left.Fill(value, row);
-    pipeline.MaybeProcess();
-  };
+    size_t workers = pool->num_workers();
+    engine::PartialOutputs partials(*output, workers);
+    std::vector<std::unique_ptr<CandidatePipeline>> pipelines;
+    pipelines.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) {
+      pipelines.push_back(std::make_unique<CandidatePipeline>(
+          assists, width, partials.worker(w), key_positions,
+          ctx->knobs().join_buffer_size));
+    }
+    stats.morsels = engine::RunKissValueMorsels(
+        pool, *kiss, lo, hi, [&](size_t w, uint64_t value) {
+          for (const auto& r : residuals) {
+            if (!r.Eval(value)) return;
+          }
+          CandidatePipeline* pipeline = pipelines[w].get();
+          uint64_t* row = pipeline->AddRow();
+          left.Fill(value, row);
+          pipeline->MaybeProcess();
+        });
+    // Per-phase times overlap across workers; report the slowest worker
+    // (the critical path), which stays comparable to total_ms.
+    for (size_t w = 0; w < workers; ++w) {
+      pipelines[w]->Finish();
+      stats.materialize_ms =
+          std::max(stats.materialize_ms, pipelines[w]->materialize_ms());
+      stats.index_ms = std::max(stats.index_ms, pipelines[w]->index_ms());
+    }
+    partials.MergeInto(output.get());
+  } else {
+    CandidatePipeline pipeline(std::move(assists), width, output.get(),
+                               std::move(key_positions),
+                               ctx->knobs().join_buffer_size);
 
-  switch (spec_.predicate.kind) {
-    case KeyPredicate::Kind::kPoint:
-      index->ForEachMatch(SlotFromInt64(spec_.predicate.point), emit);
-      break;
-    case KeyPredicate::Kind::kRange:
-      index->ForEachInRange(SlotFromInt64(spec_.predicate.lo),
-                            SlotFromInt64(spec_.predicate.hi), emit);
-      break;
-    case KeyPredicate::Kind::kIn:
-      for (int64_t point : spec_.predicate.in_points) {
-        index->ForEachMatch(SlotFromInt64(point), emit);
+    // Selection scan: qualifying tuples stream straight into the probe
+    // pipeline — no intermediate index is ever materialized (§4.3).
+    auto emit = [&](uint64_t value) {
+      for (const auto& r : residuals) {
+        if (!r.Eval(value)) return;
       }
-      break;
-    case KeyPredicate::Kind::kAll:
-      index->ForEachValue(emit);
-      break;
+      uint64_t* row = pipeline.AddRow();
+      left.Fill(value, row);
+      pipeline.MaybeProcess();
+    };
+
+    switch (spec_.predicate.kind) {
+      case KeyPredicate::Kind::kPoint:
+        index->ForEachMatch(SlotFromInt64(spec_.predicate.point), emit);
+        break;
+      case KeyPredicate::Kind::kRange:
+        index->ForEachInRange(SlotFromInt64(spec_.predicate.lo),
+                              SlotFromInt64(spec_.predicate.hi), emit);
+        break;
+      case KeyPredicate::Kind::kIn:
+        for (int64_t point : spec_.predicate.in_points) {
+          index->ForEachMatch(SlotFromInt64(point), emit);
+        }
+        break;
+      case KeyPredicate::Kind::kAll:
+        index->ForEachValue(emit);
+        break;
+    }
+    pipeline.Finish();
+    stats.materialize_ms = pipeline.materialize_ms();
+    stats.index_ms = pipeline.index_ms();
   }
-  pipeline.Finish();
 
   FillOutputStats(*output, &stats);
-  stats.materialize_ms = pipeline.materialize_ms();
-  stats.index_ms = pipeline.index_ms();
   stats.total_ms = total.ElapsedMs();
   QPPT_RETURN_NOT_OK(ctx->Put(spec_.output.slot, std::move(output)));
   ctx->stats()->operators.push_back(std::move(stats));

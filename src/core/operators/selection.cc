@@ -1,7 +1,10 @@
 #include "core/operators/selection.h"
 
 #include <cstdint>
+#include <limits>
 #include <vector>
+
+#include "engine/parallel_ops.h"
 
 namespace qppt {
 
@@ -24,87 +27,126 @@ Status SelectionOp::Execute(ExecContext* ctx) {
 
   stats.input_tuples = index->num_rows();
   size_t width = side.num_columns();
-  std::vector<uint64_t> row(width);
-  std::vector<uint64_t> key_slots;
+  const bool aggregating = !spec_.output.agg.empty();
   std::vector<size_t> key_positions;
-  if (!spec_.output.agg.empty()) {
-    key_slots.resize(spec_.output.key_columns.size());
+  if (aggregating) {
     for (const auto& k : spec_.output.key_columns) {
       QPPT_ASSIGN_OR_RETURN(size_t idx, assembled.ColumnIndex(k));
       key_positions.push_back(idx);
     }
   }
 
-  Timer phase;
-  double materialize_ms = 0;
-  auto emit = [&](uint64_t value) {
+  // Evaluates residuals for one qualifying index value and inserts the
+  // assembled tuple into `out`. `row` / `key_slots` are caller-owned
+  // scratch (per-worker in the parallel path).
+  auto process = [&](uint64_t value, uint64_t* row, uint64_t* key_slots,
+                     IndexedTable* out) {
     for (const auto& r : residuals) {
       if (!r.Eval(value)) return;
     }
-    side.Fill(value, row.data());
-    if (spec_.output.agg.empty()) {
-      output->Insert(row.data());
+    side.Fill(value, row);
+    if (!aggregating) {
+      out->Insert(row);
     } else {
       for (size_t i = 0; i < key_positions.size(); ++i) {
         key_slots[i] = row[key_positions[i]];
       }
-      output->InsertAggregated(key_slots.data(), row.data());
+      out->InsertAggregated(key_slots, row);
     }
   };
 
-  if (!spec_.composite_range.empty()) {
-    // Conjunctive predicate over a multidimensional index (§4.1). The
-    // composite encoding is scanned over the lexicographic range; the
-    // per-component box bounds are verified on each hit (a lexicographic
-    // range is a superset of the box for the middle leading-component
-    // values).
-    size_t dims = spec_.composite_range.size();
-    if (dims != index->num_key_columns()) {
-      return Status::InvalidArgument(
-          "composite_range must give one (lo, hi) pair per index key "
-          "column");
+  // Parallel path: a KISS-indexed range/all selection large enough to
+  // amortize the fork-join. Each worker scans disjoint morsel key ranges
+  // into a private partial output; partials merge at the end.
+  engine::WorkerPool* pool = ctx->worker_pool();
+  const KissTree* kiss = index->kiss();
+  const bool parallel =
+      pool != nullptr && ctx->knobs().threads > 1 && kiss != nullptr &&
+      spec_.composite_range.empty() &&
+      (spec_.predicate.kind == KeyPredicate::Kind::kRange ||
+       spec_.predicate.kind == KeyPredicate::Kind::kAll) &&
+      index->num_rows() >= engine::kMinParallelInputTuples;
+
+  Timer phase;
+  if (parallel) {
+    uint32_t lo = 0;
+    uint32_t hi = std::numeric_limits<uint32_t>::max();
+    if (spec_.predicate.kind == KeyPredicate::Kind::kRange) {
+      lo = BaseIndex::KissKeyOf(SlotFromInt64(spec_.predicate.lo));
+      hi = BaseIndex::KissKeyOf(SlotFromInt64(spec_.predicate.hi));
     }
-    std::vector<BaseIndex::Accessor> key_accessors;
-    for (const auto& name : index->key_column_names()) {
-      QPPT_ASSIGN_OR_RETURN(auto acc, index->BindColumn(name));
-      key_accessors.push_back(acc);
-    }
-    std::vector<uint64_t> lo(dims), hi(dims);
-    for (size_t i = 0; i < dims; ++i) {
-      lo[i] = SlotFromInt64(spec_.composite_range[i].first);
-      hi[i] = SlotFromInt64(spec_.composite_range[i].second);
-    }
-    auto emit_boxed = [&](uint64_t value) {
-      for (size_t i = 0; i < dims; ++i) {
-        int64_t v = Int64FromSlot(key_accessors[i].Get(value));
-        if (v < spec_.composite_range[i].first ||
-            v > spec_.composite_range[i].second) {
-          return;
-        }
-      }
-      emit(value);
-    };
-    index->ForEachInCompositeRange(lo.data(), hi.data(), emit_boxed);
+    size_t workers = pool->num_workers();
+    engine::PartialOutputs partials(*output, workers);
+    std::vector<std::vector<uint64_t>> rows(workers,
+                                            std::vector<uint64_t>(width));
+    std::vector<std::vector<uint64_t>> keys(
+        workers, std::vector<uint64_t>(key_positions.size() + 1));
+    stats.morsels = engine::RunKissValueMorsels(
+        pool, *kiss, lo, hi, [&](size_t w, uint64_t value) {
+          process(value, rows[w].data(), keys[w].data(),
+                  partials.worker(w));
+        });
+    partials.MergeInto(output.get());
   } else {
-    switch (spec_.predicate.kind) {
-      case KeyPredicate::Kind::kPoint:
-        index->ForEachMatch(SlotFromInt64(spec_.predicate.point), emit);
-        break;
-      case KeyPredicate::Kind::kRange:
-        index->ForEachInRange(SlotFromInt64(spec_.predicate.lo),
-                              SlotFromInt64(spec_.predicate.hi), emit);
-        break;
-      case KeyPredicate::Kind::kIn:
-        for (int64_t point : spec_.predicate.in_points) {
-          index->ForEachMatch(SlotFromInt64(point), emit);
+    std::vector<uint64_t> row(width);
+    std::vector<uint64_t> key_slots(key_positions.size() + 1);
+    auto emit = [&](uint64_t value) {
+      process(value, row.data(), key_slots.data(), output.get());
+    };
+    if (!spec_.composite_range.empty()) {
+      // Conjunctive predicate over a multidimensional index (§4.1). The
+      // composite encoding is scanned over the lexicographic range; the
+      // per-component box bounds are verified on each hit (a lexicographic
+      // range is a superset of the box for the middle leading-component
+      // values).
+      size_t dims = spec_.composite_range.size();
+      if (dims != index->num_key_columns()) {
+        return Status::InvalidArgument(
+            "composite_range must give one (lo, hi) pair per index key "
+            "column");
+      }
+      std::vector<BaseIndex::Accessor> key_accessors;
+      for (const auto& name : index->key_column_names()) {
+        QPPT_ASSIGN_OR_RETURN(auto acc, index->BindColumn(name));
+        key_accessors.push_back(acc);
+      }
+      std::vector<uint64_t> lo(dims), hi(dims);
+      for (size_t i = 0; i < dims; ++i) {
+        lo[i] = SlotFromInt64(spec_.composite_range[i].first);
+        hi[i] = SlotFromInt64(spec_.composite_range[i].second);
+      }
+      auto emit_boxed = [&](uint64_t value) {
+        for (size_t i = 0; i < dims; ++i) {
+          int64_t v = Int64FromSlot(key_accessors[i].Get(value));
+          if (v < spec_.composite_range[i].first ||
+              v > spec_.composite_range[i].second) {
+            return;
+          }
         }
-        break;
-      case KeyPredicate::Kind::kAll:
-        index->ForEachValue(emit);
-        break;
+        emit(value);
+      };
+      index->ForEachInCompositeRange(lo.data(), hi.data(), emit_boxed);
+    } else {
+      switch (spec_.predicate.kind) {
+        case KeyPredicate::Kind::kPoint:
+          index->ForEachMatch(SlotFromInt64(spec_.predicate.point), emit);
+          break;
+        case KeyPredicate::Kind::kRange:
+          index->ForEachInRange(SlotFromInt64(spec_.predicate.lo),
+                                SlotFromInt64(spec_.predicate.hi), emit);
+          break;
+        case KeyPredicate::Kind::kIn:
+          for (int64_t point : spec_.predicate.in_points) {
+            index->ForEachMatch(SlotFromInt64(point), emit);
+          }
+          break;
+        case KeyPredicate::Kind::kAll:
+          index->ForEachValue(emit);
+          break;
+      }
     }
   }
-  materialize_ms = phase.ElapsedMs();
+  double materialize_ms = phase.ElapsedMs();
 
   FillOutputStats(*output, &stats);
   // The scan interleaves materialization and indexing; attribute the

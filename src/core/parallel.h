@@ -6,15 +6,20 @@
 // assigned to threads without the rebalancing hazards of B-trees (a
 // balancing operation may move already-processed data into another
 // thread's subtree). This header provides that partitioning for both
-// index families plus a simple fork-join driver, which is the substrate a
-// parallel operator needs; the shipped operators remain single-threaded,
-// matching the paper's evaluation setup.
+// index families plus a simple fork-join driver. PartitionKissRange /
+// PartitionPrefixRange are also the morsel sources of the engine layer
+// (engine/scheduler.h), which turns the substrate into concurrent
+// operator throughput.
 
 #ifndef QPPT_CORE_PARALLEL_H_
 #define QPPT_CORE_PARALLEL_H_
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdint>
+#include <exception>
+#include <limits>
+#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -24,16 +29,66 @@
 
 namespace qppt {
 
-// Key subranges [lo, hi] (inclusive) covering the tree's populated key
-// span, aligned to root buckets so no level-2 node is shared between
-// shards. Returns at most `shards` non-empty ranges, in ascending order.
+// Fork-join scope: spawned workers are joined on scope exit no matter how
+// the scope unwinds, and the first exception a worker throws is captured
+// and rethrown from Join() on the forking thread. Without this, a throwing
+// shard functor escapes its std::thread and terminates the process.
+class ForkJoin {
+ public:
+  explicit ForkJoin(size_t expected = 0) { workers_.reserve(expected); }
+  ~ForkJoin() { JoinAll(); }
+  ForkJoin(const ForkJoin&) = delete;
+  ForkJoin& operator=(const ForkJoin&) = delete;
+
+  template <typename F>
+  void Spawn(F&& fn) {
+    workers_.emplace_back([this, fn = std::forward<F>(fn)]() mutable {
+      try {
+        fn();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!error_) error_ = std::current_exception();
+      }
+    });
+  }
+
+  // Joins all workers, then rethrows the first captured exception (if any).
+  void Join() {
+    JoinAll();
+    if (error_) {
+      std::exception_ptr e = error_;
+      error_ = nullptr;
+      std::rethrow_exception(e);
+    }
+  }
+
+ private:
+  void JoinAll() {
+    for (auto& w : workers_) {
+      if (w.joinable()) w.join();
+    }
+    workers_.clear();
+  }
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::exception_ptr error_;
+};
+
+// Key subranges [lo, hi] (inclusive) covering the intersection of
+// [span_lo, span_hi] with the tree's populated key span, aligned to root
+// buckets so no level-2 node is shared between shards. Returns at most
+// `shards` non-empty ranges, in ascending order.
 inline std::vector<std::pair<uint32_t, uint32_t>> PartitionKissRange(
-    const KissTree& tree, size_t shards) {
+    const KissTree& tree, uint32_t span_lo, uint32_t span_hi, size_t shards) {
   std::vector<std::pair<uint32_t, uint32_t>> ranges;
   if (tree.empty() || shards == 0) return ranges;
+  uint32_t lo = std::max(span_lo, tree.min_key());
+  uint32_t hi = std::min(span_hi, tree.max_key());
+  if (lo > hi) return ranges;
   size_t l2 = tree.level2_bits();
-  uint64_t first_bucket = tree.min_key() >> l2;
-  uint64_t last_bucket = tree.max_key() >> l2;
+  uint64_t first_bucket = lo >> l2;
+  uint64_t last_bucket = hi >> l2;
   uint64_t buckets = last_bucket - first_bucket + 1;
   if (shards > buckets) shards = static_cast<size_t>(buckets);
   uint64_t per_shard = buckets / shards;
@@ -42,12 +97,47 @@ inline std::vector<std::pair<uint32_t, uint32_t>> PartitionKissRange(
   for (size_t s = 0; s < shards; ++s) {
     uint64_t take = per_shard + (s < extra ? 1 : 0);
     uint64_t end_bucket = bucket + take - 1;
-    uint32_t lo = static_cast<uint32_t>(bucket << l2);
-    uint32_t hi = static_cast<uint32_t>(((end_bucket + 1) << l2) - 1);
-    if (bucket == first_bucket) lo = tree.min_key();
-    if (end_bucket == last_bucket) hi = tree.max_key();
-    ranges.emplace_back(lo, hi);
+    uint32_t range_lo = static_cast<uint32_t>(bucket << l2);
+    uint32_t range_hi = static_cast<uint32_t>(((end_bucket + 1) << l2) - 1);
+    if (bucket == first_bucket) range_lo = lo;
+    if (end_bucket == last_bucket) range_hi = hi;
+    ranges.emplace_back(range_lo, range_hi);
     bucket = end_bucket + 1;
+  }
+  return ranges;
+}
+
+// Full-span overload: covers the tree's whole populated key range.
+inline std::vector<std::pair<uint32_t, uint32_t>> PartitionKissRange(
+    const KissTree& tree, size_t shards) {
+  return PartitionKissRange(tree, 0, std::numeric_limits<uint32_t>::max(),
+                            shards);
+}
+
+// Root-slot spans [begin, end) partitioning a prefix tree into at most
+// `shards` disjoint subtree groups. Only *populated* root slots count
+// toward the balance, so a skewed tree still yields evenly loaded shards;
+// every returned span contains at least one populated slot.
+inline std::vector<std::pair<size_t, size_t>> PartitionPrefixRange(
+    const PrefixTree& tree, size_t shards) {
+  std::vector<std::pair<size_t, size_t>> ranges;
+  if (tree.num_keys() == 0 || shards == 0) return ranges;
+  size_t fanout = std::min(tree.fanout(),
+                           size_t{1} << std::min<size_t>(
+                               tree.config().kprime, tree.key_len() * 8));
+  std::vector<size_t> used;
+  for (size_t i = 0; i < fanout; ++i) {
+    if (tree.root()->slots[i] != 0) used.push_back(i);
+  }
+  if (used.empty()) return ranges;
+  if (shards > used.size()) shards = used.size();
+  size_t per = used.size() / shards;
+  size_t extra = used.size() % shards;
+  size_t at = 0;
+  for (size_t s = 0; s < shards; ++s) {
+    size_t take = per + (s < extra ? 1 : 0);
+    ranges.emplace_back(used[at], used[at + take - 1] + 1);
+    at += take;
   }
   return ranges;
 }
@@ -68,51 +158,40 @@ void ParallelScan(const KissTree& tree, size_t threads, F&& fn) {
                    });
     return;
   }
-  std::vector<std::thread> workers;
-  workers.reserve(ranges.size());
+  ForkJoin fork(ranges.size());
   for (size_t s = 0; s < ranges.size(); ++s) {
-    workers.emplace_back([&, s] {
+    fork.Spawn([&, s] {
       tree.ScanRange(ranges[s].first, ranges[s].second,
                      [&](uint32_t key, const KissTree::ValueRef& values) {
                        fn(s, key, values);
                      });
     });
   }
-  for (auto& w : workers) w.join();
+  fork.Join();
 }
 
 // Scans a prefix tree with `threads` workers by splitting the root node's
-// buckets into contiguous spans. F: void(size_t shard,
+// populated buckets into contiguous spans. F: void(size_t shard,
 // const PrefixTree::ContentNode&).
 template <typename F>
 void ParallelScan(const PrefixTree& tree, size_t threads, F&& fn) {
-  if (tree.num_keys() == 0 || threads == 0) return;
-  size_t fanout = std::min(tree.fanout(),
-                           size_t{1} << std::min<size_t>(
-                               tree.config().kprime, tree.key_len() * 8));
-  if (threads > fanout) threads = fanout;
-  if (threads <= 1) {
-    tree.ScanRootSlots(0, fanout, [&](const PrefixTree::ContentNode& c) {
-      fn(size_t{0}, c);
-    });
+  auto ranges = PartitionPrefixRange(tree, threads);
+  if (ranges.empty()) return;
+  if (ranges.size() == 1) {
+    tree.ScanRootSlots(ranges[0].first, ranges[0].second,
+                       [&](const PrefixTree::ContentNode& c) {
+                         fn(size_t{0}, c);
+                       });
     return;
   }
-  size_t per = fanout / threads;
-  size_t extra = fanout % threads;
-  std::vector<std::thread> workers;
-  workers.reserve(threads);
-  size_t begin = 0;
-  for (size_t s = 0; s < threads; ++s) {
-    size_t take = per + (s < extra ? 1 : 0);
-    size_t end = begin + take;
-    workers.emplace_back([&, s, begin, end] {
-      tree.ScanRootSlots(begin, end, [&](const PrefixTree::ContentNode& c) {
-        fn(s, c);
-      });
+  ForkJoin fork(ranges.size());
+  for (size_t s = 0; s < ranges.size(); ++s) {
+    fork.Spawn([&, s] {
+      tree.ScanRootSlots(ranges[s].first, ranges[s].second,
+                         [&](const PrefixTree::ContentNode& c) { fn(s, c); });
     });
-    begin = end;
   }
-  for (auto& w : workers) w.join();
+  fork.Join();
 }
 
 // Convenience: parallel duplicate-aware tuple count (sanity/statistics).

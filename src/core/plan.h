@@ -25,6 +25,10 @@
 
 namespace qppt {
 
+namespace engine {
+class WorkerPool;  // engine/scheduler.h — the morsel worker pool
+}  // namespace engine
+
 struct PlanKnobs {
   // Fuse selections into subsequent joins where the plan allows (§4.3).
   bool use_select_join = true;
@@ -33,6 +37,10 @@ struct PlanKnobs {
   // Maximum operator arity for multi-way/star joins; 0 = unlimited.
   // (Interpreted by plan builders, not by operators.)
   int max_join_ways = 0;
+  // Morsel workers for the hot operators (engine layer, §7). 1 = serial;
+  // >1 requires a WorkerPool attached to the ExecContext (the
+  // EngineRunner does both).
+  size_t threads = 1;
   // Index construction parameters for intermediate tables.
   IndexedTable::Options table_options;
 };
@@ -40,12 +48,20 @@ struct PlanKnobs {
 class ExecContext {
  public:
   ExecContext(const Database* db, PlanKnobs knobs = PlanKnobs{})
-      : db_(db), knobs_(knobs) {}
+      : db_(db), knobs_(knobs) {
+    stats_.threads = knobs_.threads;
+  }
 
   const Database& db() const { return *db_; }
   const PlanKnobs& knobs() const { return knobs_; }
   PlanStats* stats() { return &stats_; }
   const PlanStats& stats() const { return stats_; }
+
+  // The engine's morsel worker pool, or nullptr when executing serially.
+  // Operators take the parallel path only when a pool is attached AND
+  // knobs().threads > 1.
+  engine::WorkerPool* worker_pool() const { return pool_; }
+  void set_worker_pool(engine::WorkerPool* pool) { pool_ = pool; }
 
   // Registers an operator's output under `name`.
   Status Put(const std::string& name, std::unique_ptr<IndexedTable> table);
@@ -55,6 +71,7 @@ class ExecContext {
  private:
   const Database* db_;
   PlanKnobs knobs_;
+  engine::WorkerPool* pool_ = nullptr;
   std::map<std::string, std::unique_ptr<IndexedTable>> slots_;
   PlanStats stats_;
 };

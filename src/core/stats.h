@@ -8,6 +8,7 @@
 #define QPPT_CORE_STATS_H_
 
 #include <chrono>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -38,15 +39,29 @@ struct OperatorStats {
   uint64_t output_tuples = 0;
   uint64_t output_keys = 0;      // distinct keys / groups
   uint64_t output_bytes = 0;     // output index memory
+  uint64_t morsels = 0;          // engine morsels executed (0 = serial path)
 };
 
 struct PlanStats {
   std::vector<OperatorStats> operators;
-  double total_ms = 0;
+  double total_ms = 0;   // operator execution only (Plan::Run)
+  double wall_ms = 0;    // end-to-end query wall time, incl. result
+                         // extraction and final ORDER BY (set by the
+                         // query driver / engine runner)
+  size_t threads = 1;    // morsel workers the query was admitted with
 
   void Clear() {
     operators.clear();
     total_ms = 0;
+    wall_ms = 0;
+    threads = 1;
+  }
+
+  // Total engine morsels across all operators (0 = fully serial plan).
+  uint64_t TotalMorsels() const {
+    uint64_t total = 0;
+    for (const auto& op : operators) total += op.morsels;
+    return total;
   }
 
   // Demonstrator-style per-operator breakdown.

@@ -21,6 +21,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdint>
+#include <limits>
 
 #include "index/kiss_tree.h"
 #include "index/prefix_tree.h"
@@ -31,13 +32,19 @@ namespace qppt {
 //
 // F: void(uint32_t key, const KissTree::ValueRef& left_values,
 //         const KissTree::ValueRef& right_values)
+//
+// The range variant restricts the lock-step scan to keys in
+// [span_lo, span_hi] — the engine layer partitions the shared span into
+// disjoint morsels and runs one SynchronousScanRange per morsel, so the
+// join parallelizes without the two trees ever being mutated.
 template <typename F>
-void SynchronousScan(const KissTree& left, const KissTree& right, F&& fn) {
+void SynchronousScanRange(const KissTree& left, const KissTree& right,
+                          uint32_t span_lo, uint32_t span_hi, F&& fn) {
   if (left.empty() || right.empty()) return;
   assert(left.root_size() == right.root_size() &&
          "synchronous scan requires identical root fragment widths");
-  uint32_t lo = std::max(left.min_key(), right.min_key());
-  uint32_t hi = std::min(left.max_key(), right.max_key());
+  uint32_t lo = std::max({span_lo, left.min_key(), right.min_key()});
+  uint32_t hi = std::min({span_hi, left.max_key(), right.max_key()});
   if (lo > hi) return;
   size_t l2 = left.level2_bits();
   size_t first_bucket = lo >> l2;
@@ -57,6 +64,12 @@ void SynchronousScan(const KissTree& left, const KissTree& right, F&& fn) {
       fn(key, left.DecodeEntry(left_entry), right.DecodeEntry(right_entry));
     });
   }
+}
+
+template <typename F>
+void SynchronousScan(const KissTree& left, const KissTree& right, F&& fn) {
+  SynchronousScanRange(left, right, 0, std::numeric_limits<uint32_t>::max(),
+                       static_cast<F&&>(fn));
 }
 
 // ---- prefix tree x prefix tree ------------------------------------------------

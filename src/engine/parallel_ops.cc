@@ -1,0 +1,20 @@
+#include "engine/parallel_ops.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace qppt::engine {
+
+size_t RunKissRangeMorsels(
+    WorkerPool* pool, const KissTree& tree, uint32_t lo, uint32_t hi,
+    const std::function<void(size_t, uint32_t, uint32_t)>& fn) {
+  auto ranges = PartitionKissRange(tree, lo, hi, MorselTarget(*pool));
+  if (ranges.empty()) return 0;
+  pool->Run(ranges.size(), [&](size_t worker, size_t m) {
+    fn(worker, ranges[m].first, ranges[m].second);
+  });
+  return ranges.size();
+}
+
+}  // namespace qppt::engine

@@ -1,0 +1,125 @@
+// Parallel drivers for the hot operators (engine layer, §7).
+//
+// The pattern shared by every parallel operator: partition the input
+// index into disjoint morsels (core/parallel.h — deterministic tree
+// partitions need no rebalancing guard), run the operator's tuple loop
+// per morsel on the worker pool with *per-worker* partial output tables,
+// and merge the partials into the real output once at the end
+// (aggregation merges accumulators via BoundAggSpec::Merge; plain tables
+// re-insert). The input trees are never mutated, so concurrent readers
+// need no synchronization.
+
+#ifndef QPPT_ENGINE_PARALLEL_OPS_H_
+#define QPPT_ENGINE_PARALLEL_OPS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/indexed_table.h"
+#include "core/parallel.h"
+#include "engine/scheduler.h"
+
+namespace qppt::engine {
+
+// Morsels per worker per batch: enough of a surplus that work stealing
+// evens out skewed shards, coarse enough that the scheduler lock stays
+// cold.
+inline constexpr size_t kMorselsPerWorker = 8;
+
+// Inputs smaller than this run serially — forking costs more than it
+// saves on a few thousand tuples.
+inline constexpr size_t kMinParallelInputTuples = 4096;
+
+inline size_t MorselTarget(const WorkerPool& pool) {
+  return pool.num_workers() * kMorselsPerWorker;
+}
+
+// Per-worker partial outputs of one parallel operator, merged (serially)
+// into the final table after the fork-join.
+class PartialOutputs {
+ public:
+  PartialOutputs(const IndexedTable& final_table, size_t workers) {
+    partials_.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) {
+      partials_.push_back(final_table.CloneEmpty());
+    }
+  }
+
+  IndexedTable* worker(size_t w) { return partials_[w].get(); }
+
+  void MergeInto(IndexedTable* final_table) {
+    for (auto& partial : partials_) {
+      final_table->MergeFrom(*partial);
+      partial.reset();  // free per-worker index memory eagerly
+    }
+  }
+
+ private:
+  std::vector<std::unique_ptr<IndexedTable>> partials_;
+};
+
+// Partitions `tree` ∩ [lo, hi] into morsel key ranges and runs
+// fn(worker, morsel_lo, morsel_hi) for each on the pool. Returns the
+// number of morsels executed (0 = empty intersection).
+size_t RunKissRangeMorsels(
+    WorkerPool* pool, const KissTree& tree, uint32_t lo, uint32_t hi,
+    const std::function<void(size_t, uint32_t, uint32_t)>& fn);
+
+// Values per slice morsel when the gather fallback below kicks in.
+inline constexpr size_t kMinSliceValues = 1024;
+
+// Runs process(worker, value) for every value stored under tree ∩
+// [lo, hi]. Prefers disjoint key-range morsels; when the populated span
+// has too few root buckets to feed the workers (a low-cardinality
+// selection attribute — e.g. eleven discount values, each with a
+// million-entry duplicate list), it gathers the qualifying values once
+// and morsels over slices of the gathered vector instead. Returns the
+// morsel count (0 = nothing qualified).
+template <typename ProcessFn>
+size_t RunKissValueMorsels(WorkerPool* pool, const KissTree& tree,
+                           uint32_t lo, uint32_t hi, ProcessFn&& process) {
+  auto ranges = PartitionKissRange(tree, lo, hi, MorselTarget(*pool));
+  if (ranges.empty()) return 0;
+  if (ranges.size() >= pool->num_workers()) {
+    pool->Run(ranges.size(), [&](size_t worker, size_t m) {
+      tree.ScanRange(ranges[m].first, ranges[m].second,
+                     [&](uint32_t, const KissTree::ValueRef& vals) {
+                       vals.ForEach(
+                           [&](uint64_t v) { process(worker, v); });
+                     });
+    });
+    return ranges.size();
+  }
+  std::vector<uint64_t> values;
+  tree.ScanRange(lo, hi, [&](uint32_t, const KissTree::ValueRef& vals) {
+    vals.ForEach([&](uint64_t v) { values.push_back(v); });
+  });
+  if (values.empty()) return 0;
+  size_t morsels = std::min(
+      MorselTarget(*pool),
+      (values.size() + kMinSliceValues - 1) / kMinSliceValues);
+  size_t per = values.size() / morsels;
+  size_t extra = values.size() % morsels;
+  std::vector<std::pair<size_t, size_t>> slices;
+  slices.reserve(morsels);
+  size_t at = 0;
+  for (size_t m = 0; m < morsels; ++m) {
+    size_t take = per + (m < extra ? 1 : 0);
+    slices.emplace_back(at, at + take);
+    at += take;
+  }
+  pool->Run(morsels, [&](size_t worker, size_t m) {
+    for (size_t i = slices[m].first; i < slices[m].second; ++i) {
+      process(worker, values[i]);
+    }
+  });
+  return morsels;
+}
+
+}  // namespace qppt::engine
+
+#endif  // QPPT_ENGINE_PARALLEL_OPS_H_

@@ -1,0 +1,97 @@
+#include "engine/scheduler.h"
+
+#include <cstddef>
+#include <utility>
+
+namespace qppt::engine {
+
+WorkerPool::WorkerPool(size_t threads) {
+  if (threads == 0) return;
+  deques_.resize(threads);
+  workers_.reserve(threads);
+  for (size_t w = 0; w < threads; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+bool WorkerPool::PopOrStealLocked(size_t worker, Item* item) {
+  std::deque<Item>& own = deques_[worker];
+  if (!own.empty()) {
+    *item = own.back();  // own work LIFO: best cache locality
+    own.pop_back();
+    return true;
+  }
+  size_t n = deques_.size();
+  for (size_t k = 1; k < n; ++k) {
+    std::deque<Item>& victim = deques_[(worker + k) % n];
+    if (!victim.empty()) {
+      *item = victim.front();  // steal FIFO: take the coldest morsel
+      victim.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void WorkerPool::WorkerLoop(size_t worker) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    Item item;
+    if (PopOrStealLocked(worker, &item)) {
+      Batch* batch = item.batch;
+      bool skip = batch->failed;
+      std::exception_ptr error;
+      if (!skip) {
+        lock.unlock();
+        try {
+          (*batch->fn)(worker, item.index);
+        } catch (...) {
+          error = std::current_exception();
+        }
+        lock.lock();
+      }
+      if (error) {
+        batch->failed = true;
+        if (!batch->error) batch->error = error;
+      }
+      if (--batch->outstanding == 0) done_cv_.notify_all();
+      continue;
+    }
+    if (stop_) return;
+    work_cv_.wait(lock);
+  }
+}
+
+void WorkerPool::Run(size_t num_morsels, const MorselFn& fn) {
+  if (num_morsels == 0) return;
+  if (deques_.empty()) {
+    // No workers: inline serial execution, worker id 0.
+    for (size_t m = 0; m < num_morsels; ++m) fn(0, m);
+    return;
+  }
+  Batch batch;
+  batch.fn = &fn;
+  batch.outstanding = num_morsels;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t m = 0; m < num_morsels; ++m) {
+      deques_[next_deque_].push_back(Item{&batch, m});
+      next_deque_ = (next_deque_ + 1) % deques_.size();
+    }
+  }
+  work_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return batch.outstanding == 0; });
+  if (batch.error) std::rethrow_exception(batch.error);
+}
+
+}  // namespace qppt::engine

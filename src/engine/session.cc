@@ -1,0 +1,264 @@
+#include "engine/session.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "core/sync_scan.h"
+#include "engine/scheduler.h"
+#include "index/key_encoder.h"
+
+namespace qppt::engine {
+
+// ---- shared-read batching ----------------------------------------------------
+
+struct EngineRunner::Batcher {
+  struct Request {
+    int64_t lo = 0;
+    int64_t hi = 0;
+    bool is_point = false;
+    bool done = false;
+    std::vector<uint64_t> out;
+  };
+
+  explicit Batcher(const IndexedTable* t) : table(t) {}
+
+  const IndexedTable* table;
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<Request*> pending;
+  bool leader_active = false;
+};
+
+namespace {
+
+using Request = EngineRunner::Batcher::Request;
+
+// Answers a batch of point requests against a KISS-indexed table with ONE
+// synchronous index scan: the requested keys become a probe tree (values
+// = request indexes) that is co-traversed with the data tree, skipping
+// every subtree only one side uses — §4.2's join machinery serving N
+// point queries in a single pass.
+void AnswerKissPoints(const IndexedTable& table,
+                      const std::vector<Request*>& points,
+                      uint64_t* shared_scans) {
+  const KissTree& data = *table.kiss();
+  if (points.size() == 1) {
+    KissTree::ValueRef vals;
+    if (data.Lookup(IndexedTable::KissKeyOf(SlotFromInt64(points[0]->lo)),
+                    &vals)) {
+      vals.ForEach([&](uint64_t id) { points[0]->out.push_back(id); });
+    }
+    ++*shared_scans;
+    return;
+  }
+  KissTree::Config cfg;
+  cfg.root_bits = data.config().root_bits;
+  KissTree probe(cfg);
+  for (size_t i = 0; i < points.size(); ++i) {
+    probe.Insert(IndexedTable::KissKeyOf(SlotFromInt64(points[i]->lo)), i);
+  }
+  SynchronousScan(probe, data,
+                  [&](uint32_t, const KissTree::ValueRef& reqs,
+                      const KissTree::ValueRef& ids) {
+                    reqs.ForEach([&](uint64_t r) {
+                      ids.ForEach([&](uint64_t id) {
+                        points[r]->out.push_back(id);
+                      });
+                    });
+                  });
+  ++*shared_scans;
+}
+
+// Answers a batch of range requests with one pass over the union span;
+// each visited key is routed to every request whose range contains it.
+void AnswerKissRanges(const IndexedTable& table,
+                      const std::vector<Request*>& ranges,
+                      uint64_t* shared_scans) {
+  const KissTree& data = *table.kiss();
+  int64_t lo = ranges[0]->lo;
+  int64_t hi = ranges[0]->hi;
+  for (const Request* r : ranges) {
+    lo = std::min(lo, r->lo);
+    hi = std::max(hi, r->hi);
+  }
+  data.ScanRange(IndexedTable::KissKeyOf(SlotFromInt64(lo)),
+                 IndexedTable::KissKeyOf(SlotFromInt64(hi)),
+                 [&](uint32_t key, const KissTree::ValueRef& ids) {
+                   int64_t k = static_cast<int64_t>(key);
+                   for (Request* r : ranges) {
+                     if (k < r->lo || k > r->hi) continue;
+                     ids.ForEach([&](uint64_t id) { r->out.push_back(id); });
+                   }
+                 });
+  ++*shared_scans;
+}
+
+// Prefix-tree fallback: per-request lookups on the encoded single-column
+// key. Unsupported key shapes (multi-column composites, double keys —
+// neither has int64 read semantics) leave the requests empty, matching
+// the contract documented on EngineRunner::PointRead.
+void AnswerPrefix(const IndexedTable& table,
+                  const std::vector<Request*>& batch,
+                  uint64_t* shared_scans) {
+  const PrefixTree& data = *table.prefix();
+  if (table.num_key_columns() != 1) return;
+  size_t key_pos = table.key_column_positions()[0];
+  if (table.schema().column(key_pos).type == ValueType::kDouble) return;
+  KeyBuf lo, hi;
+  for (Request* r : batch) {
+    lo.clear();
+    lo.AppendI64(r->lo);
+    if (r->is_point) {
+      const ValueList* vals = data.Lookup(lo.data());
+      if (vals != nullptr) {
+        vals->ForEach([&](uint64_t id) { r->out.push_back(id); });
+      }
+    } else {
+      hi.clear();
+      hi.AppendI64(r->hi);
+      data.ScanRange(lo.data(), hi.data(),
+                     [&](const PrefixTree::ContentNode& c) {
+                       data.ValuesOf(&c)->ForEach(
+                           [&](uint64_t id) { r->out.push_back(id); });
+                     });
+    }
+    ++*shared_scans;
+  }
+}
+
+}  // namespace
+
+EngineRunner::EngineRunner(EngineConfig config) : config_(config) {
+  if (config_.threads == 0) config_.threads = 1;
+  if (config_.threads > 1) {
+    pool_ = std::make_unique<WorkerPool>(config_.threads);
+  }
+}
+
+EngineRunner::~EngineRunner() = default;
+
+EngineRunner::Batcher* EngineRunner::BatcherFor(const IndexedTable& table) {
+  std::lock_guard<std::mutex> lock(batchers_mu_);
+  auto& slot = batchers_[&table];
+  if (slot == nullptr) slot = std::make_unique<Batcher>(&table);
+  return slot.get();
+}
+
+std::vector<uint64_t> EngineRunner::PointRead(const IndexedTable& table,
+                                              int64_t key) {
+  return RangeRead(table, key, key);
+}
+
+std::vector<uint64_t> EngineRunner::RangeRead(const IndexedTable& table,
+                                              int64_t lo, int64_t hi) {
+  reads_.fetch_add(1, std::memory_order_relaxed);
+  if (table.aggregated() || lo > hi) return {};
+  Batcher* b = BatcherFor(table);
+  Batcher::Request req;
+  req.lo = lo;
+  req.hi = hi;
+  req.is_point = lo == hi;
+
+  std::unique_lock<std::mutex> lock(b->mu);
+  b->pending.push_back(&req);
+  b->cv.notify_all();  // a gathering leader may now be at its batch cap
+  if (b->leader_active) {
+    // Follower: the leader (or a successor) answers this request.
+    b->cv.wait(lock, [&] { return req.done; });
+    return std::move(req.out);
+  }
+  b->leader_active = true;
+  // Gather co-arriving requests: flush at the batch cap or after the
+  // window, whichever comes first.
+  b->cv.wait_for(lock, std::chrono::microseconds(config_.read_batch_window_us),
+                 [&] { return b->pending.size() >= config_.read_batch_max; });
+  std::vector<Batcher::Request*> batch = std::move(b->pending);
+  b->pending.clear();
+  b->leader_active = false;
+  lock.unlock();
+
+  batched_keys_.fetch_add(batch.size(), std::memory_order_relaxed);
+  uint64_t scans = 0;
+  std::exception_ptr error;
+  try {
+    if (table.kind() == IndexedTable::Kind::kKiss) {
+      std::vector<Batcher::Request*> points;
+      std::vector<Batcher::Request*> ranges;
+      for (Batcher::Request* r : batch) {
+        (r->is_point ? points : ranges).push_back(r);
+      }
+      if (!points.empty()) AnswerKissPoints(table, points, &scans);
+      if (!ranges.empty()) AnswerKissRanges(table, ranges, &scans);
+    } else {
+      AnswerPrefix(table, batch, &scans);
+    }
+  } catch (...) {
+    // Wake the followers no matter what — a throwing scan must not leave
+    // them blocked on stack-local requests the leader is unwinding past.
+    error = std::current_exception();
+  }
+  shared_scans_.fetch_add(scans, std::memory_order_relaxed);
+
+  lock.lock();
+  for (Batcher::Request* r : batch) r->done = true;
+  b->cv.notify_all();
+  if (error) {
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+  return std::move(req.out);
+}
+
+EngineRunner::ReadStats EngineRunner::read_stats() const {
+  ReadStats s;
+  s.reads = reads_.load(std::memory_order_relaxed);
+  s.shared_scans = shared_scans_.load(std::memory_order_relaxed);
+  s.batched_keys = batched_keys_.load(std::memory_order_relaxed);
+  return s;
+}
+
+// ---- query admission ---------------------------------------------------------
+
+Result<QueryResult> EngineRunner::Execute(const Database& db,
+                                          const Plan& plan, PlanKnobs knobs,
+                                          PlanStats* stats) {
+  Timer wall;
+  queries_admitted_.fetch_add(1, std::memory_order_relaxed);
+  knobs.threads = config_.threads;
+  ExecContext ctx(&db, knobs);
+  if (pool_ != nullptr && config_.threads > 1) {
+    ctx.set_worker_pool(pool_.get());
+  }
+  QPPT_ASSIGN_OR_RETURN(QueryResult result, plan.Execute(&ctx));
+  if (stats != nullptr) {
+    *stats = *ctx.stats();
+    stats->wall_ms = wall.ElapsedMs();
+  }
+  return result;
+}
+
+QuerySession EngineRunner::OpenSession() {
+  return QuerySession(
+      this, static_cast<size_t>(
+                next_session_id_.fetch_add(1, std::memory_order_relaxed)));
+}
+
+Result<QueryResult> QuerySession::Execute(const Database& db,
+                                          const Plan& plan, PlanKnobs knobs,
+                                          PlanStats* stats) {
+  Timer wall;
+  auto result = runner_->Execute(db, plan, knobs, stats);
+  ++queries_run_;
+  total_wall_ms_ += wall.ElapsedMs();
+  return result;
+}
+
+}  // namespace qppt::engine

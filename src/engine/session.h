@@ -1,0 +1,146 @@
+// The engine front door: multi-query admission over one worker pool.
+//
+// EngineRunner owns the WorkerPool and admits queries from many client
+// threads at once — each query's parallel operators submit morsel batches
+// that interleave over the shared workers, so N clients with W workers
+// share the machine instead of oversubscribing it.
+//
+// It also serves *index reads* (point and range lookups against one
+// IndexedTable): concurrent compatible reads are batched group-commit
+// style — the first waiter becomes the batch leader, gathers requests
+// arriving within a short window, and answers the whole batch with ONE
+// shared pass over the index. Point batches build a probe KISS-Tree of
+// the requested keys and co-traverse it with the data tree via the
+// synchronous index scan (core/sync_scan.h) — the same skip-subtree
+// machinery QPPT uses for joins, reused as a multi-query optimization.
+//
+// QuerySession is the per-client handle: a thin wrapper that tracks
+// per-session statistics.
+
+#ifndef QPPT_ENGINE_SESSION_H_
+#define QPPT_ENGINE_SESSION_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/base_index.h"
+#include "core/indexed_table.h"
+#include "core/plan.h"
+#include "util/status.h"
+
+namespace qppt::engine {
+
+class WorkerPool;
+
+struct EngineConfig {
+  // Morsel workers. 1 = serial execution (no pool); the default uses
+  // every hardware thread.
+  size_t threads = std::thread::hardware_concurrency();
+  // Shared-read batching: a leader flushes once `read_batch_max` requests
+  // are pending or `read_batch_window_us` elapsed, whichever is first.
+  size_t read_batch_max = 64;
+  int64_t read_batch_window_us = 100;
+};
+
+class QuerySession;
+
+class EngineRunner {
+ public:
+  explicit EngineRunner(EngineConfig config = EngineConfig{});
+  ~EngineRunner();
+  EngineRunner(const EngineRunner&) = delete;
+  EngineRunner& operator=(const EngineRunner&) = delete;
+
+  size_t threads() const { return config_.threads; }
+  // The shared pool, or nullptr when configured serial (threads <= 1).
+  WorkerPool* pool() { return pool_.get(); }
+
+  // Admits and executes one query. Safe to call from many client threads
+  // concurrently; each call gets a private ExecContext wired to the
+  // shared pool, with knobs.threads forced to the engine's configuration.
+  Result<QueryResult> Execute(const Database& db, const Plan& plan,
+                              PlanKnobs knobs, PlanStats* stats = nullptr);
+
+  QuerySession OpenSession();
+
+  // All tuple ids stored under `key` in `table`, in unspecified duplicate
+  // order. Concurrent callers against the same table are answered by one
+  // shared scan per batch. Supported tables: plain (non-aggregated) with
+  // a single int64-like key column; aggregated, composite-keyed, or
+  // double-keyed tables yield empty results. `table` must outlive every
+  // read and the runner retains a per-table batcher until destruction —
+  // don't serve reads from short-lived intermediates. If the shared scan
+  // throws (e.g. allocation failure), the leader rethrows and that
+  // batch's followers observe empty results.
+  std::vector<uint64_t> PointRead(const IndexedTable& table, int64_t key);
+  // All tuple ids with keys in [lo, hi], in ascending key order. Same
+  // contract as PointRead.
+  std::vector<uint64_t> RangeRead(const IndexedTable& table, int64_t lo,
+                                  int64_t hi);
+
+  struct ReadStats {
+    uint64_t reads = 0;         // PointRead + RangeRead calls
+    uint64_t shared_scans = 0;  // index passes actually executed
+    uint64_t batched_keys = 0;  // requests answered by those passes
+  };
+  ReadStats read_stats() const;
+
+  uint64_t queries_admitted() const {
+    return queries_admitted_.load(std::memory_order_relaxed);
+  }
+
+  struct Batcher;  // defined in session.cc (shared-read group commit)
+
+ private:
+  friend class QuerySession;
+
+  Batcher* BatcherFor(const IndexedTable& table);
+
+  EngineConfig config_;
+  std::unique_ptr<WorkerPool> pool_;
+  std::atomic<uint64_t> queries_admitted_{0};
+  std::atomic<uint64_t> next_session_id_{0};
+  std::atomic<uint64_t> reads_{0};
+  std::atomic<uint64_t> shared_scans_{0};
+  std::atomic<uint64_t> batched_keys_{0};
+  std::mutex batchers_mu_;
+  std::map<const IndexedTable*, std::unique_ptr<Batcher>> batchers_;
+};
+
+// A client handle onto the runner: same operations, plus per-session
+// accounting. Cheap to create; use one per client thread.
+class QuerySession {
+ public:
+  size_t id() const { return id_; }
+  uint64_t queries_run() const { return queries_run_; }
+  double total_wall_ms() const { return total_wall_ms_; }
+
+  Result<QueryResult> Execute(const Database& db, const Plan& plan,
+                              PlanKnobs knobs, PlanStats* stats = nullptr);
+  std::vector<uint64_t> PointRead(const IndexedTable& table, int64_t key) {
+    return runner_->PointRead(table, key);
+  }
+  std::vector<uint64_t> RangeRead(const IndexedTable& table, int64_t lo,
+                                  int64_t hi) {
+    return runner_->RangeRead(table, lo, hi);
+  }
+
+ private:
+  friend class EngineRunner;
+  QuerySession(EngineRunner* runner, size_t id) : runner_(runner), id_(id) {}
+
+  EngineRunner* runner_;
+  size_t id_;
+  uint64_t queries_run_ = 0;
+  double total_wall_ms_ = 0;
+};
+
+}  // namespace qppt::engine
+
+#endif  // QPPT_ENGINE_SESSION_H_

@@ -8,6 +8,7 @@
 #include "core/operators/select_join.h"
 #include "core/operators/selection.h"
 #include "core/operators/star_join.h"
+#include "engine/session.h"
 
 namespace qppt::ssb {
 
@@ -565,11 +566,27 @@ void ApplyOrderBy(const std::string& query_id, QueryResult* result) {
 
 Result<QueryResult> RunQppt(const SsbData& data, const std::string& query_id,
                             const PlanKnobs& knobs, PlanStats* stats) {
+  Timer wall;
   QPPT_ASSIGN_OR_RETURN(Plan plan, BuildQpptPlan(data, query_id, knobs));
   ExecContext ctx(&data.db, knobs);
   QPPT_ASSIGN_OR_RETURN(QueryResult result, plan.Execute(&ctx));
   ApplyOrderBy(query_id, &result);
-  if (stats != nullptr) *stats = *ctx.stats();
+  if (stats != nullptr) {
+    *stats = *ctx.stats();
+    stats->wall_ms = wall.ElapsedMs();
+  }
+  return result;
+}
+
+Result<QueryResult> RunQppt(engine::EngineRunner& engine, const SsbData& data,
+                            const std::string& query_id,
+                            const PlanKnobs& knobs, PlanStats* stats) {
+  Timer wall;
+  QPPT_ASSIGN_OR_RETURN(Plan plan, BuildQpptPlan(data, query_id, knobs));
+  QPPT_ASSIGN_OR_RETURN(QueryResult result,
+                        engine.Execute(data.db, plan, knobs, stats));
+  ApplyOrderBy(query_id, &result);
+  if (stats != nullptr) stats->wall_ms = wall.ElapsedMs();
   return result;
 }
 

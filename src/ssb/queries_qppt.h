@@ -19,6 +19,10 @@
 #include "core/plan.h"
 #include "ssb/dbgen.h"
 
+namespace qppt::engine {
+class EngineRunner;  // engine/session.h
+}  // namespace qppt::engine
+
 namespace qppt::ssb {
 
 // All SSB query ids: "1.1" .. "4.3".
@@ -32,6 +36,15 @@ Result<Plan> BuildQpptPlan(const SsbData& data, const std::string& query_id,
 // (3.x order by revenue desc needs a post-sort; everything else falls out
 // of the output index order). `stats` is optional.
 Result<QueryResult> RunQppt(const SsbData& data, const std::string& query_id,
+                            const PlanKnobs& knobs,
+                            PlanStats* stats = nullptr);
+
+// Same query flight admitted through the engine layer: the runner forces
+// knobs.threads to its configured worker count and attaches its morsel
+// pool, so an EngineRunner{threads: 1} runs the identical serial plans
+// and an EngineRunner{threads: N} runs them morsel-parallel.
+Result<QueryResult> RunQppt(engine::EngineRunner& engine, const SsbData& data,
+                            const std::string& query_id,
                             const PlanKnobs& knobs,
                             PlanStats* stats = nullptr);
 

@@ -1,0 +1,151 @@
+// Engine x SSB differential tests: the 13-query flight must produce
+// byte-identical results serially, through a serial EngineRunner, through
+// a parallel EngineRunner (morsel-parallel operators with per-worker
+// partial merges), and when many client threads are admitted at once.
+// Runs under the TSan CI job together with engine_test/parallel_test.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/parallel.h"
+#include "engine/session.h"
+#include "ssb/queries_qppt.h"
+
+namespace qppt::ssb {
+namespace {
+
+class EngineQueryTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SsbConfig cfg;
+    cfg.scale_factor = 0.02;  // ~120k lineorder rows: above the morsel
+    cfg.seed = 11;            // threshold, small enough for CI + TSan
+    auto data = Generate(cfg);
+    ASSERT_TRUE(data.ok());
+    data_ = data->release();
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    data_ = nullptr;
+  }
+
+  static void ExpectSameResults(const QueryResult& a, const QueryResult& b,
+                                const std::string& label) {
+    ASSERT_EQ(a.rows.size(), b.rows.size()) << label;
+    for (size_t i = 0; i < a.rows.size(); ++i) {
+      ASSERT_EQ(a.rows[i].size(), b.rows[i].size()) << label << " row " << i;
+      for (size_t c = 0; c < a.rows[i].size(); ++c) {
+        ASSERT_EQ(a.rows[i][c], b.rows[i][c])
+            << label << " row " << i << " col " << c;
+      }
+    }
+  }
+
+  static SsbData* data_;
+};
+
+SsbData* EngineQueryTest::data_ = nullptr;
+
+class EngineQueryParam : public EngineQueryTest,
+                         public ::testing::WithParamInterface<std::string> {};
+
+TEST_P(EngineQueryParam, ParallelEngineAgreesWithSerial) {
+  const std::string& id = GetParam();
+  PlanKnobs knobs;
+  auto serial = RunQppt(*data_, id, knobs);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+
+  engine::EngineConfig serial_cfg;
+  serial_cfg.threads = 1;
+  engine::EngineRunner serial_runner(serial_cfg);
+  auto engine_serial = RunQppt(serial_runner, *data_, id, knobs);
+  ASSERT_TRUE(engine_serial.ok()) << engine_serial.status();
+  ExpectSameResults(*serial, *engine_serial, "engine(t=1), Q" + id);
+
+  engine::EngineConfig par_cfg;
+  par_cfg.threads = 4;
+  engine::EngineRunner par_runner(par_cfg);
+  PlanStats stats;
+  auto engine_par = RunQppt(par_runner, *data_, id, knobs, &stats);
+  ASSERT_TRUE(engine_par.ok()) << engine_par.status();
+  ExpectSameResults(*serial, *engine_par, "engine(t=4), Q" + id);
+  EXPECT_EQ(stats.threads, 4u);
+  EXPECT_GT(stats.wall_ms, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, EngineQueryParam,
+                         ::testing::ValuesIn(AllQueryIds()),
+                         [](const ::testing::TestParamInfo<std::string>& i) {
+                           std::string name = "Q" + i.param;
+                           name[name.find('.')] = '_';
+                           return name;
+                         });
+
+// The big lineorder-driven queries must actually take the morsel path at
+// this scale — otherwise the parallel engine silently degrades to serial
+// and the differential above proves nothing.
+TEST_F(EngineQueryTest, HotQueriesRunMorselParallel) {
+  engine::EngineConfig cfg;
+  cfg.threads = 4;
+  engine::EngineRunner runner(cfg);
+  for (const std::string id : {"1.1", "2.1", "3.1", "4.1"}) {
+    PlanStats stats;
+    auto result = RunQppt(runner, *data_, id, PlanKnobs{}, &stats);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_GT(stats.TotalMorsels(), 1u) << "Q" << id << " stayed serial";
+  }
+}
+
+// Multi-query admission: concurrent client threads against one runner,
+// every result identical to the serial reference.
+TEST_F(EngineQueryTest, ConcurrentClientsAgreeWithSerial) {
+  PlanKnobs knobs;
+  std::map<std::string, QueryResult> reference;
+  for (const auto& id : AllQueryIds()) {
+    auto serial = RunQppt(*data_, id, knobs);
+    ASSERT_TRUE(serial.ok()) << serial.status();
+    reference[id] = std::move(serial).value();
+  }
+
+  engine::EngineConfig cfg;
+  cfg.threads = 4;
+  engine::EngineRunner runner(cfg);
+  constexpr size_t kClients = 4;
+  std::atomic<int> failures{0};
+  ForkJoin fork(kClients);
+  for (size_t c = 0; c < kClients; ++c) {
+    fork.Spawn([&, c] {
+      // Stagger the flight so clients hit different operators at once.
+      const auto& ids = AllQueryIds();
+      for (size_t i = 0; i < ids.size(); ++i) {
+        const std::string& id = ids[(i + c * 3) % ids.size()];
+        auto result = RunQppt(runner, *data_, id, knobs);
+        if (!result.ok()) {
+          failures++;
+          continue;
+        }
+        const QueryResult& want = reference[id];
+        if (result->rows.size() != want.rows.size()) {
+          failures++;
+          continue;
+        }
+        for (size_t r = 0; r < want.rows.size(); ++r) {
+          if (result->rows[r] != want.rows[r]) {
+            failures++;
+            break;
+          }
+        }
+      }
+    });
+  }
+  fork.Join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(runner.queries_admitted(), kClients * AllQueryIds().size());
+}
+
+}  // namespace
+}  // namespace qppt::ssb

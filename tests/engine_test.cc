@@ -1,0 +1,314 @@
+// Engine-layer unit tests: work-stealing scheduler, per-worker partial
+// output merge, and the shared-scan read batching of the session front
+// door. These (plus parallel_test) are the suite the TSan CI job runs.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "core/agg.h"
+#include "core/indexed_table.h"
+#include "core/parallel.h"
+#include "engine/parallel_ops.h"
+#include "engine/scheduler.h"
+#include "engine/session.h"
+#include "util/rng.h"
+
+namespace qppt {
+namespace {
+
+// ---- WorkerPool ------------------------------------------------------------
+
+TEST(WorkerPoolTest, RunsEveryMorselExactlyOnce) {
+  engine::WorkerPool pool(4);
+  EXPECT_EQ(pool.num_workers(), 4u);
+  for (size_t morsels : {1, 3, 4, 17, 100}) {
+    std::vector<std::atomic<int>> hits(morsels);
+    for (auto& h : hits) h = 0;
+    pool.Run(morsels, [&](size_t worker, size_t m) {
+      ASSERT_LT(worker, 4u);
+      ASSERT_LT(m, morsels);
+      hits[m]++;
+    });
+    for (size_t m = 0; m < morsels; ++m) {
+      EXPECT_EQ(hits[m].load(), 1) << "morsel " << m << " of " << morsels;
+    }
+  }
+}
+
+TEST(WorkerPoolTest, ZeroWorkersRunsInline) {
+  engine::WorkerPool pool(0);
+  EXPECT_EQ(pool.num_workers(), 1u);
+  std::vector<int> hits(5, 0);
+  pool.Run(5, [&](size_t worker, size_t m) {
+    EXPECT_EQ(worker, 0u);
+    hits[m]++;
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(WorkerPoolTest, ZeroMorselsIsANoop) {
+  engine::WorkerPool pool(2);
+  pool.Run(0, [&](size_t, size_t) { FAIL() << "no morsels to run"; });
+}
+
+TEST(WorkerPoolTest, ConcurrentBatchesInterleave) {
+  engine::WorkerPool pool(4);
+  constexpr size_t kClients = 6;
+  constexpr size_t kMorsels = 64;
+  std::atomic<uint64_t> total{0};
+  ForkJoin fork(kClients);
+  for (size_t c = 0; c < kClients; ++c) {
+    fork.Spawn([&pool, &total, c] {
+      pool.Run(kMorsels, [&](size_t, size_t m) {
+        total += c * 1000 + m;
+      });
+    });
+  }
+  fork.Join();
+  uint64_t expected = 0;
+  for (size_t c = 0; c < kClients; ++c) {
+    for (size_t m = 0; m < kMorsels; ++m) expected += c * 1000 + m;
+  }
+  EXPECT_EQ(total.load(), expected);
+}
+
+TEST(WorkerPoolTest, MorselExceptionPropagatesToSubmitter) {
+  engine::WorkerPool pool(3);
+  EXPECT_THROW(
+      pool.Run(32,
+               [&](size_t, size_t m) {
+                 if (m == 7) throw std::runtime_error("morsel 7 boom");
+               }),
+      std::runtime_error);
+  // The pool survives a failed batch and keeps scheduling.
+  std::atomic<int> ran{0};
+  pool.Run(8, [&](size_t, size_t) { ran++; });
+  EXPECT_EQ(ran.load(), 8);
+}
+
+// ---- partial outputs & merge -----------------------------------------------
+
+Schema AggInputSchema() {
+  return Schema({{"g", ValueType::kInt64, nullptr},
+                 {"x", ValueType::kInt64, nullptr}});
+}
+
+AggSpec FullAggSpec() {
+  return AggSpec({{AggFn::kSum, ScalarExpr::Column("x"), "sum_x"},
+                  {AggFn::kCount, ScalarExpr::Column("x"), "cnt"},
+                  {AggFn::kMin, ScalarExpr::Column("x"), "min_x"},
+                  {AggFn::kMax, ScalarExpr::Column("x"), "max_x"},
+                  {AggFn::kAvg, ScalarExpr::Column("x"), "avg_x"}});
+}
+
+// Splitting inserts across CloneEmpty partials and merging must equal
+// inserting everything into one table — for every aggregate function.
+TEST(PartialOutputsTest, AggregateMergeMatchesSerialKiss) {
+  Schema input = AggInputSchema();
+  auto serial_or = IndexedTable::CreateAggregated(
+      {{"g", ValueType::kInt64, nullptr}}, FullAggSpec(), input);
+  ASSERT_TRUE(serial_or.ok());
+  auto serial = std::move(serial_or).value();
+  ASSERT_EQ(serial->kind(), IndexedTable::Kind::kKiss);
+
+  auto merged = serial->CloneEmpty();
+  engine::PartialOutputs partials(*merged, 3);
+
+  Rng rng(99);
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t g = SlotFromInt64(static_cast<int64_t>(rng.NextBounded(40)));
+    uint64_t x = SlotFromInt64(static_cast<int64_t>(rng.NextBounded(1000)) -
+                               500);
+    uint64_t row[2] = {g, x};
+    serial->InsertAggregated(&g, row);
+    partials.worker(i % 3)->InsertAggregated(&g, row);
+  }
+  partials.MergeInto(merged.get());
+
+  EXPECT_EQ(merged->num_tuples(), serial->num_tuples());
+  EXPECT_EQ(merged->num_keys(), serial->num_keys());
+  std::vector<std::vector<uint64_t>> expected;
+  serial->ScanGroups([&](const uint64_t* row) {
+    expected.emplace_back(row, row + serial->schema().num_columns());
+  });
+  size_t at = 0;
+  merged->ScanGroups([&](const uint64_t* row) {
+    ASSERT_LT(at, expected.size());
+    for (size_t c = 0; c < expected[at].size(); ++c) {
+      EXPECT_EQ(row[c], expected[at][c]) << "group " << at << " col " << c;
+    }
+    ++at;
+  });
+  EXPECT_EQ(at, expected.size());
+}
+
+TEST(PartialOutputsTest, AggregateMergeMatchesSerialPrefix) {
+  // Two key columns force the prefix-tree path.
+  Schema input = Schema({{"g1", ValueType::kInt64, nullptr},
+                         {"g2", ValueType::kInt64, nullptr},
+                         {"x", ValueType::kInt64, nullptr}});
+  AggSpec agg({{AggFn::kSum, ScalarExpr::Column("x"), "sum_x"},
+               {AggFn::kMin, ScalarExpr::Column("x"), "min_x"}});
+  auto serial_or = IndexedTable::CreateAggregated(
+      {{"g1", ValueType::kInt64, nullptr}, {"g2", ValueType::kInt64, nullptr}},
+      agg, input);
+  ASSERT_TRUE(serial_or.ok());
+  auto serial = std::move(serial_or).value();
+  ASSERT_EQ(serial->kind(), IndexedTable::Kind::kPrefix);
+
+  auto merged = serial->CloneEmpty();
+  engine::PartialOutputs partials(*merged, 4);
+
+  Rng rng(5);
+  for (int i = 0; i < 3000; ++i) {
+    uint64_t keys[2] = {
+        SlotFromInt64(static_cast<int64_t>(rng.NextBounded(12))),
+        SlotFromInt64(static_cast<int64_t>(rng.NextBounded(9)))};
+    uint64_t row[3] = {keys[0], keys[1],
+                       SlotFromInt64(static_cast<int64_t>(rng.NextBounded(77)))};
+    serial->InsertAggregated(keys, row);
+    partials.worker(i % 4)->InsertAggregated(keys, row);
+  }
+  partials.MergeInto(merged.get());
+
+  EXPECT_EQ(merged->num_keys(), serial->num_keys());
+  std::vector<std::vector<uint64_t>> expected;
+  serial->ScanGroups([&](const uint64_t* row) {
+    expected.emplace_back(row, row + serial->schema().num_columns());
+  });
+  size_t at = 0;
+  merged->ScanGroups([&](const uint64_t* row) {
+    ASSERT_LT(at, expected.size());
+    for (size_t c = 0; c < expected[at].size(); ++c) {
+      EXPECT_EQ(row[c], expected[at][c]) << "group " << at << " col " << c;
+    }
+    ++at;
+  });
+  EXPECT_EQ(at, expected.size());
+}
+
+TEST(PartialOutputsTest, PlainMergeKeepsAllTuples) {
+  Schema schema({{"k", ValueType::kInt64, nullptr},
+                 {"v", ValueType::kInt64, nullptr}});
+  auto final_or = IndexedTable::Create(schema, {"k"});
+  ASSERT_TRUE(final_or.ok());
+  auto final_table = std::move(final_or).value();
+  engine::PartialOutputs partials(*final_table, 2);
+  std::multiset<std::pair<int64_t, int64_t>> reference;
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t row[2] = {SlotFromInt64(i % 50), SlotFromInt64(i)};
+    partials.worker(i % 2)->Insert(row);
+    reference.emplace(i % 50, i);
+  }
+  partials.MergeInto(final_table.get());
+  EXPECT_EQ(final_table->num_tuples(), 1000u);
+  std::multiset<std::pair<int64_t, int64_t>> got;
+  int64_t last_key = -1;
+  final_table->ScanInOrder([&](const uint64_t* row) {
+    int64_t k = Int64FromSlot(row[0]);
+    EXPECT_GE(k, last_key);  // still in index order
+    last_key = k;
+    got.emplace(k, Int64FromSlot(row[1]));
+  });
+  EXPECT_EQ(got, reference);
+}
+
+// ---- session front door: shared-scan reads ---------------------------------
+
+class SessionReadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Schema schema({{"k", ValueType::kInt64, nullptr},
+                   {"v", ValueType::kInt64, nullptr}});
+    auto table_or = IndexedTable::Create(schema, {"k"});
+    ASSERT_TRUE(table_or.ok());
+    table_ = std::move(table_or).value();
+    Rng rng(21);
+    for (int i = 0; i < 20000; ++i) {
+      int64_t k = static_cast<int64_t>(rng.NextBounded(2000));
+      uint64_t row[2] = {SlotFromInt64(k), SlotFromInt64(i)};
+      table_->Insert(row);
+      reference_[k].insert(static_cast<uint64_t>(i));
+    }
+  }
+
+  // Resolves returned tuple ids to the "v" column for comparison.
+  std::multiset<uint64_t> Resolve(const std::vector<uint64_t>& ids) {
+    std::multiset<uint64_t> out;
+    for (uint64_t id : ids) {
+      out.insert(static_cast<uint64_t>(Int64FromSlot(table_->Tuple(id)[1])));
+    }
+    return out;
+  }
+
+  std::unique_ptr<IndexedTable> table_;
+  std::map<int64_t, std::multiset<uint64_t>> reference_;
+};
+
+TEST_F(SessionReadTest, ConcurrentPointReadsMatchReference) {
+  engine::EngineConfig cfg;
+  cfg.threads = 2;
+  cfg.read_batch_window_us = 500;
+  engine::EngineRunner runner(cfg);
+  constexpr size_t kClients = 8;
+  constexpr size_t kReadsPerClient = 200;
+  std::atomic<int> mismatches{0};
+  ForkJoin fork(kClients);
+  for (size_t c = 0; c < kClients; ++c) {
+    fork.Spawn([&, c] {
+      auto session = runner.OpenSession();
+      Rng rng(1000 + c);
+      for (size_t i = 0; i < kReadsPerClient; ++i) {
+        int64_t key = static_cast<int64_t>(rng.NextBounded(2200));
+        auto ids = session.PointRead(*table_, key);
+        auto it = reference_.find(key);
+        std::multiset<uint64_t> want =
+            it == reference_.end() ? std::multiset<uint64_t>{} : it->second;
+        if (Resolve(ids) != want) mismatches++;
+      }
+    });
+  }
+  fork.Join();
+  EXPECT_EQ(mismatches.load(), 0);
+  auto rs = runner.read_stats();
+  EXPECT_EQ(rs.reads, kClients * kReadsPerClient);
+  EXPECT_EQ(rs.batched_keys, kClients * kReadsPerClient);
+  EXPECT_GT(rs.shared_scans, 0u);
+  // Batching must never *increase* the scan count beyond one per read.
+  EXPECT_LE(rs.shared_scans, rs.reads);
+}
+
+TEST_F(SessionReadTest, RangeReadsAscendAndMatchReference) {
+  engine::EngineRunner runner(engine::EngineConfig{.threads = 1});
+  auto session = runner.OpenSession();
+  auto ids = session.RangeRead(*table_, 100, 140);
+  std::multiset<uint64_t> want;
+  for (int64_t k = 100; k <= 140; ++k) {
+    auto it = reference_.find(k);
+    if (it != reference_.end()) {
+      for (uint64_t v : it->second) want.insert(v);
+    }
+  }
+  EXPECT_EQ(Resolve(ids), want);
+  // Ascending key order across the returned ids.
+  int64_t last = -1;
+  for (uint64_t id : ids) {
+    int64_t k = Int64FromSlot(table_->Tuple(id)[0]);
+    EXPECT_GE(k, last);
+    last = k;
+  }
+  // Degenerate inputs.
+  EXPECT_TRUE(session.RangeRead(*table_, 50, 40).empty());
+  EXPECT_TRUE(session.PointRead(*table_, 999999).empty());
+}
+
+}  // namespace
+}  // namespace qppt
