@@ -14,6 +14,12 @@
 //     queries/sec and per-query p50/p99 latency — the multi-query
 //     admission story.
 //
+//  3. prepared vs replanned — the flight once through the ad-hoc path
+//     (BuildQuerySpec + PlanQuery per execution) and once through
+//     EngineRunner::Prepare handles (plan compiled once, cached, shared).
+//     Prepared execution must be no slower than replanning (ISSUE 3
+//     acceptance); the plan-cache hit count is reported.
+//
 // Knobs: QPPT_SSB_SF (default 0.1), QPPT_ENGINE_THREADS (default 8),
 //        QPPT_ENGINE_CLIENTS (default 4), QPPT_BENCH_REPS (default 3).
 
@@ -21,6 +27,7 @@
 #include <cstdio>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_common.h"
@@ -138,6 +145,65 @@ void Run() {
         "closed-loop",
         "c=" + std::to_string(clients) + ",t=" + std::to_string(threads),
         all_queries, ms, all_lat, all_morsels);
+  }
+
+  // ---- experiment 3: prepared vs replanned (single client) ---------------
+  {
+    engine::EngineConfig cfg;
+    cfg.threads = threads;
+    engine::EngineRunner runner(cfg);
+    std::vector<engine::PreparedQuery> prepared;
+    for (const auto& id : ssb::AllQueryIds()) {
+      auto spec = ssb::BuildQuerySpec(*data, id);
+      if (!spec.ok()) std::exit(1);
+      auto p = runner.Prepare(data->db, std::move(spec).value());
+      if (!p.ok()) std::exit(1);
+      prepared.push_back(std::move(p).value());
+    }
+    RunFlight(runner, *data, knobs);  // warm-up
+
+    auto run_prepared_flight = [&] {
+      FlightResult r;
+      Timer wall;
+      for (const auto& p : prepared) {
+        PlanStats stats;
+        auto result = runner.Execute(p, {}, knobs, &stats);
+        if (!result.ok()) std::exit(1);
+        r.lat.Add(stats.wall_ms);
+        r.morsels += stats.TotalMorsels();
+        ++r.queries;
+      }
+      r.wall_ms = wall.ElapsedMs();
+      return r;
+    };
+
+    double replanned_ms = 1e300;
+    double prepared_ms = 1e300;
+    FlightResult best_replanned;
+    FlightResult best_prepared;
+    for (int rep = 0; rep < reps; ++rep) {
+      FlightResult r = RunFlight(runner, *data, knobs);
+      if (r.wall_ms < replanned_ms) {
+        replanned_ms = r.wall_ms;
+        best_replanned = r;
+      }
+      FlightResult p = run_prepared_flight();
+      if (p.wall_ms < prepared_ms) {
+        prepared_ms = p.wall_ms;
+        best_prepared = p;
+      }
+    }
+    bench::PrintThroughputRow("replanned", "t=" + std::to_string(threads),
+                              best_replanned.queries, replanned_ms,
+                              best_replanned.lat, best_replanned.morsels);
+    bench::PrintThroughputRow("prepared", "t=" + std::to_string(threads),
+                              best_prepared.queries, prepared_ms,
+                              best_prepared.lat, best_prepared.morsels);
+    uint64_t hits = 0;
+    for (const auto& p : prepared) hits += p.plan_cache_hits();
+    std::printf("(prepared/replanned flight: %.3fx, %llu plan-cache hits)\n",
+                prepared_ms / replanned_ms,
+                static_cast<unsigned long long>(hits));
   }
 }
 

@@ -12,9 +12,9 @@
 #include <cstdio>
 #include <memory>
 
-#include "core/operators/selection.h"
-#include "core/operators/star_join.h"
 #include "core/plan.h"
+#include "core/query/planner.h"
+#include "core/query/query_spec.h"
 #include "util/rng.h"
 
 using namespace qppt;
@@ -99,40 +99,44 @@ int main() {
     return 1;
   }
 
-  // Plan: select supermarket stores -> index on store_id; star join sales
-  // against it with the catalog as an assisting index (carrying the
-  // department), December filter as residual-free predicate on the fact
-  // column via a carried residual... here: filter day >= 335 during the
-  // selection of the fact side is not available (the fact main is the
-  // orders index), so the December filter runs as a residual inside the
-  // join's left columns via a second plan step. For this example we keep
-  // the canonical shape: selection + multi-way star join + group.
-  Plan plan;
+  // The query, declaratively: supermarket stores are the filtered star
+  // dimension (main), the catalog an unfiltered probe dimension (the
+  // planner composes it in as an assisting index), grouped per
+  // (state, department). The planner emits the canonical QPPT shape:
+  // selection + multi-way star-join-group.
+  query::QueryBuilder b("retail.profit_by_state_dept");
+  b.From("sales")
+      .FactIndex("sales_by_store")
+      .FactColumns({"sku", "day", "units", "revenue_cents"});
+  b.Dim("supermarkets")
+      .Select("stores_by_format", KeyPredicate::Point(0))
+      .Key("store_id")
+      .ProbeFrom("store_id")
+      .Carry({"state"})
+      .Slot("supermarkets");
+  b.Dim("catalog")
+      .Probe("catalog_by_sku")
+      .ProbeFrom("sku")
+      .Carry({"department", "margin_pct"});
+  b.GroupBy({"state", "department"})
+      .Aggregate(AggFn::kSum, ScalarExpr::Column("revenue_cents"),
+                 "revenue_cents")
+      .Aggregate(AggFn::kCount, {}, "line_items")
+      .Aggregate(AggFn::kMax, ScalarExpr::Column("units"), "max_units")
+      .ResultSlot("by_state_dept");
+  query::QuerySpec spec = std::move(b).Build();
 
-  SelectionSpec store_sel;
-  store_sel.input_index = "stores_by_format";
-  store_sel.predicate = KeyPredicate::Point(0);  // supermarkets
-  store_sel.carry_columns = {"store_id", "state"};
-  store_sel.output = {"supermarkets", {"store_id"}, {}};
-  plan.Emplace<SelectionOp>(store_sel);
+  auto explain = query::ExplainPlan(db, spec, PlanKnobs{});
+  if (explain.ok()) std::printf("%s\n", explain->c_str());
 
-  StarJoinSpec join;
-  join.left = SideRef::Base("sales_by_store");
-  join.left_columns = {"sku", "day", "units", "revenue_cents"};
-  join.right = SideRef::Slot("supermarkets");
-  join.right_columns = {"state"};
-  join.assists = {
-      {SideRef::Base("catalog_by_sku"), "sku", {"department", "margin_pct"}}};
-  AggSpec agg(
-      {{AggFn::kSum, ScalarExpr::Column("revenue_cents"), "revenue_cents"},
-       {AggFn::kCount, {}, "line_items"},
-       {AggFn::kMax, ScalarExpr::Column("units"), "max_units"}});
-  join.output = {"by_state_dept", {"state", "department"}, agg};
-  plan.Emplace<StarJoinOp>(join);
-  plan.set_result_slot("by_state_dept");
-
+  auto plan = query::PlanQuery(db, spec, PlanKnobs{});
+  if (!plan.ok()) {
+    std::fprintf(stderr, "planning failed: %s\n",
+                 plan.status().ToString().c_str());
+    return 1;
+  }
   ExecContext ctx(&db);
-  auto result = plan.Execute(&ctx);
+  auto result = plan->Execute(&ctx);
   if (!result.ok()) {
     std::fprintf(stderr, "query failed: %s\n",
                  result.status().ToString().c_str());

@@ -1,9 +1,11 @@
-// Quickstart: the indexed table-at-a-time model in ~80 lines.
+// Quickstart: the declarative query API in ~80 lines.
 //
 // Builds a tiny orders/products star, creates partially clustered base
-// indexes, and runs "total amount per category for gadget-priced
-// products" as a QPPT plan: one selection + one 2-way join-group whose
-// output index both groups and sorts as a side effect.
+// indexes, and asks "total amount per category for gadget-priced
+// products" through QueryBuilder. The rule-based planner turns the spec
+// into a QPPT plan — one selection + one 2-way join-group whose output
+// index both groups and sorts as a side effect — and ExplainPlan shows
+// exactly what will run.
 //
 //   ./examples/quickstart
 
@@ -11,9 +13,9 @@
 #include <cstdio>
 #include <memory>
 
-#include "core/operators/selection.h"
-#include "core/operators/star_join.h"
 #include "core/plan.h"
+#include "core/query/planner.h"
+#include "core/query/query_spec.h"
 #include "util/rng.h"
 
 using namespace qppt;
@@ -61,31 +63,39 @@ int main() {
     return 1;
   }
 
-  // 3. The plan: select products priced 40..60 (output indexed on
-  //    product_id — what the join wants), then join orders and aggregate
-  //    per category. Grouping and ordering fall out of the output index.
-  Plan plan;
-  SelectionSpec sel;
-  sel.input_index = "products_by_price";
-  sel.predicate = KeyPredicate::Range(40, 60);
-  sel.carry_columns = {"product_id", "category"};
-  sel.output = {"gadgets", {"product_id"}, {}};
-  plan.Emplace<SelectionOp>(sel);
+  // 3. The query, declaratively: products priced 40..60 are the filtered
+  //    dimension, orders the fact side, grouped per category. The planner
+  //    picks the selection output key, the join wiring, and the ORDER-BY
+  //    strategy (free, via the output index).
+  query::QueryBuilder b("quickstart.gadgets");
+  b.From("orders").FactIndex("orders_by_product").FactColumns({"amount"});
+  b.Dim("gadgets")
+      .Select("products_by_price", KeyPredicate::Range(40, 60))
+      .Key("product_id")
+      .ProbeFrom("product_id")
+      .Carry({"category"})
+      .Slot("gadgets");
+  b.GroupBy({"category"})
+      .Aggregate(AggFn::kSum, ScalarExpr::Column("amount"), "total_amount")
+      .Aggregate(AggFn::kCount, {}, "orders")
+      .OrderBy("category");
+  query::QuerySpec spec = std::move(b).Build();
 
-  StarJoinSpec join;
-  join.left = SideRef::Base("orders_by_product");
-  join.left_columns = {"amount"};
-  join.right = SideRef::Slot("gadgets");
-  join.right_columns = {"category"};
-  AggSpec agg({{AggFn::kSum, ScalarExpr::Column("amount"), "total_amount"},
-               {AggFn::kCount, {}, "orders"}});
-  join.output = {"result", {"category"}, agg};
-  plan.Emplace<StarJoinOp>(join);
-  plan.set_result_slot("result");
+  // 4. Inspect the plan, then execute and print.
+  auto explain = query::ExplainPlan(db, spec, PlanKnobs{});
+  if (!explain.ok()) {
+    std::fprintf(stderr, "%s\n", explain.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", explain->c_str());
 
-  // 4. Execute and print.
+  auto plan = query::PlanQuery(db, spec, PlanKnobs{});
+  if (!plan.ok()) {
+    std::fprintf(stderr, "%s\n", plan.status().ToString().c_str());
+    return 1;
+  }
   ExecContext ctx(&db);
-  auto result = plan.Execute(&ctx);
+  auto result = plan->Execute(&ctx);
   if (!result.ok()) {
     std::fprintf(stderr, "query failed: %s\n",
                  result.status().ToString().c_str());

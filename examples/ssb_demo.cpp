@@ -13,6 +13,7 @@
 #include <cstring>
 #include <string>
 
+#include "core/query/planner.h"
 #include "ssb/queries_qppt.h"
 
 using namespace qppt;
@@ -60,6 +61,13 @@ int main(int argc, char** argv) {
               knobs.max_join_ways == 0
                   ? "multi"
                   : std::to_string(knobs.max_join_ways).c_str());
+
+  if (auto spec = ssb::BuildQuerySpec(**data, query); spec.ok()) {
+    auto explain = query::ExplainPlan((*data)->db, *spec, knobs);
+    if (explain.ok()) {
+      std::printf("--- generated plan ---\n%s\n", explain->c_str());
+    }
+  }
 
   PlanStats stats;
   auto result = ssb::RunQppt(**data, query, knobs, &stats);

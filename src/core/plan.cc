@@ -1,5 +1,6 @@
 #include "core/plan.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -29,11 +30,14 @@ Status Plan::Run(ExecContext* ctx) const {
   Timer total;
   for (const auto& op : operators_) {
     Timer op_timer;
+    size_t before = ctx->stats()->operators.size();
     QPPT_RETURN_NOT_OK(op->Execute(ctx));
-    // The operator appended its stats entry; stamp the wall time.
-    if (!ctx->stats()->operators.empty()) {
+    // The operator appended its stats entry; stamp the wall time and the
+    // planner stage label (when one was assigned).
+    if (ctx->stats()->operators.size() == before + 1) {
       OperatorStats& st = ctx->stats()->operators.back();
       if (st.total_ms == 0) st.total_ms = op_timer.ElapsedMs();
+      st.name = op->display_name();
     }
   }
   ctx->stats()->total_ms = total.ElapsedMs();
@@ -46,7 +50,61 @@ Result<QueryResult> Plan::Execute(ExecContext* ctx) const {
     return Status::InvalidArgument("plan has no result slot configured");
   }
   QPPT_ASSIGN_OR_RETURN(const IndexedTable* table, ctx->Get(result_slot_));
-  return ExtractResult(*table);
+  QPPT_ASSIGN_OR_RETURN(QueryResult result, ExtractResult(*table));
+  QPPT_RETURN_NOT_OK(SortResult(result_order_, &result));
+  return result;
+}
+
+std::vector<std::string> Plan::OperatorNames() const {
+  std::vector<std::string> names;
+  names.reserve(operators_.size());
+  for (const auto& op : operators_) names.push_back(op->name());
+  return names;
+}
+
+std::vector<std::string> Plan::OperatorLabels() const {
+  std::vector<std::string> labels;
+  labels.reserve(operators_.size());
+  for (const auto& op : operators_) labels.push_back(op->display_name());
+  return labels;
+}
+
+Status SortResult(const std::vector<ResultOrderKey>& keys,
+                  QueryResult* result) {
+  if (keys.empty()) return Status::OK();
+  struct Bound {
+    size_t pos;
+    bool descending;
+  };
+  std::vector<Bound> bound;
+  bound.reserve(keys.size());
+  for (const auto& key : keys) {
+    QPPT_ASSIGN_OR_RETURN(size_t pos, result->schema.ColumnIndex(key.column));
+    bound.push_back({pos, key.descending});
+  }
+  auto less = [](const Value& a, const Value& b) {
+    switch (a.type()) {
+      case ValueType::kInt64:
+        return a.AsInt() < b.AsInt();
+      case ValueType::kDouble:
+        return a.AsDouble() < b.AsDouble();
+      case ValueType::kString:
+        return a.AsString() < b.AsString();
+    }
+    return false;
+  };
+  std::stable_sort(result->rows.begin(), result->rows.end(),
+                   [&](const std::vector<Value>& a,
+                       const std::vector<Value>& b) {
+                     for (const Bound& k : bound) {
+                       const Value& va = a[k.pos];
+                       const Value& vb = b[k.pos];
+                       if (less(va, vb)) return !k.descending;
+                       if (less(vb, va)) return k.descending;
+                     }
+                     return false;
+                   });
+  return Status::OK();
 }
 
 namespace {

@@ -81,6 +81,16 @@ class Operator {
   virtual ~Operator() = default;
   virtual std::string name() const = 0;
   virtual Status Execute(ExecContext* ctx) = 0;
+
+  // Planner-assigned stage label (e.g. "sel:date_sel"). When set, it
+  // becomes the operator's row name in PlanStats so ExplainPlan() output
+  // and executed statistics line up line-for-line.
+  void set_label(std::string label) { label_ = std::move(label); }
+  const std::string& label() const { return label_; }
+  std::string display_name() const { return label_.empty() ? name() : label_; }
+
+ private:
+  std::string label_;
 };
 
 // The final, client-visible result rows (the engine iterates the result
@@ -90,6 +100,13 @@ struct QueryResult {
   std::vector<std::vector<Value>> rows;
 
   std::string ToString(size_t limit = 20) const;
+};
+
+// One key of a final result sort (the ORDER-BY component the output index
+// cannot provide; the planner attaches these to the plan).
+struct ResultOrderKey {
+  std::string column;
+  bool descending = false;
 };
 
 class Plan {
@@ -109,6 +126,19 @@ class Plan {
   const std::string& result_slot() const { return result_slot_; }
   size_t num_operators() const { return operators_.size(); }
 
+  // Post-sort applied to the extracted result rows by Execute(). Empty =
+  // rows stay in output-index order (ORDER BY for free, §3).
+  void set_result_order(std::vector<ResultOrderKey> keys) {
+    result_order_ = std::move(keys);
+  }
+  const std::vector<ResultOrderKey>& result_order() const {
+    return result_order_;
+  }
+
+  // Operator name / stage-label sequences (planner golden tests, tools).
+  std::vector<std::string> OperatorNames() const;
+  std::vector<std::string> OperatorLabels() const;
+
   // Executes all operators in order, recording per-operator statistics.
   Status Run(ExecContext* ctx) const;
 
@@ -118,7 +148,13 @@ class Plan {
  private:
   std::vector<std::unique_ptr<Operator>> operators_;
   std::string result_slot_;
+  std::vector<ResultOrderKey> result_order_;
 };
+
+// Applies an ORDER-BY sort to extracted rows (stable; columns resolved
+// by name against the result schema).
+Status SortResult(const std::vector<ResultOrderKey>& keys,
+                  QueryResult* result);
 
 // Converts an indexed table (typically the aggregated output of the last
 // operator) into client rows, decoding dictionary-coded columns.

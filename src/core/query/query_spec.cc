@@ -1,0 +1,109 @@
+#include "core/query/query_spec.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qppt::query {
+
+namespace {
+
+Status ApplyBinding(const ParamBinding& binding, KeyPredicate* predicate) {
+  switch (binding.field) {
+    case ParamBinding::Field::kPoint:
+      if (predicate->kind != KeyPredicate::Kind::kPoint) {
+        return Status::InvalidArgument(
+            "param '" + binding.target +
+            "': point binding against a non-point predicate");
+      }
+      predicate->point = binding.value;
+      return Status::OK();
+    case ParamBinding::Field::kLo:
+      if (predicate->kind != KeyPredicate::Kind::kRange) {
+        return Status::InvalidArgument(
+            "param '" + binding.target +
+            "': lo binding against a non-range predicate");
+      }
+      predicate->lo = binding.value;
+      return Status::OK();
+    case ParamBinding::Field::kHi:
+      if (predicate->kind != KeyPredicate::Kind::kRange) {
+        return Status::InvalidArgument(
+            "param '" + binding.target +
+            "': hi binding against a non-range predicate");
+      }
+      predicate->hi = binding.value;
+      return Status::OK();
+  }
+  return Status::InvalidArgument("param '" + binding.target +
+                                 "': unknown field");
+}
+
+}  // namespace
+
+namespace {
+
+Status CheckNoDuplicateBindings(const QueryParams& params) {
+  for (size_t i = 0; i < params.size(); ++i) {
+    for (size_t j = i + 1; j < params.size(); ++j) {
+      if (params[i].target == params[j].target &&
+          params[i].field == params[j].field) {
+        return Status::InvalidArgument("duplicate param binding for '" +
+                                       params[i].target + "'");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<QuerySpec> BindParams(const QuerySpec& spec, const QueryParams& params) {
+  QPPT_RETURN_NOT_OK(CheckNoDuplicateBindings(params));
+  QuerySpec bound = spec;
+  for (const ParamBinding& binding : params) {
+    if (binding.target == "fact") {
+      QPPT_RETURN_NOT_OK(ApplyBinding(binding, &bound.fact.predicate));
+      continue;
+    }
+    bool found = false;
+    for (DimensionSpec& dim : bound.dimensions) {
+      if (dim.name != binding.target) continue;
+      if (!dim.has_selection()) {
+        return Status::InvalidArgument(
+            "param '" + binding.target +
+            "': dimension has no selection predicate to re-bind");
+      }
+      QPPT_RETURN_NOT_OK(ApplyBinding(binding, &dim.predicate));
+      found = true;
+      break;
+    }
+    if (!found) {
+      return Status::InvalidArgument("param '" + binding.target +
+                                     "': no such dimension (or \"fact\")");
+    }
+  }
+  return bound;
+}
+
+Result<std::string> ParamsKey(const QueryParams& params) {
+  QPPT_RETURN_NOT_OK(CheckNoDuplicateBindings(params));
+  std::vector<std::string> parts;
+  parts.reserve(params.size());
+  for (const ParamBinding& p : params) {
+    const char* field = p.field == ParamBinding::Field::kPoint ? "pt"
+                        : p.field == ParamBinding::Field::kLo  ? "lo"
+                                                               : "hi";
+    parts.push_back(p.target + "." + field + "=" + std::to_string(p.value));
+  }
+  std::sort(parts.begin(), parts.end());
+  std::string key;
+  for (const std::string& part : parts) {
+    if (!key.empty()) key += ",";
+    key += part;
+  }
+  return key;
+}
+
+}  // namespace qppt::query

@@ -1,0 +1,269 @@
+// Declarative query descriptions — the planner's input (ISSUE 3).
+//
+// A QuerySpec describes a star/select query the way DexterDB's front door
+// would receive it: one fact side (a base index to enter, an optional
+// key-predicate + residual filter, and the fact columns the query reads)
+// plus any number of dimensions (each either a filtered selection over a
+// dimension base index or a direct probe of one), a group-by, aggregates,
+// and an ORDER BY. It says nothing about operator choice: select-join
+// fusion, star-join arity, intermediate keys, and the ORDER-BY strategy
+// are the planner's job (core/query/planner.h), steered by PlanKnobs.
+//
+// QueryBuilder is the fluent construction API; ParamBinding/BindParams
+// support prepared-query parameter re-binding (predicate constants only —
+// rebinding never changes the plan shape).
+
+#ifndef QPPT_CORE_QUERY_QUERY_SPEC_H_
+#define QPPT_CORE_QUERY_QUERY_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/agg.h"
+#include "core/operators/common.h"
+#include "util/status.h"
+
+namespace qppt::query {
+
+// One dimension of the star. Exactly one access path must be set:
+//   - select_index: the dimension is filtered first (SelectionOp into a
+//     slot keyed on `key_column`), and the join consumes that slot;
+//   - probe_index: the join consumes the base index directly (an
+//     unfiltered dimension, e.g. SSB's date table in Q2/Q4.1).
+struct DimensionSpec {
+  std::string name;                 // e.g. "date" — slot defaults to "<name>_sel"
+  std::string slot;                 // selection output slot (derived if empty)
+
+  std::string select_index;         // base index the dim selection scans
+  KeyPredicate predicate;           // on select_index's key
+  std::vector<Residual> residuals;  // conjunctive residual filters
+  std::string key_column;           // dim join key (the selection's output key)
+
+  std::string probe_index;          // direct-probe base index (no selection)
+
+  std::string fact_probe_column;    // fact column matched against the dim key
+  std::vector<std::string> carry_columns;  // dim columns the query reads
+
+  // Join this dimension in its own later join stage instead of composing
+  // it into the star join (the Fig. 5 two-phase shape of SSB Q2).
+  bool defer_join = false;
+
+  bool has_selection() const { return !select_index.empty(); }
+  // Slot name (selection path) resolved against the default.
+  std::string SlotName() const {
+    if (!slot.empty()) return slot;
+    return name + "_sel";
+  }
+};
+
+// The fact side: the base index the pipeline enters, an optional filter
+// (kAll + no residuals = unfiltered), and the fact columns read anywhere
+// in the query (probe columns, measures, group keys).
+struct FactSpec {
+  std::string table;                // informational
+  std::string index;                // base index entered / scanned
+  std::string selection_slot = "fact_sel";  // unfused fact selection slot
+  KeyPredicate predicate;
+  std::vector<Residual> residuals;
+  std::vector<std::string> columns;
+
+  bool filtered() const {
+    return predicate.kind != KeyPredicate::Kind::kAll || !residuals.empty();
+  }
+};
+
+struct OrderKey {
+  std::string column;
+  bool descending = false;
+};
+
+struct QuerySpec {
+  std::string id;                   // diagnostic label
+  FactSpec fact;
+  std::vector<DimensionSpec> dimensions;
+  // Result key columns; group keys when `aggregates` is non-empty.
+  std::vector<std::string> group_by;
+  AggSpec aggregates;
+  // HAVING filters over the finalized group rows (group keys and
+  // aggregate outputs); requires non-empty `aggregates`.
+  std::vector<Residual> having;
+  std::vector<OrderKey> order_by;
+  std::string result_slot = "result";
+};
+
+// Fluent construction. Dimension attributes chain off Dim():
+//
+//   QueryBuilder b("ssb.2.1");
+//   b.From("lineorder").FactIndex("lo_partkey")
+//       .FactColumns({"lo_suppkey", "lo_orderdate", "lo_revenue"});
+//   b.Dim("part").Select("p_category", KeyPredicate::Point(cat))
+//       .Key("p_partkey").ProbeFrom("lo_partkey").Carry({"p_brand1"});
+//   b.Dim("supp").Select("s_region", KeyPredicate::Point(region))
+//       .Key("s_suppkey").ProbeFrom("lo_suppkey");
+//   b.Dim("date").Probe("d_datekey").ProbeFrom("lo_orderdate")
+//       .Carry({"d_year"}).Defer();
+//   b.GroupBy({"d_year", "p_brand1"})
+//       .Aggregate(AggFn::kSum, ScalarExpr::Column("lo_revenue"), "revenue")
+//       .OrderBy("d_year").OrderBy("p_brand1");
+//   QuerySpec spec = std::move(b).Build();
+class QueryBuilder {
+ public:
+  explicit QueryBuilder(std::string id = "") { spec_.id = std::move(id); }
+
+  QueryBuilder& From(std::string fact_table) {
+    spec_.fact.table = std::move(fact_table);
+    return *this;
+  }
+  QueryBuilder& FactIndex(std::string index) {
+    spec_.fact.index = std::move(index);
+    return *this;
+  }
+  QueryBuilder& FactSlot(std::string slot) {
+    spec_.fact.selection_slot = std::move(slot);
+    return *this;
+  }
+  QueryBuilder& FactColumns(std::vector<std::string> columns) {
+    spec_.fact.columns = std::move(columns);
+    return *this;
+  }
+  // Fact key predicate (on FactIndex's key attribute).
+  QueryBuilder& Where(KeyPredicate predicate) {
+    spec_.fact.predicate = predicate;
+    return *this;
+  }
+  QueryBuilder& Filter(Residual residual) {
+    spec_.fact.residuals.push_back(std::move(residual));
+    return *this;
+  }
+
+  class DimBuilder {
+   public:
+    DimBuilder& Select(std::string index,
+                       KeyPredicate predicate = KeyPredicate::All()) {
+      dim().select_index = std::move(index);
+      dim().predicate = predicate;
+      return *this;
+    }
+    DimBuilder& Filter(Residual residual) {
+      dim().residuals.push_back(std::move(residual));
+      return *this;
+    }
+    DimBuilder& Key(std::string dim_key_column) {
+      dim().key_column = std::move(dim_key_column);
+      return *this;
+    }
+    DimBuilder& Probe(std::string base_index) {
+      dim().probe_index = std::move(base_index);
+      return *this;
+    }
+    DimBuilder& ProbeFrom(std::string fact_column) {
+      dim().fact_probe_column = std::move(fact_column);
+      return *this;
+    }
+    DimBuilder& Carry(std::vector<std::string> columns) {
+      dim().carry_columns = std::move(columns);
+      return *this;
+    }
+    DimBuilder& Slot(std::string slot) {
+      dim().slot = std::move(slot);
+      return *this;
+    }
+    DimBuilder& Defer() {
+      dim().defer_join = true;
+      return *this;
+    }
+    QueryBuilder& Done() { return *owner_; }
+
+   private:
+    friend class QueryBuilder;
+    DimBuilder(QueryBuilder* owner, size_t at) : owner_(owner), at_(at) {}
+    DimensionSpec& dim() { return owner_->spec_.dimensions[at_]; }
+
+    QueryBuilder* owner_;
+    size_t at_;
+  };
+
+  DimBuilder Dim(std::string name) {
+    DimensionSpec dim;
+    dim.name = std::move(name);
+    spec_.dimensions.push_back(std::move(dim));
+    return DimBuilder(this, spec_.dimensions.size() - 1);
+  }
+
+  QueryBuilder& GroupBy(std::vector<std::string> columns) {
+    spec_.group_by = std::move(columns);
+    return *this;
+  }
+  QueryBuilder& Aggregate(AggFn fn, ScalarExpr source, std::string out_name) {
+    agg_terms_.push_back({fn, std::move(source), std::move(out_name)});
+    return *this;
+  }
+  // HAVING filter on a group key or aggregate output column.
+  QueryBuilder& Having(Residual residual) {
+    spec_.having.push_back(std::move(residual));
+    return *this;
+  }
+  QueryBuilder& OrderBy(std::string column) {
+    spec_.order_by.push_back({std::move(column), false});
+    return *this;
+  }
+  QueryBuilder& OrderByDesc(std::string column) {
+    spec_.order_by.push_back({std::move(column), true});
+    return *this;
+  }
+  QueryBuilder& ResultSlot(std::string slot) {
+    spec_.result_slot = std::move(slot);
+    return *this;
+  }
+
+  QuerySpec Build() && {
+    spec_.aggregates = AggSpec(std::move(agg_terms_));
+    return std::move(spec_);
+  }
+
+ private:
+  QuerySpec spec_;
+  std::vector<AggTerm> agg_terms_;
+};
+
+// ---- prepared-query parameters ---------------------------------------------
+//
+// A ParamBinding re-binds one predicate constant of a QuerySpec: the
+// point value or a range bound, addressed by dimension name (or "fact"
+// for the fact predicate). Re-binding never changes a predicate's kind,
+// so a plan compiled for the spec keeps its shape for every binding.
+
+struct ParamBinding {
+  enum class Field : uint8_t { kPoint, kLo, kHi };
+
+  std::string target;  // dimension name, or "fact"
+  Field field = Field::kPoint;
+  int64_t value = 0;
+
+  static ParamBinding Point(std::string target, int64_t value) {
+    return {std::move(target), Field::kPoint, value};
+  }
+  static ParamBinding Lo(std::string target, int64_t value) {
+    return {std::move(target), Field::kLo, value};
+  }
+  static ParamBinding Hi(std::string target, int64_t value) {
+    return {std::move(target), Field::kHi, value};
+  }
+};
+
+using QueryParams = std::vector<ParamBinding>;
+
+// Returns a copy of `spec` with every binding applied. Unknown targets,
+// kind mismatches (e.g. kPoint against a range predicate), and duplicate
+// (target, field) bindings fail.
+Result<QuerySpec> BindParams(const QuerySpec& spec, const QueryParams& params);
+
+// Canonical cache-key fragment for a parameter set (order-insensitive).
+// Duplicate (target, field) bindings fail — they would alias two
+// different binding outcomes to one key.
+Result<std::string> ParamsKey(const QueryParams& params);
+
+}  // namespace qppt::query
+
+#endif  // QPPT_CORE_QUERY_QUERY_SPEC_H_

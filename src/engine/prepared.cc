@@ -1,0 +1,69 @@
+#include "engine/prepared.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "core/query/planner.h"
+
+namespace qppt::engine {
+
+namespace {
+
+// Only the plan-shaping knobs key the cache; buffer sizes and thread
+// counts are runtime parameters read from the ExecContext at execution.
+Result<std::string> CacheKey(const PlanKnobs& knobs,
+                             const query::QueryParams& params) {
+  QPPT_ASSIGN_OR_RETURN(std::string params_key, query::ParamsKey(params));
+  std::string key = knobs.use_select_join ? "sj|w" : "-|w";
+  key += std::to_string(knobs.max_join_ways);
+  key += '|';
+  key += params_key;
+  return key;
+}
+
+}  // namespace
+
+size_t PreparedQuery::plans_cached() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->plans.size();
+}
+
+Result<std::shared_ptr<const Plan>> PreparedQuery::GetPlan(
+    const PlanKnobs& knobs, const query::QueryParams& params) const {
+  QPPT_ASSIGN_OR_RETURN(const std::string key, CacheKey(knobs, params));
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    auto it = state_->plans.find(key);
+    if (it != state_->plans.end()) {
+      state_->hits.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  // Plan outside the lock; concurrent first callers may plan twice, the
+  // map keeps whichever lands first.
+  query::QuerySpec bound;
+  const query::QuerySpec* spec = &state_->spec;
+  if (!params.empty()) {
+    QPPT_ASSIGN_OR_RETURN(bound, query::BindParams(state_->spec, params));
+    spec = &bound;
+  }
+  QPPT_ASSIGN_OR_RETURN(Plan plan,
+                        query::PlanQuery(*state_->db, *spec, knobs));
+  auto shared = std::make_shared<const Plan>(std::move(plan));
+  std::lock_guard<std::mutex> lock(state_->mu);
+  state_->misses.fetch_add(1, std::memory_order_relaxed);
+  auto [it, inserted] = state_->plans.emplace(key, std::move(shared));
+  if (inserted) {
+    state_->insertion_order.push_back(key);
+    if (state_->insertion_order.size() > kMaxCachedPlans) {
+      // FIFO-evict the oldest entry; executions holding its shared_ptr
+      // finish unaffected.
+      state_->plans.erase(state_->insertion_order.front());
+      state_->insertion_order.erase(state_->insertion_order.begin());
+    }
+  }
+  return it->second;
+}
+
+}  // namespace qppt::engine

@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/query/planner.h"
 #include "core/sync_scan.h"
 #include "engine/scheduler.h"
 #include "index/key_encoder.h"
@@ -145,11 +146,26 @@ EngineRunner::EngineRunner(EngineConfig config) : config_(config) {
 
 EngineRunner::~EngineRunner() = default;
 
-EngineRunner::Batcher* EngineRunner::BatcherFor(const IndexedTable& table) {
+std::shared_ptr<EngineRunner::Batcher> EngineRunner::BatcherFor(
+    const IndexedTable& table) {
   std::lock_guard<std::mutex> lock(batchers_mu_);
   auto& slot = batchers_[&table];
-  if (slot == nullptr) slot = std::make_unique<Batcher>(&table);
-  return slot.get();
+  if (slot == nullptr) slot = std::make_shared<Batcher>(&table);
+  return slot;
+}
+
+void EngineRunner::ReleaseReads(const IndexedTable& table) {
+  std::shared_ptr<Batcher> victim;
+  {
+    std::lock_guard<std::mutex> lock(batchers_mu_);
+    auto it = batchers_.find(&table);
+    if (it == batchers_.end()) return;
+    victim = std::move(it->second);
+    batchers_.erase(it);
+  }
+  // Readers in flight hold their own reference; the batcher dies with the
+  // last of them (their leader answers them normally). New reads on the
+  // same table get a fresh batcher.
 }
 
 std::vector<uint64_t> EngineRunner::PointRead(const IndexedTable& table,
@@ -161,7 +177,9 @@ std::vector<uint64_t> EngineRunner::RangeRead(const IndexedTable& table,
                                               int64_t lo, int64_t hi) {
   reads_.fetch_add(1, std::memory_order_relaxed);
   if (table.aggregated() || lo > hi) return {};
-  Batcher* b = BatcherFor(table);
+  // Hold a reference for the whole read: a concurrent ReleaseReads(table)
+  // must not destroy the batcher under a waiting follower.
+  std::shared_ptr<Batcher> b = BatcherFor(table);
   Batcher::Request req;
   req.lo = lo;
   req.hi = hi;
@@ -227,10 +245,45 @@ EngineRunner::ReadStats EngineRunner::read_stats() const {
 
 // ---- query admission ---------------------------------------------------------
 
+// Counting-semaphore slot (max_concurrent_queries): blocks in the
+// constructor until a slot frees, releases on destruction (any exit
+// path, including error returns).
+struct EngineRunner::AdmitSlot {
+  explicit AdmitSlot(EngineRunner* runner) : runner_(runner) {
+    if (runner_->config_.max_concurrent_queries == 0) return;
+    std::unique_lock<std::mutex> lock(runner_->admit_mu_);
+    if (runner_->queries_running_ >=
+        runner_->config_.max_concurrent_queries) {
+      runner_->queries_waiting_.fetch_add(1, std::memory_order_relaxed);
+      runner_->admit_cv_.wait(lock, [&] {
+        return runner_->queries_running_ <
+               runner_->config_.max_concurrent_queries;
+      });
+      runner_->queries_waiting_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    ++runner_->queries_running_;
+    held_ = true;
+  }
+  ~AdmitSlot() {
+    if (!held_) return;
+    {
+      std::lock_guard<std::mutex> lock(runner_->admit_mu_);
+      --runner_->queries_running_;
+    }
+    runner_->admit_cv_.notify_one();
+  }
+  AdmitSlot(const AdmitSlot&) = delete;
+  AdmitSlot& operator=(const AdmitSlot&) = delete;
+
+  EngineRunner* runner_;
+  bool held_ = false;
+};
+
 Result<QueryResult> EngineRunner::Execute(const Database& db,
                                           const Plan& plan, PlanKnobs knobs,
                                           PlanStats* stats) {
   Timer wall;
+  AdmitSlot slot(this);
   queries_admitted_.fetch_add(1, std::memory_order_relaxed);
   knobs.threads = config_.threads;
   ExecContext ctx(&db, knobs);
@@ -245,6 +298,33 @@ Result<QueryResult> EngineRunner::Execute(const Database& db,
   return result;
 }
 
+Result<QueryResult> EngineRunner::Execute(const Database& db,
+                                          const query::QuerySpec& spec,
+                                          PlanKnobs knobs, PlanStats* stats) {
+  QPPT_ASSIGN_OR_RETURN(Plan plan, query::PlanQuery(db, spec, knobs));
+  return Execute(db, plan, knobs, stats);
+}
+
+Result<PreparedQuery> EngineRunner::Prepare(const Database& db,
+                                            query::QuerySpec spec) {
+  auto state = std::make_shared<PreparedQuery::State>();
+  state->db = &db;
+  state->spec = std::move(spec);
+  PreparedQuery prepared(std::move(state));
+  // Validate the spec and warm the default-knob cache entry; a spec the
+  // planner rejects fails here, not on the hot path.
+  QPPT_RETURN_NOT_OK(prepared.GetPlan(PlanKnobs{}, {}).status());
+  return prepared;
+}
+
+Result<QueryResult> EngineRunner::Execute(const PreparedQuery& prepared,
+                                          const query::QueryParams& params,
+                                          PlanKnobs knobs, PlanStats* stats) {
+  QPPT_ASSIGN_OR_RETURN(std::shared_ptr<const Plan> plan,
+                        prepared.GetPlan(knobs, params));
+  return Execute(prepared.db(), *plan, knobs, stats);
+}
+
 QuerySession EngineRunner::OpenSession() {
   return QuerySession(
       this, static_cast<size_t>(
@@ -256,6 +336,26 @@ Result<QueryResult> QuerySession::Execute(const Database& db,
                                           PlanStats* stats) {
   Timer wall;
   auto result = runner_->Execute(db, plan, knobs, stats);
+  ++queries_run_;
+  total_wall_ms_ += wall.ElapsedMs();
+  return result;
+}
+
+Result<QueryResult> QuerySession::Execute(const Database& db,
+                                          const query::QuerySpec& spec,
+                                          PlanKnobs knobs, PlanStats* stats) {
+  Timer wall;
+  auto result = runner_->Execute(db, spec, knobs, stats);
+  ++queries_run_;
+  total_wall_ms_ += wall.ElapsedMs();
+  return result;
+}
+
+Result<QueryResult> QuerySession::Execute(const PreparedQuery& prepared,
+                                          const query::QueryParams& params,
+                                          PlanKnobs knobs, PlanStats* stats) {
+  Timer wall;
+  auto result = runner_->Execute(prepared, params, knobs, stats);
   ++queries_run_;
   total_wall_ms_ += wall.ElapsedMs();
   return result;

@@ -21,6 +21,7 @@
 #define QPPT_ENGINE_SESSION_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <map>
@@ -32,6 +33,8 @@
 #include "core/base_index.h"
 #include "core/indexed_table.h"
 #include "core/plan.h"
+#include "core/query/query_spec.h"
+#include "engine/prepared.h"
 #include "util/status.h"
 
 namespace qppt::engine {
@@ -46,6 +49,10 @@ struct EngineConfig {
   // are pending or `read_batch_window_us` elapsed, whichever is first.
   size_t read_batch_max = 64;
   int64_t read_batch_window_us = 100;
+  // Admission control: queries executing at once (0 = unlimited). Excess
+  // Execute callers block on a counting semaphore until a slot frees;
+  // queries_waiting() reports how many are blocked.
+  size_t max_concurrent_queries = 0;
 };
 
 class QuerySession;
@@ -64,8 +71,29 @@ class EngineRunner {
   // Admits and executes one query. Safe to call from many client threads
   // concurrently; each call gets a private ExecContext wired to the
   // shared pool, with knobs.threads forced to the engine's configuration.
+  // With max_concurrent_queries set, excess callers block here until a
+  // slot frees.
   Result<QueryResult> Execute(const Database& db, const Plan& plan,
                               PlanKnobs knobs, PlanStats* stats = nullptr);
+
+  // Declarative front door: plans `spec` with the rule-based planner
+  // (core/query/planner.h) and executes the result.
+  Result<QueryResult> Execute(const Database& db,
+                              const query::QuerySpec& spec, PlanKnobs knobs,
+                              PlanStats* stats = nullptr);
+
+  // Compiles `spec` once against `db` and returns a cached-plan handle;
+  // fails fast on a spec the planner rejects. `db` must outlive every
+  // execution of the prepared query.
+  Result<PreparedQuery> Prepare(const Database& db, query::QuerySpec spec);
+
+  // Executes a prepared query, re-binding `params` into the predicate
+  // constants. Replanning is skipped whenever this (knobs, params)
+  // combination ran before on the same PreparedQuery.
+  Result<QueryResult> Execute(const PreparedQuery& prepared,
+                              const query::QueryParams& params = {},
+                              PlanKnobs knobs = PlanKnobs{},
+                              PlanStats* stats = nullptr);
 
   QuerySession OpenSession();
 
@@ -74,15 +102,19 @@ class EngineRunner {
   // shared scan per batch. Supported tables: plain (non-aggregated) with
   // a single int64-like key column; aggregated, composite-keyed, or
   // double-keyed tables yield empty results. `table` must outlive every
-  // read and the runner retains a per-table batcher until destruction —
-  // don't serve reads from short-lived intermediates. If the shared scan
-  // throws (e.g. allocation failure), the leader rethrows and that
-  // batch's followers observe empty results.
+  // read; the runner keeps a per-table batcher until ReleaseReads(table)
+  // or destruction. If the shared scan throws (e.g. allocation failure),
+  // the leader rethrows and that batch's followers observe empty results.
   std::vector<uint64_t> PointRead(const IndexedTable& table, int64_t key);
   // All tuple ids with keys in [lo, hi], in ascending key order. Same
   // contract as PointRead.
   std::vector<uint64_t> RangeRead(const IndexedTable& table, int64_t lo,
                                   int64_t hi);
+
+  // Evicts the per-table read batcher, allowing `table` to be destroyed
+  // (e.g. a short-lived intermediate). Reads already in flight finish
+  // against the old batcher; later reads get a fresh one.
+  void ReleaseReads(const IndexedTable& table);
 
   struct ReadStats {
     uint64_t reads = 0;         // PointRead + RangeRead calls
@@ -94,13 +126,18 @@ class EngineRunner {
   uint64_t queries_admitted() const {
     return queries_admitted_.load(std::memory_order_relaxed);
   }
+  // Execute callers currently blocked on the admission semaphore.
+  uint64_t queries_waiting() const {
+    return queries_waiting_.load(std::memory_order_relaxed);
+  }
 
   struct Batcher;  // defined in session.cc (shared-read group commit)
 
  private:
   friend class QuerySession;
+  struct AdmitSlot;  // RAII admission-semaphore guard (session.cc)
 
-  Batcher* BatcherFor(const IndexedTable& table);
+  std::shared_ptr<Batcher> BatcherFor(const IndexedTable& table);
 
   EngineConfig config_;
   std::unique_ptr<WorkerPool> pool_;
@@ -110,7 +147,12 @@ class EngineRunner {
   std::atomic<uint64_t> shared_scans_{0};
   std::atomic<uint64_t> batched_keys_{0};
   std::mutex batchers_mu_;
-  std::map<const IndexedTable*, std::unique_ptr<Batcher>> batchers_;
+  std::map<const IndexedTable*, std::shared_ptr<Batcher>> batchers_;
+  // Admission semaphore (max_concurrent_queries > 0).
+  std::mutex admit_mu_;
+  std::condition_variable admit_cv_;
+  size_t queries_running_ = 0;
+  std::atomic<uint64_t> queries_waiting_{0};
 };
 
 // A client handle onto the runner: same operations, plus per-session
@@ -123,6 +165,13 @@ class QuerySession {
 
   Result<QueryResult> Execute(const Database& db, const Plan& plan,
                               PlanKnobs knobs, PlanStats* stats = nullptr);
+  Result<QueryResult> Execute(const Database& db,
+                              const query::QuerySpec& spec, PlanKnobs knobs,
+                              PlanStats* stats = nullptr);
+  Result<QueryResult> Execute(const PreparedQuery& prepared,
+                              const query::QueryParams& params = {},
+                              PlanKnobs knobs = PlanKnobs{},
+                              PlanStats* stats = nullptr);
   std::vector<uint64_t> PointRead(const IndexedTable& table, int64_t key) {
     return runner_->PointRead(table, key);
   }

@@ -1,18 +1,19 @@
 #include "ssb/queries_qppt.h"
 
-#include <algorithm>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
-#include "core/operators/select_join.h"
-#include "core/operators/selection.h"
-#include "core/operators/star_join.h"
+#include "core/query/planner.h"
 #include "engine/session.h"
 
 namespace qppt::ssb {
 
 namespace {
+
+using query::QueryBuilder;
+using query::QuerySpec;
 
 // ---- Q1.x ------------------------------------------------------------------
 //
@@ -20,87 +21,29 @@ namespace {
 // from lineorder, date where lo_orderdate = d_datekey and <date predicate>
 // and lo_discount between .. and lo_quantity ..
 //
-// Plan: date selection -> small index on d_datekey; then either a composed
-// select-join-group on the (large) lineorder selection, or a separate
-// lineorder selection materializing an intermediate keyed on lo_orderdate
-// followed by a join-group via synchronous index scan (Fig. 8).
-struct Q1Params {
-  SelectionSpec date_sel;       // output slot "date_sel", keyed d_datekey
-  KeyPredicate lo_discount;     // discount predicate (index key)
-  std::vector<Residual> lo_residuals;
-};
-
-Plan BuildQ1(const Q1Params& params, const PlanKnobs& knobs) {
-  Plan plan;
-  plan.Emplace<SelectionOp>(params.date_sel);
-  AggSpec agg({{AggFn::kSum,
-                ScalarExpr::Mul("lo_extendedprice", "lo_discount"),
-                "revenue"}});
-  if (knobs.use_select_join) {
-    SelectJoinSpec sj;
-    sj.input_index = "lo_discount";
-    sj.predicate = params.lo_discount;
-    sj.residuals = params.lo_residuals;
-    sj.left_columns = {"lo_orderdate", "lo_extendedprice", "lo_discount"};
-    sj.probe_column = "lo_orderdate";
-    sj.right = SideRef::Slot("date_sel");
-    sj.right_columns = {"d_year"};
-    sj.output = {"result", {"d_year"}, agg};
-    plan.Emplace<SelectJoinOp>(sj);
-  } else {
-    SelectionSpec lo_sel;
-    lo_sel.input_index = "lo_discount";
-    lo_sel.predicate = params.lo_discount;
-    lo_sel.residuals = params.lo_residuals;
-    lo_sel.carry_columns = {"lo_orderdate", "lo_extendedprice",
-                            "lo_discount"};
-    lo_sel.output = {"lo_sel", {"lo_orderdate"}, {}};
-    plan.Emplace<SelectionOp>(lo_sel);
-
-    StarJoinSpec join;
-    join.left = SideRef::Slot("lo_sel");
-    join.left_columns = {"lo_extendedprice", "lo_discount"};
-    join.right = SideRef::Slot("date_sel");
-    join.right_columns = {"d_year"};
-    join.output = {"result", {"d_year"}, agg};
-    plan.Emplace<StarJoinOp>(join);
-  }
-  plan.set_result_slot("result");
-  return plan;
-}
-
-Plan BuildQ11(const SsbData&, const PlanKnobs& knobs) {
-  Q1Params p;
-  p.date_sel.input_index = "d_year";
-  p.date_sel.predicate = KeyPredicate::Point(1993);
-  p.date_sel.carry_columns = {"d_datekey", "d_year"};
-  p.date_sel.output = {"date_sel", {"d_datekey"}, {}};
-  p.lo_discount = KeyPredicate::Range(1, 3);
-  p.lo_residuals = {Residual::Lt("lo_quantity", 25)};
-  return BuildQ1(p, knobs);
-}
-
-Plan BuildQ12(const SsbData&, const PlanKnobs& knobs) {
-  Q1Params p;
-  p.date_sel.input_index = "d_yearmonthnum";
-  p.date_sel.predicate = KeyPredicate::Point(199401);
-  p.date_sel.carry_columns = {"d_datekey", "d_year"};
-  p.date_sel.output = {"date_sel", {"d_datekey"}, {}};
-  p.lo_discount = KeyPredicate::Range(4, 6);
-  p.lo_residuals = {Residual::Between("lo_quantity", 26, 35)};
-  return BuildQ1(p, knobs);
-}
-
-Plan BuildQ13(const SsbData&, const PlanKnobs& knobs) {
-  Q1Params p;
-  p.date_sel.input_index = "d_year";
-  p.date_sel.predicate = KeyPredicate::Point(1994);
-  p.date_sel.residuals = {Residual::Eq("d_weeknuminyear", 6)};
-  p.date_sel.carry_columns = {"d_datekey", "d_year"};
-  p.date_sel.output = {"date_sel", {"d_datekey"}, {}};
-  p.lo_discount = KeyPredicate::Range(5, 7);
-  p.lo_residuals = {Residual::Between("lo_quantity", 26, 35)};
-  return BuildQ1(p, knobs);
+// The fact side is filtered (discount range + quantity residual), so the
+// planner either fuses it into the date join (select-join-group, Fig. 8)
+// or materializes a separate lineorder selection, per
+// knobs.use_select_join.
+QuerySpec BuildSpecQ1(const std::string& id, const std::string& date_index,
+                      KeyPredicate date_pred,
+                      std::vector<Residual> date_residuals,
+                      KeyPredicate discount_pred, Residual quantity) {
+  QueryBuilder b("ssb." + id);
+  b.From("lineorder")
+      .FactIndex("lo_discount")
+      .FactSlot("lo_sel")
+      .FactColumns({"lo_orderdate", "lo_extendedprice", "lo_discount"})
+      .Where(discount_pred)
+      .Filter(std::move(quantity));
+  auto date = b.Dim("date").Select(date_index, date_pred);
+  for (Residual& r : date_residuals) date.Filter(std::move(r));
+  date.Key("d_datekey").ProbeFrom("lo_orderdate").Carry({"d_year"});
+  b.GroupBy({"d_year"})
+      .Aggregate(AggFn::kSum,
+                 ScalarExpr::Mul("lo_extendedprice", "lo_discount"),
+                 "revenue");
+  return std::move(b).Build();
 }
 
 // ---- Q2.x ------------------------------------------------------------------
@@ -109,70 +52,35 @@ Plan BuildQ13(const SsbData&, const PlanKnobs& knobs) {
 // supplier where joins and <part predicate> and s_region = R
 // group by d_year, p_brand1 order by d_year, p_brand1
 //
-// The Fig. 5 plan: two selections, a 3-way/star join (mains: lineorder on
-// partkey x part selection; assist: supplier selection), then a
-// 2-way-join-group against the date base index. The composed group key
-// (d_year, p_brand1) lands in a prefix tree, so the ORDER BY is free.
-Plan BuildQ2(const SsbData& data, const SelectionSpec& part_sel,
-             int64_t region_code) {
-  Plan plan;
-  (void)data;
-  plan.Emplace<SelectionOp>(part_sel);
-
-  SelectionSpec supp_sel;
-  supp_sel.input_index = "s_region";
-  supp_sel.predicate = KeyPredicate::Point(region_code);
-  supp_sel.carry_columns = {"s_suppkey"};
-  supp_sel.output = {"supp_sel", {"s_suppkey"}, {}};
-  plan.Emplace<SelectionOp>(supp_sel);
-
-  StarJoinSpec join1;
-  join1.left = SideRef::Base("lo_partkey");
-  join1.left_columns = {"lo_suppkey", "lo_orderdate", "lo_revenue"};
-  join1.right = SideRef::Slot("part_sel");
-  join1.right_columns = {"p_brand1"};
-  join1.assists = {{SideRef::Slot("supp_sel"), "lo_suppkey", {}}};
-  join1.output = {"join1", {"lo_orderdate"}, {}};
-  plan.Emplace<StarJoinOp>(join1);
-
-  StarJoinSpec join2;
-  join2.left = SideRef::Slot("join1");
-  join2.left_columns = {"p_brand1", "lo_revenue"};
-  join2.right = SideRef::Base("d_datekey");
-  join2.right_columns = {"d_year"};
-  AggSpec agg({{AggFn::kSum, ScalarExpr::Column("lo_revenue"), "revenue"}});
-  join2.output = {"result", {"d_year", "p_brand1"}, agg};
-  plan.Emplace<StarJoinOp>(join2);
-  plan.set_result_slot("result");
-  return plan;
-}
-
-Plan BuildQ21(const SsbData& data, const PlanKnobs&) {
-  SelectionSpec part_sel;
-  part_sel.input_index = "p_category";
-  part_sel.predicate = KeyPredicate::Point(data.CategoryCode("MFGR#12"));
-  part_sel.carry_columns = {"p_partkey", "p_brand1"};
-  part_sel.output = {"part_sel", {"p_partkey"}, {}};
-  return BuildQ2(data, part_sel, data.RegionCode("AMERICA"));
-}
-
-Plan BuildQ22(const SsbData& data, const PlanKnobs&) {
-  SelectionSpec part_sel;
-  part_sel.input_index = "p_brand1";
-  part_sel.predicate = KeyPredicate::Range(data.BrandCode("MFGR#2221"),
-                                           data.BrandCode("MFGR#2228"));
-  part_sel.carry_columns = {"p_partkey", "p_brand1"};
-  part_sel.output = {"part_sel", {"p_partkey"}, {}};
-  return BuildQ2(data, part_sel, data.RegionCode("ASIA"));
-}
-
-Plan BuildQ23(const SsbData& data, const PlanKnobs&) {
-  SelectionSpec part_sel;
-  part_sel.input_index = "p_brand1";
-  part_sel.predicate = KeyPredicate::Point(data.BrandCode("MFGR#2221"));
-  part_sel.carry_columns = {"p_partkey", "p_brand1"};
-  part_sel.output = {"part_sel", {"p_partkey"}, {}};
-  return BuildQ2(data, part_sel, data.RegionCode("EUROPE"));
+// The Fig. 5 shape: part is the star-join main, supplier assists, and
+// the date dimension is deferred into a second join-group against the
+// d_datekey base index. The composed (d_year, p_brand1) group key lands
+// in a prefix tree, so the ORDER BY is free.
+QuerySpec BuildSpecQ2(const std::string& id, const std::string& part_index,
+                      KeyPredicate part_pred, int64_t region_code) {
+  QueryBuilder b("ssb." + id);
+  b.From("lineorder")
+      .FactIndex("lo_partkey")
+      .FactColumns({"lo_suppkey", "lo_orderdate", "lo_revenue"});
+  b.Dim("part")
+      .Select(part_index, part_pred)
+      .Key("p_partkey")
+      .ProbeFrom("lo_partkey")
+      .Carry({"p_brand1"});
+  b.Dim("supp")
+      .Select("s_region", KeyPredicate::Point(region_code))
+      .Key("s_suppkey")
+      .ProbeFrom("lo_suppkey");
+  b.Dim("date")
+      .Probe("d_datekey")
+      .ProbeFrom("lo_orderdate")
+      .Carry({"d_year"})
+      .Defer();
+  b.GroupBy({"d_year", "p_brand1"})
+      .Aggregate(AggFn::kSum, ScalarExpr::Column("lo_revenue"), "revenue")
+      .OrderBy("d_year")
+      .OrderBy("p_brand1");
+  return std::move(b).Build();
 }
 
 // ---- Q3.x ------------------------------------------------------------------
@@ -181,346 +89,143 @@ Plan BuildQ23(const SsbData& data, const PlanKnobs&) {
 // lineorder, supplier, date where joins and <customer/supplier/date
 // predicates> group by c_X, s_X, d_year order by d_year asc, revenue desc
 //
-// Plan: three dimension selections, then a single 4-way/star join (mains:
-// lineorder on custkey x customer selection; assists: supplier selection
-// and date selection) aggregating into a prefix tree on the composed
-// (c_X, s_X, d_year) key. The revenue-descending ORDER BY is applied as a
-// final result sort (the only ordering the output index cannot provide).
-struct Q3Params {
-  SelectionSpec cust_sel;   // keyed c_custkey, carries the c_X group attr
-  SelectionSpec supp_sel;   // keyed s_suppkey, carries the s_X group attr
-  SelectionSpec date_sel;   // keyed d_datekey, carries d_year
-  std::string c_attr;
-  std::string s_attr;
+// One composed multi-way join (customer main, supplier and date assists)
+// aggregating on the composed (c_X, s_X, d_year) key; the
+// revenue-descending ORDER BY is the one ordering the output index
+// cannot provide, so the planner attaches a post-sort.
+struct Q3Dims {
+  std::string c_index, c_attr;
+  KeyPredicate c_pred;
+  std::string s_index, s_attr;
+  KeyPredicate s_pred;
+  std::string d_index;
+  KeyPredicate d_pred;
 };
 
-Plan BuildQ3(const Q3Params& params) {
-  Plan plan;
-  plan.Emplace<SelectionOp>(params.cust_sel);
-  plan.Emplace<SelectionOp>(params.supp_sel);
-  plan.Emplace<SelectionOp>(params.date_sel);
-
-  StarJoinSpec join;
-  join.left = SideRef::Base("lo_custkey");
-  join.left_columns = {"lo_suppkey", "lo_orderdate", "lo_revenue"};
-  join.right = SideRef::Slot("cust_sel");
-  join.right_columns = {params.c_attr};
-  join.assists = {
-      {SideRef::Slot("supp_sel"), "lo_suppkey", {params.s_attr}},
-      {SideRef::Slot("date_sel"), "lo_orderdate", {"d_year"}}};
-  AggSpec agg({{AggFn::kSum, ScalarExpr::Column("lo_revenue"), "revenue"}});
-  join.output = {"result", {params.c_attr, params.s_attr, "d_year"}, agg};
-  plan.Emplace<StarJoinOp>(join);
-  plan.set_result_slot("result");
-  return plan;
-}
-
-SelectionSpec DateYearRange(int64_t lo, int64_t hi) {
-  SelectionSpec date_sel;
-  date_sel.input_index = "d_year";
-  date_sel.predicate = KeyPredicate::Range(lo, hi);
-  date_sel.carry_columns = {"d_datekey", "d_year"};
-  date_sel.output = {"date_sel", {"d_datekey"}, {}};
-  return date_sel;
-}
-
-Plan BuildQ31(const SsbData& data, const PlanKnobs&) {
-  Q3Params p;
-  p.c_attr = "c_nation";
-  p.s_attr = "s_nation";
-  p.cust_sel.input_index = "c_region";
-  p.cust_sel.predicate = KeyPredicate::Point(data.RegionCode("ASIA"));
-  p.cust_sel.carry_columns = {"c_custkey", "c_nation"};
-  p.cust_sel.output = {"cust_sel", {"c_custkey"}, {}};
-  p.supp_sel.input_index = "s_region";
-  p.supp_sel.predicate = KeyPredicate::Point(data.RegionCode("ASIA"));
-  p.supp_sel.carry_columns = {"s_suppkey", "s_nation"};
-  p.supp_sel.output = {"supp_sel", {"s_suppkey"}, {}};
-  p.date_sel = DateYearRange(1992, 1997);
-  return BuildQ3(p);
-}
-
-Plan BuildQ32(const SsbData& data, const PlanKnobs&) {
-  Q3Params p;
-  p.c_attr = "c_city";
-  p.s_attr = "s_city";
-  p.cust_sel.input_index = "c_nation";
-  p.cust_sel.predicate =
-      KeyPredicate::Point(data.NationCode("UNITED STATES"));
-  p.cust_sel.carry_columns = {"c_custkey", "c_city"};
-  p.cust_sel.output = {"cust_sel", {"c_custkey"}, {}};
-  p.supp_sel.input_index = "s_nation";
-  p.supp_sel.predicate =
-      KeyPredicate::Point(data.NationCode("UNITED STATES"));
-  p.supp_sel.carry_columns = {"s_suppkey", "s_city"};
-  p.supp_sel.output = {"supp_sel", {"s_suppkey"}, {}};
-  p.date_sel = DateYearRange(1992, 1997);
-  return BuildQ3(p);
-}
-
-Q3Params CityPairParams(const SsbData& data) {
-  // c_city in ('UNITED KI1','UNITED KI5') and likewise for s_city.
-  std::vector<int64_t> cities = {data.CityCode("UNITED KI1"),
-                                 data.CityCode("UNITED KI5")};
-  Q3Params p;
-  p.c_attr = "c_city";
-  p.s_attr = "s_city";
-  p.cust_sel.input_index = "c_city";
-  p.cust_sel.predicate = KeyPredicate::In(cities);
-  p.cust_sel.carry_columns = {"c_custkey", "c_city"};
-  p.cust_sel.output = {"cust_sel", {"c_custkey"}, {}};
-  p.supp_sel.input_index = "s_city";
-  p.supp_sel.predicate = KeyPredicate::In(cities);
-  p.supp_sel.carry_columns = {"s_suppkey", "s_city"};
-  p.supp_sel.output = {"supp_sel", {"s_suppkey"}, {}};
-  return p;
-}
-
-Plan BuildQ33(const SsbData& data, const PlanKnobs&) {
-  Q3Params p = CityPairParams(data);
-  p.date_sel = DateYearRange(1992, 1997);
-  return BuildQ3(p);
-}
-
-Plan BuildQ34(const SsbData& data, const PlanKnobs&) {
-  Q3Params p = CityPairParams(data);
-  p.date_sel.input_index = "d_yearmonthnum";
-  p.date_sel.predicate = KeyPredicate::Point(199712);  // 'Dec1997'
-  p.date_sel.carry_columns = {"d_datekey", "d_year"};
-  p.date_sel.output = {"date_sel", {"d_datekey"}, {}};
-  return BuildQ3(p);
+QuerySpec BuildSpecQ3(const std::string& id, const Q3Dims& q) {
+  QueryBuilder b("ssb." + id);
+  b.From("lineorder")
+      .FactIndex("lo_custkey")
+      .FactColumns({"lo_suppkey", "lo_orderdate", "lo_revenue"});
+  b.Dim("cust")
+      .Select(q.c_index, q.c_pred)
+      .Key("c_custkey")
+      .ProbeFrom("lo_custkey")
+      .Carry({q.c_attr});
+  b.Dim("supp")
+      .Select(q.s_index, q.s_pred)
+      .Key("s_suppkey")
+      .ProbeFrom("lo_suppkey")
+      .Carry({q.s_attr});
+  b.Dim("date")
+      .Select(q.d_index, q.d_pred)
+      .Key("d_datekey")
+      .ProbeFrom("lo_orderdate")
+      .Carry({"d_year"});
+  b.GroupBy({q.c_attr, q.s_attr, "d_year"})
+      .Aggregate(AggFn::kSum, ScalarExpr::Column("lo_revenue"), "revenue")
+      .OrderBy("d_year")
+      .OrderByDesc("revenue");
+  return std::move(b).Build();
 }
 
 // ---- Q4.x ------------------------------------------------------------------
 //
-// Q4.1: select d_year, c_nation, sum(lo_revenue - lo_supplycost) as profit
-// from all five tables where joins and c_region/s_region = AMERICA and
-// p_mfgr in (MFGR#1, MFGR#2) group by d_year, c_nation.
-//
-// The Fig. 9 experiment varies how many joins are composed into one
-// operator (knobs.max_join_ways): the 5-way plan runs one composed
-// operator; lower settings split it into a chain of smaller joins, each
-// materializing an intermediate index (which is exactly the cost the
-// composition avoids).
-Plan BuildQ41(const SsbData& data, const PlanKnobs& knobs) {
-  Plan plan;
-
-  SelectionSpec cust_sel;
-  cust_sel.input_index = "c_region";
-  cust_sel.predicate = KeyPredicate::Point(data.RegionCode("AMERICA"));
-  cust_sel.carry_columns = {"c_custkey", "c_nation"};
-  cust_sel.output = {"cust_sel", {"c_custkey"}, {}};
-  plan.Emplace<SelectionOp>(cust_sel);
-
-  SelectionSpec supp_sel;
-  supp_sel.input_index = "s_region";
-  supp_sel.predicate = KeyPredicate::Point(data.RegionCode("AMERICA"));
-  supp_sel.carry_columns = {"s_suppkey"};
-  supp_sel.output = {"supp_sel", {"s_suppkey"}, {}};
-  plan.Emplace<SelectionOp>(supp_sel);
-
-  SelectionSpec part_sel;
-  part_sel.input_index = "p_mfgr";
-  part_sel.predicate = KeyPredicate::In(
-      {data.MfgrCode("MFGR#1"), data.MfgrCode("MFGR#2")});
-  part_sel.carry_columns = {"p_partkey"};
-  part_sel.output = {"part_sel", {"p_partkey"}, {}};
-  plan.Emplace<SelectionOp>(part_sel);
-
-  AggSpec agg({{AggFn::kSum, ScalarExpr::Sub("lo_revenue", "lo_supplycost"),
-                "profit"}});
-  int ways = knobs.max_join_ways == 0 ? 5 : knobs.max_join_ways;
-  if (ways >= 5) {
-    // One composed 5-way operator.
-    StarJoinSpec join;
-    join.left = SideRef::Base("lo_custkey");
-    join.left_columns = {"lo_suppkey", "lo_partkey", "lo_orderdate",
-                         "lo_revenue", "lo_supplycost"};
-    join.right = SideRef::Slot("cust_sel");
-    join.right_columns = {"c_nation"};
-    join.assists = {{SideRef::Slot("supp_sel"), "lo_suppkey", {}},
-                    {SideRef::Slot("part_sel"), "lo_partkey", {}},
-                    {SideRef::Base("d_datekey"), "lo_orderdate", {"d_year"}}};
-    join.output = {"result", {"d_year", "c_nation"}, agg};
-    plan.Emplace<StarJoinOp>(join);
-  } else if (ways == 4) {
-    StarJoinSpec join1;
-    join1.left = SideRef::Base("lo_custkey");
-    join1.left_columns = {"lo_suppkey", "lo_partkey", "lo_orderdate",
-                          "lo_revenue", "lo_supplycost"};
-    join1.right = SideRef::Slot("cust_sel");
-    join1.right_columns = {"c_nation"};
-    join1.assists = {{SideRef::Slot("supp_sel"), "lo_suppkey", {}},
-                     {SideRef::Slot("part_sel"), "lo_partkey", {}}};
-    join1.output = {"join1", {"lo_orderdate"}, {}};
-    plan.Emplace<StarJoinOp>(join1);
-
-    StarJoinSpec join2;
-    join2.left = SideRef::Slot("join1");
-    join2.left_columns = {"c_nation", "lo_revenue", "lo_supplycost"};
-    join2.right = SideRef::Base("d_datekey");
-    join2.right_columns = {"d_year"};
-    join2.output = {"result", {"d_year", "c_nation"}, agg};
-    plan.Emplace<StarJoinOp>(join2);
-  } else if (ways == 3) {
-    StarJoinSpec join1;
-    join1.left = SideRef::Base("lo_custkey");
-    join1.left_columns = {"lo_suppkey", "lo_partkey", "lo_orderdate",
-                          "lo_revenue", "lo_supplycost"};
-    join1.right = SideRef::Slot("cust_sel");
-    join1.right_columns = {"c_nation"};
-    join1.assists = {{SideRef::Slot("supp_sel"), "lo_suppkey", {}}};
-    join1.output = {"join1", {"lo_partkey"}, {}};
-    plan.Emplace<StarJoinOp>(join1);
-
-    StarJoinSpec join2;
-    join2.left = SideRef::Slot("join1");
-    join2.left_columns = {"c_nation", "lo_orderdate", "lo_revenue",
-                          "lo_supplycost"};
-    join2.right = SideRef::Slot("part_sel");
-    join2.right_columns = {};
-    join2.output = {"join2", {"lo_orderdate"}, {}};
-    plan.Emplace<StarJoinOp>(join2);
-
-    StarJoinSpec join3;
-    join3.left = SideRef::Slot("join2");
-    join3.left_columns = {"c_nation", "lo_revenue", "lo_supplycost"};
-    join3.right = SideRef::Base("d_datekey");
-    join3.right_columns = {"d_year"};
-    join3.output = {"result", {"d_year", "c_nation"}, agg};
-    plan.Emplace<StarJoinOp>(join3);
-  } else {
-    // Traditional 2-way joins only: four joins, three materialized
-    // intermediates.
-    StarJoinSpec join1;
-    join1.left = SideRef::Base("lo_custkey");
-    join1.left_columns = {"lo_suppkey", "lo_partkey", "lo_orderdate",
-                          "lo_revenue", "lo_supplycost"};
-    join1.right = SideRef::Slot("cust_sel");
-    join1.right_columns = {"c_nation"};
-    join1.output = {"join1", {"lo_suppkey"}, {}};
-    plan.Emplace<StarJoinOp>(join1);
-
-    StarJoinSpec join2;
-    join2.left = SideRef::Slot("join1");
-    join2.left_columns = {"c_nation", "lo_partkey", "lo_orderdate",
-                          "lo_revenue", "lo_supplycost"};
-    join2.right = SideRef::Slot("supp_sel");
-    join2.right_columns = {};
-    join2.output = {"join2", {"lo_partkey"}, {}};
-    plan.Emplace<StarJoinOp>(join2);
-
-    StarJoinSpec join3;
-    join3.left = SideRef::Slot("join2");
-    join3.left_columns = {"c_nation", "lo_orderdate", "lo_revenue",
-                          "lo_supplycost"};
-    join3.right = SideRef::Slot("part_sel");
-    join3.right_columns = {};
-    join3.output = {"join3", {"lo_orderdate"}, {}};
-    plan.Emplace<StarJoinOp>(join3);
-
-    StarJoinSpec join4;
-    join4.left = SideRef::Slot("join3");
-    join4.left_columns = {"c_nation", "lo_revenue", "lo_supplycost"};
-    join4.right = SideRef::Base("d_datekey");
-    join4.right_columns = {"d_year"};
-    join4.output = {"result", {"d_year", "c_nation"}, agg};
-    plan.Emplace<StarJoinOp>(join4);
-  }
-  plan.set_result_slot("result");
-  return plan;
+// select d_year, <dims>, sum(lo_revenue - lo_supplycost) as profit from
+// all five tables. The widest star of the flight: customer main plus
+// supplier/part/date composed in as knobs.max_join_ways allows — the
+// Fig. 9 experiment falls out of the planner's arity rule.
+void Q4FactSide(QueryBuilder* b) {
+  b->From("lineorder")
+      .FactIndex("lo_custkey")
+      .FactColumns({"lo_suppkey", "lo_partkey", "lo_orderdate", "lo_revenue",
+                    "lo_supplycost"});
 }
 
-// Q4.2 / Q4.3: deeper restrictions, group keys from three different
-// dimensions; one composed multi-way join after the selections.
-Plan BuildQ42(const SsbData& data, const PlanKnobs&) {
-  Plan plan;
-
-  SelectionSpec cust_sel;
-  cust_sel.input_index = "c_region";
-  cust_sel.predicate = KeyPredicate::Point(data.RegionCode("AMERICA"));
-  cust_sel.carry_columns = {"c_custkey"};
-  cust_sel.output = {"cust_sel", {"c_custkey"}, {}};
-  plan.Emplace<SelectionOp>(cust_sel);
-
-  SelectionSpec supp_sel;
-  supp_sel.input_index = "s_region";
-  supp_sel.predicate = KeyPredicate::Point(data.RegionCode("AMERICA"));
-  supp_sel.carry_columns = {"s_suppkey", "s_nation"};
-  supp_sel.output = {"supp_sel", {"s_suppkey"}, {}};
-  plan.Emplace<SelectionOp>(supp_sel);
-
-  SelectionSpec part_sel;
-  part_sel.input_index = "p_mfgr";
-  part_sel.predicate = KeyPredicate::In(
-      {data.MfgrCode("MFGR#1"), data.MfgrCode("MFGR#2")});
-  part_sel.carry_columns = {"p_partkey", "p_category"};
-  part_sel.output = {"part_sel", {"p_partkey"}, {}};
-  plan.Emplace<SelectionOp>(part_sel);
-
-  SelectionSpec date_sel = DateYearRange(1997, 1998);
-  plan.Emplace<SelectionOp>(date_sel);
-
-  StarJoinSpec join;
-  join.left = SideRef::Base("lo_custkey");
-  join.left_columns = {"lo_suppkey", "lo_partkey", "lo_orderdate",
-                       "lo_revenue", "lo_supplycost"};
-  join.right = SideRef::Slot("cust_sel");
-  join.right_columns = {};
-  join.assists = {{SideRef::Slot("supp_sel"), "lo_suppkey", {"s_nation"}},
-                  {SideRef::Slot("part_sel"), "lo_partkey", {"p_category"}},
-                  {SideRef::Slot("date_sel"), "lo_orderdate", {"d_year"}}};
-  AggSpec agg({{AggFn::kSum, ScalarExpr::Sub("lo_revenue", "lo_supplycost"),
-                "profit"}});
-  join.output = {"result", {"d_year", "s_nation", "p_category"}, agg};
-  plan.Emplace<StarJoinOp>(join);
-  plan.set_result_slot("result");
-  return plan;
+void Q4Profit(QueryBuilder* b, std::vector<std::string> group_by) {
+  b->GroupBy(std::move(group_by))
+      .Aggregate(AggFn::kSum, ScalarExpr::Sub("lo_revenue", "lo_supplycost"),
+                 "profit");
 }
 
-Plan BuildQ43(const SsbData& data, const PlanKnobs&) {
-  Plan plan;
+QuerySpec BuildSpecQ41(const SsbData& data) {
+  QueryBuilder b("ssb.4.1");
+  Q4FactSide(&b);
+  b.Dim("cust")
+      .Select("c_region", KeyPredicate::Point(data.RegionCode("AMERICA")))
+      .Key("c_custkey")
+      .ProbeFrom("lo_custkey")
+      .Carry({"c_nation"});
+  b.Dim("supp")
+      .Select("s_region", KeyPredicate::Point(data.RegionCode("AMERICA")))
+      .Key("s_suppkey")
+      .ProbeFrom("lo_suppkey");
+  b.Dim("part")
+      .Select("p_mfgr", KeyPredicate::In({data.MfgrCode("MFGR#1"),
+                                          data.MfgrCode("MFGR#2")}))
+      .Key("p_partkey")
+      .ProbeFrom("lo_partkey");
+  b.Dim("date").Probe("d_datekey").ProbeFrom("lo_orderdate").Carry(
+      {"d_year"});
+  Q4Profit(&b, {"d_year", "c_nation"});
+  b.OrderBy("d_year").OrderBy("c_nation");
+  return std::move(b).Build();
+}
 
-  SelectionSpec cust_sel;
-  cust_sel.input_index = "c_region";
-  cust_sel.predicate = KeyPredicate::Point(data.RegionCode("AMERICA"));
-  cust_sel.carry_columns = {"c_custkey"};
-  cust_sel.output = {"cust_sel", {"c_custkey"}, {}};
-  plan.Emplace<SelectionOp>(cust_sel);
+QuerySpec BuildSpecQ42(const SsbData& data) {
+  QueryBuilder b("ssb.4.2");
+  Q4FactSide(&b);
+  b.Dim("cust")
+      .Select("c_region", KeyPredicate::Point(data.RegionCode("AMERICA")))
+      .Key("c_custkey")
+      .ProbeFrom("lo_custkey");
+  b.Dim("supp")
+      .Select("s_region", KeyPredicate::Point(data.RegionCode("AMERICA")))
+      .Key("s_suppkey")
+      .ProbeFrom("lo_suppkey")
+      .Carry({"s_nation"});
+  b.Dim("part")
+      .Select("p_mfgr", KeyPredicate::In({data.MfgrCode("MFGR#1"),
+                                          data.MfgrCode("MFGR#2")}))
+      .Key("p_partkey")
+      .ProbeFrom("lo_partkey")
+      .Carry({"p_category"});
+  b.Dim("date")
+      .Select("d_year", KeyPredicate::Range(1997, 1998))
+      .Key("d_datekey")
+      .ProbeFrom("lo_orderdate")
+      .Carry({"d_year"});
+  Q4Profit(&b, {"d_year", "s_nation", "p_category"});
+  b.OrderBy("d_year").OrderBy("s_nation").OrderBy("p_category");
+  return std::move(b).Build();
+}
 
-  SelectionSpec supp_sel;
-  supp_sel.input_index = "s_nation";
-  supp_sel.predicate =
-      KeyPredicate::Point(data.NationCode("UNITED STATES"));
-  supp_sel.carry_columns = {"s_suppkey", "s_city"};
-  supp_sel.output = {"supp_sel", {"s_suppkey"}, {}};
-  plan.Emplace<SelectionOp>(supp_sel);
-
-  SelectionSpec part_sel;
-  part_sel.input_index = "p_category";
-  part_sel.predicate = KeyPredicate::Point(data.CategoryCode("MFGR#14"));
-  part_sel.carry_columns = {"p_partkey", "p_brand1"};
-  part_sel.output = {"part_sel", {"p_partkey"}, {}};
-  plan.Emplace<SelectionOp>(part_sel);
-
-  SelectionSpec date_sel = DateYearRange(1997, 1998);
-  plan.Emplace<SelectionOp>(date_sel);
-
-  StarJoinSpec join;
-  join.left = SideRef::Base("lo_custkey");
-  join.left_columns = {"lo_suppkey", "lo_partkey", "lo_orderdate",
-                       "lo_revenue", "lo_supplycost"};
-  join.right = SideRef::Slot("cust_sel");
-  join.right_columns = {};
-  join.assists = {{SideRef::Slot("supp_sel"), "lo_suppkey", {"s_city"}},
-                  {SideRef::Slot("part_sel"), "lo_partkey", {"p_brand1"}},
-                  {SideRef::Slot("date_sel"), "lo_orderdate", {"d_year"}}};
-  AggSpec agg({{AggFn::kSum, ScalarExpr::Sub("lo_revenue", "lo_supplycost"),
-                "profit"}});
-  join.output = {"result", {"d_year", "s_city", "p_brand1"}, agg};
-  plan.Emplace<StarJoinOp>(join);
-  plan.set_result_slot("result");
-  return plan;
+QuerySpec BuildSpecQ43(const SsbData& data) {
+  QueryBuilder b("ssb.4.3");
+  Q4FactSide(&b);
+  b.Dim("cust")
+      .Select("c_region", KeyPredicate::Point(data.RegionCode("AMERICA")))
+      .Key("c_custkey")
+      .ProbeFrom("lo_custkey");
+  b.Dim("supp")
+      .Select("s_nation",
+              KeyPredicate::Point(data.NationCode("UNITED STATES")))
+      .Key("s_suppkey")
+      .ProbeFrom("lo_suppkey")
+      .Carry({"s_city"});
+  b.Dim("part")
+      .Select("p_category", KeyPredicate::Point(data.CategoryCode("MFGR#14")))
+      .Key("p_partkey")
+      .ProbeFrom("lo_partkey")
+      .Carry({"p_brand1"});
+  b.Dim("date")
+      .Select("d_year", KeyPredicate::Range(1997, 1998))
+      .Key("d_datekey")
+      .ProbeFrom("lo_orderdate")
+      .Carry({"d_year"});
+  Q4Profit(&b, {"d_year", "s_city", "p_brand1"});
+  b.OrderBy("d_year").OrderBy("s_city").OrderBy("p_brand1");
+  return std::move(b).Build();
 }
 
 }  // namespace
@@ -532,36 +237,99 @@ const std::vector<std::string>& AllQueryIds() {
   return kIds;
 }
 
+Result<query::QuerySpec> BuildQuerySpec(const SsbData& data,
+                                        const std::string& query_id) {
+  if (query_id == "1.1") {
+    return BuildSpecQ1("1.1", "d_year", KeyPredicate::Point(1993), {},
+                       KeyPredicate::Range(1, 3),
+                       Residual::Lt("lo_quantity", 25));
+  }
+  if (query_id == "1.2") {
+    return BuildSpecQ1("1.2", "d_yearmonthnum", KeyPredicate::Point(199401),
+                       {}, KeyPredicate::Range(4, 6),
+                       Residual::Between("lo_quantity", 26, 35));
+  }
+  if (query_id == "1.3") {
+    return BuildSpecQ1("1.3", "d_year", KeyPredicate::Point(1994),
+                       {Residual::Eq("d_weeknuminyear", 6)},
+                       KeyPredicate::Range(5, 7),
+                       Residual::Between("lo_quantity", 26, 35));
+  }
+  if (query_id == "2.1") {
+    return BuildSpecQ2("2.1", "p_category",
+                       KeyPredicate::Point(data.CategoryCode("MFGR#12")),
+                       data.RegionCode("AMERICA"));
+  }
+  if (query_id == "2.2") {
+    return BuildSpecQ2("2.2", "p_brand1",
+                       KeyPredicate::Range(data.BrandCode("MFGR#2221"),
+                                           data.BrandCode("MFGR#2228")),
+                       data.RegionCode("ASIA"));
+  }
+  if (query_id == "2.3") {
+    return BuildSpecQ2("2.3", "p_brand1",
+                       KeyPredicate::Point(data.BrandCode("MFGR#2221")),
+                       data.RegionCode("EUROPE"));
+  }
+  if (query_id[0] == '3') {
+    Q3Dims q;
+    q.d_index = "d_year";
+    q.d_pred = KeyPredicate::Range(1992, 1997);
+    if (query_id == "3.1") {
+      q.c_index = "c_region";
+      q.c_attr = "c_nation";
+      q.c_pred = KeyPredicate::Point(data.RegionCode("ASIA"));
+      q.s_index = "s_region";
+      q.s_attr = "s_nation";
+      q.s_pred = KeyPredicate::Point(data.RegionCode("ASIA"));
+      return BuildSpecQ3("3.1", q);
+    }
+    if (query_id == "3.2") {
+      q.c_index = "c_nation";
+      q.c_attr = "c_city";
+      q.c_pred = KeyPredicate::Point(data.NationCode("UNITED STATES"));
+      q.s_index = "s_nation";
+      q.s_attr = "s_city";
+      q.s_pred = KeyPredicate::Point(data.NationCode("UNITED STATES"));
+      return BuildSpecQ3("3.2", q);
+    }
+    // Q3.3 / Q3.4: the UNITED KI1/KI5 city pair on both sides.
+    std::vector<int64_t> cities = {data.CityCode("UNITED KI1"),
+                                   data.CityCode("UNITED KI5")};
+    q.c_index = "c_city";
+    q.c_attr = "c_city";
+    q.c_pred = KeyPredicate::In(cities);
+    q.s_index = "s_city";
+    q.s_attr = "s_city";
+    q.s_pred = KeyPredicate::In(cities);
+    if (query_id == "3.3") return BuildSpecQ3("3.3", q);
+    if (query_id == "3.4") {
+      q.d_index = "d_yearmonthnum";
+      q.d_pred = KeyPredicate::Point(199712);  // 'Dec1997'
+      return BuildSpecQ3("3.4", q);
+    }
+  }
+  if (query_id == "4.1") return BuildSpecQ41(data);
+  if (query_id == "4.2") return BuildSpecQ42(data);
+  if (query_id == "4.3") return BuildSpecQ43(data);
+  return Status::InvalidArgument("unknown SSB query id '" + query_id + "'");
+}
+
 Result<Plan> BuildQpptPlan(const SsbData& data, const std::string& query_id,
                            const PlanKnobs& knobs) {
-  if (query_id == "1.1") return BuildQ11(data, knobs);
-  if (query_id == "1.2") return BuildQ12(data, knobs);
-  if (query_id == "1.3") return BuildQ13(data, knobs);
-  if (query_id == "2.1") return BuildQ21(data, knobs);
-  if (query_id == "2.2") return BuildQ22(data, knobs);
-  if (query_id == "2.3") return BuildQ23(data, knobs);
-  if (query_id == "3.1") return BuildQ31(data, knobs);
-  if (query_id == "3.2") return BuildQ32(data, knobs);
-  if (query_id == "3.3") return BuildQ33(data, knobs);
-  if (query_id == "3.4") return BuildQ34(data, knobs);
-  if (query_id == "4.1") return BuildQ41(data, knobs);
-  if (query_id == "4.2") return BuildQ42(data, knobs);
-  if (query_id == "4.3") return BuildQ43(data, knobs);
-  return Status::InvalidArgument("unknown SSB query id '" + query_id + "'");
+  QPPT_ASSIGN_OR_RETURN(query::QuerySpec spec,
+                        BuildQuerySpec(data, query_id));
+  return query::PlanQuery(data.db, spec, knobs);
 }
 
 void ApplyOrderBy(const std::string& query_id, QueryResult* result) {
   if (query_id[0] != '3') return;  // everything else is index-ordered
-  // Q3.x: order by d_year asc, revenue desc. Columns: (c_X, s_X, d_year,
-  // revenue).
-  std::stable_sort(result->rows.begin(), result->rows.end(),
-                   [](const std::vector<Value>& a,
-                      const std::vector<Value>& b) {
-                     if (a[2].AsInt() != b[2].AsInt()) {
-                       return a[2].AsInt() < b[2].AsInt();
-                     }
-                     return a[3].AsInt() > b[3].AsInt();
-                   });
+  // Q3.x: order by d_year asc, revenue desc — the same sort the planner
+  // attaches to the QPPT plans, resolved by column name here too so the
+  // baseline layouts cannot drift silently (every Q3 result carries
+  // d_year and revenue columns).
+  Status st = SortResult({{"d_year", false}, {"revenue", true}}, result);
+  (void)st;
 }
 
 Result<QueryResult> RunQppt(const SsbData& data, const std::string& query_id,
@@ -570,7 +338,6 @@ Result<QueryResult> RunQppt(const SsbData& data, const std::string& query_id,
   QPPT_ASSIGN_OR_RETURN(Plan plan, BuildQpptPlan(data, query_id, knobs));
   ExecContext ctx(&data.db, knobs);
   QPPT_ASSIGN_OR_RETURN(QueryResult result, plan.Execute(&ctx));
-  ApplyOrderBy(query_id, &result);
   if (stats != nullptr) {
     *stats = *ctx.stats();
     stats->wall_ms = wall.ElapsedMs();
@@ -585,7 +352,6 @@ Result<QueryResult> RunQppt(engine::EngineRunner& engine, const SsbData& data,
   QPPT_ASSIGN_OR_RETURN(Plan plan, BuildQpptPlan(data, query_id, knobs));
   QPPT_ASSIGN_OR_RETURN(QueryResult result,
                         engine.Execute(data.db, plan, knobs, stats));
-  ApplyOrderBy(query_id, &result);
   if (stats != nullptr) stats->wall_ms = wall.ElapsedMs();
   return result;
 }

@@ -5,11 +5,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <set>
 #include <stdexcept>
+#include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -308,6 +311,101 @@ TEST_F(SessionReadTest, RangeReadsAscendAndMatchReference) {
   // Degenerate inputs.
   EXPECT_TRUE(session.RangeRead(*table_, 50, 40).empty());
   EXPECT_TRUE(session.PointRead(*table_, 999999).empty());
+}
+
+TEST_F(SessionReadTest, ReleaseReadsEvictsBatcherAndLaterReadsStillWork) {
+  engine::EngineRunner runner(engine::EngineConfig{.threads = 1});
+  int64_t key = reference_.begin()->first;
+  auto before = runner.PointRead(*table_, key);
+  EXPECT_EQ(Resolve(before), reference_[key]);
+
+  // Evict the per-table batcher (the short-lived-intermediate pattern):
+  // the next read must build a fresh one and answer identically.
+  runner.ReleaseReads(*table_);
+  auto after = runner.PointRead(*table_, key);
+  EXPECT_EQ(Resolve(after), reference_[key]);
+
+  // Releasing an unknown / already-released table is a no-op.
+  runner.ReleaseReads(*table_);
+  auto rs = runner.read_stats();
+  EXPECT_EQ(rs.reads, 2u);
+  EXPECT_EQ(rs.batched_keys, 2u);
+}
+
+// ---- admission control ------------------------------------------------------
+
+// Blocks inside Execute until released, so the test can observe the
+// admission semaphore holding the second query back.
+class GateOp : public Operator {
+ public:
+  GateOp(std::atomic<int>* started, std::atomic<bool>* release)
+      : started_(started), release_(release) {}
+  std::string name() const override { return "gate"; }
+  Status Execute(ExecContext* ctx) override {
+    started_->fetch_add(1);
+    while (!release_->load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    Schema schema({{"k", ValueType::kInt64, nullptr}});
+    QPPT_ASSIGN_OR_RETURN(auto table, IndexedTable::Create(schema, {"k"}));
+    QPPT_RETURN_NOT_OK(ctx->Put("result", std::move(table)));
+    return Status::OK();
+  }
+
+ private:
+  std::atomic<int>* started_;
+  std::atomic<bool>* release_;
+};
+
+TEST(AdmissionControlTest, ExcessQueriesBlockUntilASlotFrees) {
+  engine::EngineConfig cfg;
+  cfg.threads = 1;
+  cfg.max_concurrent_queries = 1;
+  engine::EngineRunner runner(cfg);
+  Database db;
+  std::atomic<int> started{0};
+  std::atomic<bool> release{false};
+  std::atomic<int> succeeded{0};
+
+  auto make_plan = [&] {
+    Plan plan;
+    plan.Add(std::make_unique<GateOp>(&started, &release));
+    plan.set_result_slot("result");
+    return plan;
+  };
+  Plan plan1 = make_plan();
+  Plan plan2 = make_plan();
+
+  std::thread first([&] {
+    if (runner.Execute(db, plan1, PlanKnobs{}).ok()) succeeded++;
+  });
+  while (started.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::thread second([&] {
+    if (runner.Execute(db, plan2, PlanKnobs{}).ok()) succeeded++;
+  });
+  // The second query must park on the semaphore, not start executing.
+  for (int i = 0; i < 5000 && runner.queries_waiting() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(runner.queries_waiting(), 1u);
+  EXPECT_EQ(started.load(), 1);
+
+  release = true;
+  first.join();
+  second.join();
+  EXPECT_EQ(started.load(), 2);
+  EXPECT_EQ(succeeded.load(), 2);
+  EXPECT_EQ(runner.queries_waiting(), 0u);
+  EXPECT_EQ(runner.queries_admitted(), 2u);
+}
+
+TEST(AdmissionControlTest, UnlimitedByDefault) {
+  engine::EngineConfig cfg;
+  cfg.threads = 1;
+  engine::EngineRunner runner(cfg);
+  EXPECT_EQ(runner.queries_waiting(), 0u);
 }
 
 }  // namespace
