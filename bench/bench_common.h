@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/stats.h"
@@ -32,6 +33,10 @@ inline std::unique_ptr<ssb::SsbData> LoadSsb(bool build_indexes = true) {
   cfg.scale_factor = SsbScaleFactor();
   cfg.seed = 42;
   cfg.build_indexes = build_indexes;
+  // QPPT_PREFER_KISS=0 builds the base-index pool with generalized
+  // prefix trees, steering the flight through the prefix-tree and
+  // mixed-family star-join paths.
+  cfg.prefer_kiss = GetEnvInt64("QPPT_PREFER_KISS", 1) != 0;
   auto data = ssb::Generate(cfg);
   if (!data.ok()) {
     std::fprintf(stderr, "SSB generation failed: %s\n",
@@ -103,6 +108,99 @@ inline void PrintThroughputRow(const std::string& bench,
               lat.Percentile(50), lat.Percentile(99),
               static_cast<unsigned long long>(morsels));
 }
+
+// Default engine worker count for the throughput benches: every hardware
+// thread (NOT a fixed 8 — oversubscribing a 1-vCPU box costs ~8%),
+// overridable with QPPT_ENGINE_THREADS.
+inline size_t EngineThreads() {
+  size_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  return static_cast<size_t>(
+      GetEnvInt64("QPPT_ENGINE_THREADS", static_cast<int64_t>(hw)));
+}
+
+// ---- machine-readable bench output (--json) ----------------------------------
+//
+// Passing `--json` to a bench binary mirrors its reported rows into
+// BENCH_engine.json (path overridable with QPPT_BENCH_JSON_PATH) as a
+// JSON array of flat objects:
+//
+//   {"bench": "flight", "config": "t=8", "query": "1.1", "threads": 8,
+//    "n": 1, "wall_ms": 1.42, "qps": 0, "p50_ms": 0, "p99_ms": 0,
+//    "morsels": 12, "merge_wall_ms": 0.31}
+//
+// so the perf trajectory stays machine-diffable across PRs (CI uploads
+// the file as an artifact). Field values are controlled identifiers and
+// numbers — no JSON string escaping is needed or performed.
+class JsonReport {
+ public:
+  struct Row {
+    std::string bench;
+    std::string config;
+    std::string query;  // empty for aggregate rows
+    size_t threads = 1;
+    size_t n = 0;
+    double wall_ms = 0;
+    double qps = 0;
+    double p50_ms = 0;
+    double p99_ms = 0;
+    uint64_t morsels = 0;
+    double merge_wall_ms = 0;
+  };
+
+  // `default_path` keeps each binary's rows in its own file so two
+  // benches run in the same directory never silently clobber each other;
+  // QPPT_BENCH_JSON_PATH overrides.
+  JsonReport(int argc, char** argv,
+             const char* default_path = "BENCH_engine.json") {
+    for (int i = 1; i < argc; ++i) {
+      if (std::string(argv[i]) == "--json") enabled_ = true;
+    }
+    path_ = GetEnvString("QPPT_BENCH_JSON_PATH", default_path);
+  }
+  ~JsonReport() { Write(); }
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+
+  bool enabled() const { return enabled_; }
+  void Add(Row row) {
+    if (enabled_) rows_.push_back(std::move(row));
+  }
+
+  void Write() {
+    if (!enabled_ || written_) return;
+    written_ = true;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::perror(("JsonReport: cannot open " + path_).c_str());
+      return;
+    }
+    std::fprintf(f, "[\n");
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      std::fprintf(
+          f,
+          "  {\"bench\": \"%s\", \"config\": \"%s\", \"query\": \"%s\", "
+          "\"threads\": %zu, \"n\": %zu, \"wall_ms\": %.4f, \"qps\": %.2f, "
+          "\"p50_ms\": %.4f, \"p99_ms\": %.4f, \"morsels\": %llu, "
+          "\"merge_wall_ms\": %.4f}%s\n",
+          r.bench.c_str(), r.config.c_str(), r.query.c_str(), r.threads,
+          r.n, r.wall_ms, r.qps, r.p50_ms, r.p99_ms,
+          static_cast<unsigned long long>(r.morsels), r.merge_wall_ms,
+          i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    std::printf("(wrote %zu bench rows to %s)\n", rows_.size(),
+                path_.c_str());
+  }
+
+ private:
+  bool enabled_ = false;
+  bool written_ = false;
+  std::string path_;
+  std::vector<Row> rows_;
+};
 
 }  // namespace qppt::bench
 

@@ -1,12 +1,13 @@
 // Engine throughput: the SSB QPPT query flight through the morsel engine.
 //
-// Two experiments, both in the shared row format (bench_common.h):
+// Three experiments, all in the shared row format (bench_common.h):
 //
 //  1. flight — the 13-query SSB flight run back-to-back by ONE client,
 //     once on a serial EngineRunner (threads=1) and once on a parallel
-//     one (threads=QPPT_ENGINE_THREADS). The speedup line at the end is
-//     the intra-query morsel-parallelism payoff (ISSUE 2 acceptance:
-//     >= 3x at 8 workers on an 8-core machine).
+//     one (threads=QPPT_ENGINE_THREADS, default hardware_concurrency;
+//     higher requests are clamped by the runner). The speedup line at
+//     the end is the intra-query morsel-parallelism payoff (ISSUE 2
+//     acceptance: >= 3x at 8 workers on an 8-core machine).
 //
 //  2. closed-loop — QPPT_ENGINE_CLIENTS concurrent client threads, each
 //     looping the flight against the SAME parallel runner for
@@ -20,8 +21,16 @@
 //     Prepared execution must be no slower than replanning (ISSUE 3
 //     acceptance); the plan-cache hit count is reported.
 //
-// Knobs: QPPT_SSB_SF (default 0.1), QPPT_ENGINE_THREADS (default 8),
-//        QPPT_ENGINE_CLIENTS (default 4), QPPT_BENCH_REPS (default 3).
+// `--json` additionally emits BENCH_engine.json rows — per-query
+// (query, threads, wall, morsels, merge_wall) for the flight plus the
+// aggregate rows — so the perf trajectory is machine-readable across
+// PRs (bench_common.h JsonReport).
+//
+// Knobs: QPPT_SSB_SF (default 0.1), QPPT_ENGINE_THREADS (default
+//        hardware_concurrency), QPPT_ENGINE_CLIENTS (default 4),
+//        QPPT_BENCH_REPS (default 3), QPPT_PREFER_KISS (default 1; 0
+//        builds prefix-tree base indexes and intermediates, exercising
+//        the prefix/mixed star-join paths).
 
 #include <cstdint>
 #include <cstdio>
@@ -38,11 +47,20 @@
 namespace qppt {
 namespace {
 
+struct QueryRow {
+  std::string id;
+  double wall_ms = 0;
+  uint64_t morsels = 0;
+  double merge_ms = 0;
+};
+
 struct FlightResult {
   double wall_ms = 0;
   uint64_t morsels = 0;
+  double merge_ms = 0;
   bench::LatencyRecorder lat;
   size_t queries = 0;
+  std::vector<QueryRow> rows;
 };
 
 // One pass over all 13 queries on `runner`.
@@ -60,18 +78,23 @@ FlightResult RunFlight(engine::EngineRunner& runner, const ssb::SsbData& data,
     }
     r.lat.Add(stats.wall_ms);
     r.morsels += stats.TotalMorsels();
+    r.merge_ms += stats.TotalMergeMs();
+    r.rows.push_back(
+        {id, stats.wall_ms, stats.TotalMorsels(), stats.TotalMergeMs()});
     ++r.queries;
   }
   r.wall_ms = wall.ElapsedMs();
   return r;
 }
 
-void Run() {
-  size_t threads = static_cast<size_t>(GetEnvInt64("QPPT_ENGINE_THREADS", 8));
+void Run(bench::JsonReport& json) {
+  size_t threads = bench::EngineThreads();
   size_t clients = static_cast<size_t>(GetEnvInt64("QPPT_ENGINE_CLIENTS", 4));
   int reps = bench::Repetitions();
   auto data = bench::LoadSsb();
   PlanKnobs knobs;
+  knobs.table_options.prefer_kiss =
+      GetEnvInt64("QPPT_PREFER_KISS", 1) != 0;
 
   std::printf("engine throughput: SSB SF=%.2f, %zu workers, %zu clients, "
               "%d reps\n",
@@ -80,11 +103,14 @@ void Run() {
 
   // ---- experiment 1: single-client flight, serial vs parallel ------------
   double flight_ms[2] = {0, 0};
+  size_t actual_threads[2] = {1, threads};
   size_t config_threads[2] = {1, threads};
   for (int c = 0; c < 2; ++c) {
     engine::EngineConfig cfg;
     cfg.threads = config_threads[c];
     engine::EngineRunner runner(cfg);
+    actual_threads[c] = runner.threads();  // post-clamp
+    std::string label = "t=" + std::to_string(actual_threads[c]);
     FlightResult best;
     double best_ms = 1e300;
     for (int rep = 0; rep < reps; ++rep) {
@@ -95,14 +121,23 @@ void Run() {
       }
     }
     flight_ms[c] = best_ms;
-    bench::PrintThroughputRow("flight",
-                              "t=" + std::to_string(config_threads[c]),
-                              best.queries, best.wall_ms, best.lat,
-                              best.morsels);
+    bench::PrintThroughputRow("flight", label, best.queries, best.wall_ms,
+                              best.lat, best.morsels);
+    for (const auto& q : best.rows) {
+      json.Add({"flight", label, q.id, actual_threads[c], 1, q.wall_ms, 0,
+                0, 0, q.morsels, q.merge_ms});
+    }
+    json.Add({"flight", label, "", actual_threads[c], best.queries,
+              best.wall_ms,
+              best.wall_ms > 0
+                  ? 1000.0 * static_cast<double>(best.queries) / best.wall_ms
+                  : 0,
+              best.lat.Percentile(50), best.lat.Percentile(99), best.morsels,
+              best.merge_ms});
   }
   if (flight_ms[1] > 0) {
     std::printf("(flight speedup: %.2fx at t=%zu over t=1)\n",
-                flight_ms[0] / flight_ms[1], threads);
+                flight_ms[0] / flight_ms[1], actual_threads[1]);
   }
 
   // ---- experiment 2: closed-loop concurrent clients ----------------------
@@ -115,6 +150,7 @@ void Run() {
     std::mutex mu;
     bench::LatencyRecorder all_lat;
     uint64_t all_morsels = 0;
+    double all_merge_ms = 0;
     size_t all_queries = 0;
     Timer wall;
     ForkJoin fork(clients);
@@ -122,6 +158,7 @@ void Run() {
       fork.Spawn([&] {
         bench::LatencyRecorder lat;
         uint64_t morsels = 0;
+        double merge_ms = 0;
         size_t queries = 0;
         for (int rep = 0; rep < reps; ++rep) {
           for (const auto& id : ssb::AllQueryIds()) {
@@ -130,21 +167,27 @@ void Run() {
             if (!result.ok()) std::exit(1);
             lat.Add(stats.wall_ms);
             morsels += stats.TotalMorsels();
+            merge_ms += stats.TotalMergeMs();
             ++queries;
           }
         }
         std::lock_guard<std::mutex> lock(mu);
         all_lat.Merge(lat);
         all_morsels += morsels;
+        all_merge_ms += merge_ms;
         all_queries += queries;
       });
     }
     fork.Join();
     double ms = wall.ElapsedMs();
-    bench::PrintThroughputRow(
-        "closed-loop",
-        "c=" + std::to_string(clients) + ",t=" + std::to_string(threads),
-        all_queries, ms, all_lat, all_morsels);
+    std::string label = "c=" + std::to_string(clients) + ",t=" +
+                        std::to_string(runner.threads());
+    bench::PrintThroughputRow("closed-loop", label, all_queries, ms, all_lat,
+                              all_morsels);
+    json.Add({"closed-loop", label, "", runner.threads(), all_queries, ms,
+              ms > 0 ? 1000.0 * static_cast<double>(all_queries) / ms : 0,
+              all_lat.Percentile(50), all_lat.Percentile(99), all_morsels,
+              all_merge_ms});
   }
 
   // ---- experiment 3: prepared vs replanned (single client) ---------------
@@ -171,6 +214,7 @@ void Run() {
         if (!result.ok()) std::exit(1);
         r.lat.Add(stats.wall_ms);
         r.morsels += stats.TotalMorsels();
+        r.merge_ms += stats.TotalMergeMs();
         ++r.queries;
       }
       r.wall_ms = wall.ElapsedMs();
@@ -193,12 +237,22 @@ void Run() {
         best_prepared = p;
       }
     }
-    bench::PrintThroughputRow("replanned", "t=" + std::to_string(threads),
-                              best_replanned.queries, replanned_ms,
-                              best_replanned.lat, best_replanned.morsels);
-    bench::PrintThroughputRow("prepared", "t=" + std::to_string(threads),
-                              best_prepared.queries, prepared_ms,
-                              best_prepared.lat, best_prepared.morsels);
+    std::string label = "t=" + std::to_string(runner.threads());
+    bench::PrintThroughputRow("replanned", label, best_replanned.queries,
+                              replanned_ms, best_replanned.lat,
+                              best_replanned.morsels);
+    bench::PrintThroughputRow("prepared", label, best_prepared.queries,
+                              prepared_ms, best_prepared.lat,
+                              best_prepared.morsels);
+    json.Add({"replanned", label, "", runner.threads(),
+              best_replanned.queries, replanned_ms, 0,
+              best_replanned.lat.Percentile(50),
+              best_replanned.lat.Percentile(99), best_replanned.morsels,
+              best_replanned.merge_ms});
+    json.Add({"prepared", label, "", runner.threads(), best_prepared.queries,
+              prepared_ms, 0, best_prepared.lat.Percentile(50),
+              best_prepared.lat.Percentile(99), best_prepared.morsels,
+              best_prepared.merge_ms});
     uint64_t hits = 0;
     for (const auto& p : prepared) hits += p.plan_cache_hits();
     std::printf("(prepared/replanned flight: %.3fx, %llu plan-cache hits)\n",
@@ -210,7 +264,8 @@ void Run() {
 }  // namespace
 }  // namespace qppt
 
-int main() {
-  qppt::Run();
+int main(int argc, char** argv) {
+  qppt::bench::JsonReport json(argc, argv);
+  qppt::Run(json);
   return 0;
 }

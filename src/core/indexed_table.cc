@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -219,6 +220,89 @@ void IndexedTable::MergeFrom(const IndexedTable& other) {
       if (created) bound_agg_.Init(dst);
       bound_agg_.Merge(dst, other.prefix_->PayloadOf(&c));
     });
+  }
+}
+
+size_t IndexedTable::CountTuplesInRange(const MergeKeyRange& range) const {
+  assert(agg_.empty());
+  size_t count = 0;
+  if (kind_ == Kind::kKiss) {
+    kiss_->ScanRange(range.kiss_lo, range.kiss_hi,
+                     [&](uint32_t, const KissTree::ValueRef& vals) {
+                       count += vals.size();
+                     });
+  } else {
+    prefix_->ScanRange(range.prefix_lo, range.prefix_hi,
+                       [&](const PrefixTree::ContentNode& c) {
+                         count += prefix_->ValuesOf(&c)->size();
+                       });
+  }
+  return count;
+}
+
+void IndexedTable::PrepareMergeChain(const uint8_t* key,
+                                     size_t branch_bit_off) {
+  assert(kind_ == Kind::kPrefix);
+  prefix_->EnsureChainForMerge(key, branch_bit_off);
+}
+
+uint64_t IndexedTable::BeginParallelMerge(size_t total) {
+  assert(agg_.empty());
+  uint64_t first_id = num_tuples_;
+  rows_.resize((num_tuples_ + total) * schema_.num_columns());
+  if (kind_ == Kind::kKiss) {
+    kiss_->BeginConcurrentInserts();
+  } else {
+    prefix_->BeginConcurrentInserts();
+  }
+  return first_id;
+}
+
+void IndexedTable::MergeRangeFrom(const IndexedTable& other,
+                                  const MergeKeyRange& range,
+                                  uint64_t first_id, MergeShardStats* stats) {
+  assert(kind_ == other.kind_ &&
+         schema_.num_columns() == other.schema_.num_columns());
+  const size_t width = schema_.num_columns();
+  uint64_t id = first_id;
+  if (kind_ == Kind::kKiss) {
+    other.kiss_->ScanRange(
+        range.kiss_lo, range.kiss_hi,
+        [&](uint32_t key, const KissTree::ValueRef& vals) {
+          vals.ForEach([&](uint64_t src_id) {
+            std::memcpy(rows_.data() + id * width, other.Tuple(src_id),
+                        width * sizeof(uint64_t));
+            if (kiss_->InsertForMerge(key, id)) ++stats->new_keys;
+            ++id;
+          });
+        });
+  } else {
+    PrefixTree::MergeStats tree_stats;
+    other.prefix_->ScanRange(
+        range.prefix_lo, range.prefix_hi,
+        [&](const PrefixTree::ContentNode& c) {
+          other.prefix_->ValuesOf(&c)->ForEach([&](uint64_t src_id) {
+            std::memcpy(rows_.data() + id * width, other.Tuple(src_id),
+                        width * sizeof(uint64_t));
+            prefix_->InsertForMerge(c.key(), id, &tree_stats);
+            ++id;
+          });
+        });
+    stats->new_keys += tree_stats.new_keys;
+    stats->new_inner_nodes += tree_stats.new_inner_nodes;
+  }
+  stats->tuples += id - first_id;
+}
+
+void IndexedTable::EndParallelMerge(const MergeShardStats& total,
+                                    uint32_t kiss_lo, uint32_t kiss_hi) {
+  num_tuples_ += total.tuples;
+  if (kind_ == Kind::kKiss) {
+    kiss_->EndConcurrentInserts();
+    kiss_->AddMergedKeyStats(total.new_keys, kiss_lo, kiss_hi);
+  } else {
+    prefix_->EndConcurrentInserts();
+    prefix_->AddMergedKeyStats({total.new_keys, total.new_inner_nodes});
   }
 }
 

@@ -130,6 +130,56 @@ class IndexedTable {
   // accumulators (BoundAggSpec::Merge). Single-threaded.
   void MergeFrom(const IndexedTable& other);
 
+  // --- key-range-partitioned parallel merge (engine layer) --------------------
+  //
+  // Protocol for plain (non-aggregated) tables, driven by
+  // engine::PartialOutputs: the engine partitions the union key span of
+  // all partials into disjoint ranges (root-bucket-aligned for KISS;
+  // branching-level fragment-aligned encoded ranges for prefix trees,
+  // whose shared-prefix chain PrepareMergeChain pre-builds), counts
+  // tuples per range to pre-assign contiguous row-id blocks, opens the
+  // window with BeginParallelMerge, runs MergeRangeFrom concurrently —
+  // one worker per range — and closes with EndParallelMerge, which
+  // applies the summed key statistics.
+
+  struct MergeKeyRange {
+    uint32_t kiss_lo = 0;  // kKiss: inclusive key range, whole root buckets
+    uint32_t kiss_hi = 0;
+    // kPrefix: inclusive encoded key range, aligned to whole fragments
+    // at the branching level passed to PrepareMergeChain.
+    uint8_t prefix_lo[KeyBuf::kCapacity] = {};
+    uint8_t prefix_hi[KeyBuf::kCapacity] = {};
+  };
+
+  // Pre-builds the destination chain for the shared encoded-key prefix
+  // (prefix-tree tables only; the table must still be empty).
+  void PrepareMergeChain(const uint8_t* key, size_t branch_bit_off);
+
+  struct MergeShardStats {
+    size_t tuples = 0;
+    size_t new_keys = 0;
+    size_t new_inner_nodes = 0;  // prefix trees only
+  };
+
+  // Tuples this (plain) table stores under `range`.
+  size_t CountTuplesInRange(const MergeKeyRange& range) const;
+
+  // Reserves row storage for `total` additional tuples and opens the
+  // index's concurrent-insert window. Returns the first new row id.
+  uint64_t BeginParallelMerge(size_t total);
+
+  // Copies `other`'s tuples under `range` into this table, assigning row
+  // ids sequentially from `first_id`, and inserts them into the index.
+  // Safe for concurrent callers on disjoint ranges while the
+  // BeginParallelMerge window is open; counts into `stats`.
+  void MergeRangeFrom(const IndexedTable& other, const MergeKeyRange& range,
+                      uint64_t first_id, MergeShardStats* stats);
+
+  // Closes the window and applies the summed per-shard statistics.
+  // [kiss_lo, kiss_hi] is the union key span merged (kKiss only).
+  void EndParallelMerge(const MergeShardStats& total, uint32_t kiss_lo,
+                        uint32_t kiss_hi);
+
   // In-order scan over groups: fn(const uint64_t* out_row) where out_row
   // has schema(): decoded key columns followed by finalized aggregates.
   template <typename F>

@@ -147,6 +147,27 @@ void CandidatePipeline::Process() {
         }
         values.ForEach([&](uint64_t v) { expand(row, v); });
       }
+    } else if (buffer_rows_ > 1) {
+      // Prefix-tree assist, batched: the encoded probes walk the tree
+      // level-synchronously with software prefetching (§2.3,
+      // Algorithm 1), the same joinbuffer payoff the KISS probes get.
+      const PrefixTree* prefix = assist.side.prefix();
+      prefix_jobs_.clear();
+      prefix_jobs_.resize(n);
+      prefix_keys_.resize(n);
+      for (size_t i = 0; i < n; ++i) {
+        const uint64_t* row = rows->data() + i * width_;
+        prefix_keys_[i].clear();
+        prefix_keys_[i].AppendI64(Int64FromSlot(row[assist.probe_pos]));
+        prefix_jobs_[i].key = prefix_keys_[i].data();
+      }
+      prefix->BatchLookup(prefix_jobs_);
+      for (size_t i = 0; i < n; ++i) {
+        if (prefix_jobs_[i].result == nullptr) continue;
+        const uint64_t* row = rows->data() + i * width_;
+        prefix->ValuesOf(prefix_jobs_[i].result)
+            ->ForEach([&](uint64_t v) { expand(row, v); });
+      }
     } else {
       // Prefix-tree assist: encoded single-attribute point probes.
       const PrefixTree* prefix = assist.side.prefix();

@@ -238,6 +238,8 @@ class CandidatePipeline {
   std::vector<uint64_t> candidates_;
   std::vector<uint64_t> next_stage_;
   std::vector<KissTree::LookupJob> jobs_;
+  std::vector<PrefixTree::LookupJob> prefix_jobs_;
+  std::vector<KeyBuf> prefix_keys_;
   double materialize_ms_ = 0;
   double index_ms_ = 0;
 };

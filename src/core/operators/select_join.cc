@@ -98,7 +98,9 @@ Status SelectJoinOp::Execute(ExecContext* ctx) {
           std::max(stats.materialize_ms, pipelines[w]->materialize_ms());
       stats.index_ms = std::max(stats.index_ms, pipelines[w]->index_ms());
     }
-    partials.MergeInto(output.get());
+    Timer merge;
+    stats.merge_morsels = partials.MergeInto(pool, output.get());
+    stats.merge_ms = merge.ElapsedMs();
   } else {
     CandidatePipeline pipeline(std::move(assists), width, output.get(),
                                std::move(key_positions),

@@ -86,7 +86,9 @@ Status SelectionOp::Execute(ExecContext* ctx) {
           process(value, rows[w].data(), keys[w].data(),
                   partials.worker(w));
         });
-    partials.MergeInto(output.get());
+    Timer merge;
+    stats.merge_morsels = partials.MergeInto(pool, output.get());
+    stats.merge_ms = merge.ElapsedMs();
   } else {
     std::vector<uint64_t> row(width);
     std::vector<uint64_t> key_slots(key_positions.size() + 1);

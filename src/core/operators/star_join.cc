@@ -3,12 +3,21 @@
 #include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/sync_scan.h"
 #include "engine/parallel_ops.h"
 
 namespace qppt {
+
+namespace {
+
+// Probe batch for the mixed kiss/prefix main pair: large enough to keep
+// the §2.3 prefetch pipeline busy, small enough for stack staging.
+constexpr size_t kMixedProbeBatch = 64;
+
+}  // namespace
 
 Status StarJoinOp::Execute(ExecContext* ctx) {
   OperatorStats stats;
@@ -53,90 +62,209 @@ Status StarJoinOp::Execute(ExecContext* ctx) {
     pipeline->MaybeProcess();
   };
 
-  if (!left.is_kiss() && !right.is_kiss()) {
-    // Prefix-tree mains: serial structural synchronous scan.
-    CandidatePipeline pipeline(std::move(assists), width, output.get(),
-                               std::move(key_positions),
+  engine::WorkerPool* pool = ctx->worker_pool();
+  // Forking pays off when the side driving the scan is big enough; the
+  // mixed branch overrides this with the KISS (scanned) side's size.
+  auto worth_forking = [&](uint64_t scanned_tuples) {
+    return pool != nullptr && ctx->knobs().threads > 1 &&
+           scanned_tuples >= engine::kMinParallelInputTuples;
+  };
+  const bool parallel = worth_forking(left.num_input_tuples());
+
+  // Shared driver of every parallel branch: per-worker pipelines feeding
+  // per-worker partial outputs, one morsel batch (`scan` returns the
+  // morsel count), then the key-range-partitioned merge — whose wall
+  // time is reported separately so the merge bottleneck stays visible.
+  auto run_parallel = [&](auto&& scan) {
+    size_t workers = pool->num_workers();
+    engine::PartialOutputs partials(*output, workers);
+    std::vector<std::unique_ptr<CandidatePipeline>> pipelines;
+    pipelines.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) {
+      pipelines.push_back(std::make_unique<CandidatePipeline>(
+          assists, width, partials.worker(w), key_positions,
+          ctx->knobs().join_buffer_size));
+    }
+    stats.morsels = scan(pipelines);
+    // Per-phase times overlap across workers; report the slowest worker
+    // (the critical path), which stays comparable to total_ms.
+    for (size_t w = 0; w < workers; ++w) {
+      pipelines[w]->Finish();
+      stats.materialize_ms =
+          std::max(stats.materialize_ms, pipelines[w]->materialize_ms());
+      stats.index_ms = std::max(stats.index_ms, pipelines[w]->index_ms());
+    }
+    Timer merge;
+    stats.merge_morsels = partials.MergeInto(pool, output.get());
+    stats.merge_ms = merge.ElapsedMs();
+  };
+
+  auto run_serial = [&](auto&& scan) {
+    CandidatePipeline pipeline(assists, width, output.get(), key_positions,
                                ctx->knobs().join_buffer_size);
-    SynchronousScan(*left.prefix(), *right.prefix(),
-                    [&](const uint8_t*, const ValueList* lv,
-                        const ValueList* rv) {
-                      lv->ForEach([&](uint64_t l) {
-                        rv->ForEach(
-                            [&](uint64_t r) { emit_pair(&pipeline, l, r); });
-                      });
-                    });
+    scan(&pipeline);
     pipeline.Finish();
     stats.materialize_ms = pipeline.materialize_ms();
     stats.index_ms = pipeline.index_ms();
+  };
+
+  if (!left.is_kiss() && !right.is_kiss()) {
+    // Prefix-tree mains: structural synchronous scan. The parallel path
+    // splits the trees at their branching level into disjoint subtree
+    // pair morsels (§7: deterministic key positions, no rebalancing).
+    const PrefixTree& lp = *left.prefix();
+    const PrefixTree& rp = *right.prefix();
+    auto emit_lists = [&](CandidatePipeline* pipeline, const ValueList* lv,
+                          const ValueList* rv) {
+      lv->ForEach([&](uint64_t l) {
+        rv->ForEach([&](uint64_t r) { emit_pair(pipeline, l, r); });
+      });
+    };
+    if (parallel) {
+      run_parallel([&](auto& pipelines) {
+        return engine::RunPrefixPairMorsels(
+            pool, lp, rp,
+            [&](size_t w, const PairScanLevel& level, size_t begin,
+                size_t end) {
+              CandidatePipeline* pipeline = pipelines[w].get();
+              SynchronousScanPairSlots(
+                  lp, rp, level, begin, end,
+                  [&](const uint8_t*, const ValueList* lv,
+                      const ValueList* rv) {
+                    emit_lists(pipeline, lv, rv);
+                  });
+            });
+      });
+    } else {
+      run_serial([&](CandidatePipeline* pipeline) {
+        SynchronousScan(lp, rp,
+                        [&](const uint8_t*, const ValueList* lv,
+                            const ValueList* rv) {
+                          emit_lists(pipeline, lv, rv);
+                        });
+      });
+    }
   } else if (left.is_kiss() && right.is_kiss()) {
     // The synchronous index scan over the two main indexes (Fig. 6): only
     // buckets used by both sides are descended into; each shared key
     // yields the cross product of the two duplicate lists (§4.2).
     const KissTree& lk = *left.kiss();
     const KissTree& rk = *right.kiss();
-    engine::WorkerPool* pool = ctx->worker_pool();
-    const bool parallel = pool != nullptr && ctx->knobs().threads > 1 &&
-                          left.num_input_tuples() >=
-                              engine::kMinParallelInputTuples;
     if (parallel) {
       // Probe side parallelism: disjoint key-range morsels over the
       // shared span, per-worker pipelines and partial outputs, one merge
       // at the end.
-      size_t workers = pool->num_workers();
-      engine::PartialOutputs partials(*output, workers);
-      std::vector<std::unique_ptr<CandidatePipeline>> pipelines;
-      pipelines.reserve(workers);
-      for (size_t w = 0; w < workers; ++w) {
-        pipelines.push_back(std::make_unique<CandidatePipeline>(
-            assists, width, partials.worker(w), key_positions,
-            ctx->knobs().join_buffer_size));
-      }
       uint32_t lo = std::max(lk.min_key(), rk.min_key());
       uint32_t hi = std::min(lk.max_key(), rk.max_key());
-      stats.morsels = engine::RunKissRangeMorsels(
-          pool, lk, lo, hi, [&](size_t w, uint32_t mlo, uint32_t mhi) {
-            CandidatePipeline* pipeline = pipelines[w].get();
-            SynchronousScanRange(
-                lk, rk, mlo, mhi,
-                [&](uint32_t, const KissTree::ValueRef& lv,
-                    const KissTree::ValueRef& rv) {
-                  lv.ForEach([&](uint64_t l) {
-                    rv.ForEach(
-                        [&](uint64_t r) { emit_pair(pipeline, l, r); });
+      run_parallel([&](auto& pipelines) {
+        return engine::RunKissRangeMorsels(
+            pool, lk, lo, hi, [&](size_t w, uint32_t mlo, uint32_t mhi) {
+              CandidatePipeline* pipeline = pipelines[w].get();
+              SynchronousScanRange(
+                  lk, rk, mlo, mhi,
+                  [&](uint32_t, const KissTree::ValueRef& lv,
+                      const KissTree::ValueRef& rv) {
+                    lv.ForEach([&](uint64_t l) {
+                      rv.ForEach(
+                          [&](uint64_t r) { emit_pair(pipeline, l, r); });
+                    });
                   });
-                });
-          });
-      // Per-phase times overlap across workers; report the slowest worker
-      // (the critical path), which stays comparable to total_ms.
-      for (size_t w = 0; w < workers; ++w) {
-        pipelines[w]->Finish();
-        stats.materialize_ms =
-            std::max(stats.materialize_ms, pipelines[w]->materialize_ms());
-        stats.index_ms = std::max(stats.index_ms, pipelines[w]->index_ms());
-      }
-      partials.MergeInto(output.get());
+            });
+      });
     } else {
-      CandidatePipeline pipeline(std::move(assists), width, output.get(),
-                                 std::move(key_positions),
-                                 ctx->knobs().join_buffer_size);
-      SynchronousScan(lk, rk,
-                      [&](uint32_t, const KissTree::ValueRef& lv,
-                          const KissTree::ValueRef& rv) {
-                        lv.ForEach([&](uint64_t l) {
-                          rv.ForEach([&](uint64_t r) {
-                            emit_pair(&pipeline, l, r);
+      run_serial([&](CandidatePipeline* pipeline) {
+        SynchronousScan(lk, rk,
+                        [&](uint32_t, const KissTree::ValueRef& lv,
+                            const KissTree::ValueRef& rv) {
+                          lv.ForEach([&](uint64_t l) {
+                            rv.ForEach([&](uint64_t r) {
+                              emit_pair(pipeline, l, r);
+                            });
                           });
                         });
-                      });
-      pipeline.Finish();
-      stats.materialize_ms = pipeline.materialize_ms();
-      stats.index_ms = pipeline.index_ms();
+      });
     }
   } else {
-    return Status::InvalidArgument(
-        "star join mains must use the same index family (both KISS or both "
-        "prefix trees) for the synchronous index scan");
+    // Mixed main families (one KISS, one prefix — e.g. a KISS-indexed
+    // base main joined with a prefix-tree intermediate when prefer_kiss
+    // is off): scan the prefix side's keys in order and probe the KISS
+    // side with §2.3 batched, software-prefetched lookups
+    // (KissTree::BatchLookup). Probing with KissKeyOf's 32-bit
+    // truncation reproduces exactly the conflation a KISS x KISS scan
+    // applies to every attribute value — no reconstruction heuristics.
+    // The parallel path splits the prefix side at its branching level
+    // (self-pairing reuses the pair-scan partitioner).
+    const bool left_is_kiss = left.is_kiss();
+    const KissTree& ktree = left_is_kiss ? *left.kiss() : *right.kiss();
+    const PrefixTree& ptree =
+        left_is_kiss ? *right.prefix() : *left.prefix();
+    if (ptree.key_len() != 8) {
+      return Status::InvalidArgument(
+          "star join with mixed KISS/prefix mains requires the prefix main "
+          "to be keyed on the single shared integer join attribute");
+    }
+    // Drives one scan of (part of) the prefix side: `enumerate(sink)`
+    // calls sink(key, values) per content node; probes are staged and
+    // flushed through BatchLookup in kMixedProbeBatch groups.
+    auto scan_mixed = [&](CandidatePipeline* pipeline, auto&& enumerate) {
+      KissTree::LookupJob jobs[kMixedProbeBatch];
+      const ValueList* prefix_vals[kMixedProbeBatch];
+      size_t n = 0;
+      auto flush = [&] {
+        if (n == 0) return;
+        ktree.BatchLookup(std::span<KissTree::LookupJob>(jobs, n));
+        for (size_t i = 0; i < n; ++i) {
+          if (!jobs[i].found) continue;
+          const ValueList* pv = prefix_vals[i];
+          const KissTree::ValueRef& kv = jobs[i].values;
+          if (left_is_kiss) {
+            kv.ForEach([&](uint64_t l) {
+              pv->ForEach([&](uint64_t r) { emit_pair(pipeline, l, r); });
+            });
+          } else {
+            pv->ForEach([&](uint64_t l) {
+              kv.ForEach([&](uint64_t r) { emit_pair(pipeline, l, r); });
+            });
+          }
+        }
+        n = 0;
+      };
+      enumerate([&](const uint8_t* key, const ValueList* vals) {
+        jobs[n].key = static_cast<uint32_t>(DecodeI64(key));  // KissKeyOf
+        prefix_vals[n] = vals;
+        if (++n == kMixedProbeBatch) flush();
+      });
+      flush();
+    };
+    // Fork on EITHER side being big: the scan runs over the prefix
+    // side's keys, but the bulk of the work is emitting the KISS side's
+    // duplicate lists — a huge fact main joined through a tiny dimension
+    // intermediate still parallelizes by splitting the dimension's keys
+    // (and their emit work) across morsels.
+    if (worth_forking(std::max(left.num_input_tuples(),
+                               right.num_input_tuples()))) {
+      run_parallel([&](auto& pipelines) {
+        return engine::RunPrefixPairMorsels(
+            pool, ptree, ptree,  // self-pair: every populated subtree
+            [&](size_t w, const PairScanLevel& level, size_t begin,
+                size_t end) {
+              scan_mixed(pipelines[w].get(), [&](auto&& sink) {
+                SynchronousScanPairSlots(
+                    ptree, ptree, level, begin, end,
+                    [&](const uint8_t* key, const ValueList* vals,
+                        const ValueList*) { sink(key, vals); });
+              });
+            });
+      });
+    } else {
+      run_serial([&](CandidatePipeline* pipeline) {
+        scan_mixed(pipeline, [&](auto&& sink) {
+          ptree.ScanAll([&](const PrefixTree::ContentNode& c) {
+            sink(c.key(), ptree.ValuesOf(&c));
+          });
+        });
+      });
+    }
   }
 
   FillOutputStats(*output, &stats);

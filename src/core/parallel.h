@@ -114,33 +114,63 @@ inline std::vector<std::pair<uint32_t, uint32_t>> PartitionKissRange(
                             shards);
 }
 
+// Chops [0, n) into at most `shards` contiguous, non-empty [begin, end)
+// slices differing in size by at most one — the balanced split shared by
+// every morsel and merge-range planner.
+inline std::vector<std::pair<size_t, size_t>> SplitEvenly(size_t n,
+                                                          size_t shards) {
+  std::vector<std::pair<size_t, size_t>> slices;
+  if (n == 0 || shards == 0) return slices;
+  if (shards > n) shards = n;
+  size_t per = n / shards;
+  size_t extra = n % shards;
+  size_t at = 0;
+  for (size_t s = 0; s < shards; ++s) {
+    size_t take = per + (s < extra ? 1 : 0);
+    slices.emplace_back(at, at + take);
+    at += take;
+  }
+  return slices;
+}
+
+// Chops the ascending slot list `used` into at most `shards` contiguous
+// spans [begin, end), each holding a balanced share of the listed slots.
+inline std::vector<std::pair<size_t, size_t>> SpansOverUsedSlots(
+    const std::vector<size_t>& used, size_t shards) {
+  std::vector<std::pair<size_t, size_t>> ranges;
+  for (const auto& [begin, end] : SplitEvenly(used.size(), shards)) {
+    ranges.emplace_back(used[begin], used[end - 1] + 1);
+  }
+  return ranges;
+}
+
+// The effective root fanout of a prefix tree (short keys can make the
+// first fragment narrower than 2^kprime).
+inline size_t PrefixRootFanout(const PrefixTree& tree) {
+  return std::min(tree.fanout(),
+                  size_t{1} << std::min<size_t>(tree.config().kprime,
+                                                tree.key_len() * 8));
+}
+
 // Root-slot spans [begin, end) partitioning a prefix tree into at most
 // `shards` disjoint subtree groups. Only *populated* root slots count
 // toward the balance, so a skewed tree still yields evenly loaded shards;
 // every returned span contains at least one populated slot.
 inline std::vector<std::pair<size_t, size_t>> PartitionPrefixRange(
     const PrefixTree& tree, size_t shards) {
-  std::vector<std::pair<size_t, size_t>> ranges;
-  if (tree.num_keys() == 0 || shards == 0) return ranges;
-  size_t fanout = std::min(tree.fanout(),
-                           size_t{1} << std::min<size_t>(
-                               tree.config().kprime, tree.key_len() * 8));
+  if (tree.num_keys() == 0 || shards == 0) return {};
+  size_t fanout = PrefixRootFanout(tree);
   std::vector<size_t> used;
   for (size_t i = 0; i < fanout; ++i) {
     if (tree.root()->slots[i] != 0) used.push_back(i);
   }
-  if (used.empty()) return ranges;
-  if (shards > used.size()) shards = used.size();
-  size_t per = used.size() / shards;
-  size_t extra = used.size() % shards;
-  size_t at = 0;
-  for (size_t s = 0; s < shards; ++s) {
-    size_t take = per + (s < extra ? 1 : 0);
-    ranges.emplace_back(used[at], used[at + take - 1] + 1);
-    at += take;
-  }
-  return ranges;
+  return SpansOverUsedSlots(used, shards);
 }
+
+// (Pair partitioning for the parallel synchronous index scan lives in
+// core/sync_scan.h — FindPairScanLevel descends the shared single-slot
+// chain to the branching level before splitting, so keys with long
+// common encoded prefixes still parallelize.)
 
 // Scans a KISS-Tree with `threads` worker threads, one disjoint key shard
 // set per thread. F: void(size_t shard, uint32_t key,

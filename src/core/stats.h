@@ -35,11 +35,14 @@ struct OperatorStats {
   double total_ms = 0;
   double materialize_ms = 0;     // gathering/assembling tuples
   double index_ms = 0;           // building the output index
+  double merge_ms = 0;           // folding per-worker partial outputs into
+                                 // the final table (0 = no parallel path)
   uint64_t input_tuples = 0;
   uint64_t output_tuples = 0;
   uint64_t output_keys = 0;      // distinct keys / groups
   uint64_t output_bytes = 0;     // output index memory
   uint64_t morsels = 0;          // engine morsels executed (0 = serial path)
+  uint64_t merge_morsels = 0;    // partitioned-merge shards (0 = serial merge)
 };
 
 struct PlanStats {
@@ -61,6 +64,15 @@ struct PlanStats {
   uint64_t TotalMorsels() const {
     uint64_t total = 0;
     for (const auto& op : operators) total += op.morsels;
+    return total;
+  }
+
+  // Total wall time spent merging per-worker partial outputs — the
+  // post-fork-join cost the partitioned parallel merge attacks. Reported
+  // separately so the merge bottleneck stays measurable.
+  double TotalMergeMs() const {
+    double total = 0;
+    for (const auto& op : operators) total += op.merge_ms;
     return total;
   }
 

@@ -20,8 +20,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <vector>
 
 #include "index/kiss_tree.h"
 #include "index/prefix_tree.h"
@@ -86,6 +88,44 @@ const PrefixTree::ContentNode* FindInSubtree(const PrefixTree& tree,
 template <typename F>
 void SyncScanRec(const PrefixTree& left, const PrefixTree& right,
                  const PrefixTree::Node* lnode,
+                 const PrefixTree::Node* rnode, size_t bit_off, F&& fn);
+
+// Handles one matched slot pair (both sides non-empty) met at depth
+// `bit_off` + `width`: content/content compares keys, content/subtree
+// probes the subtree, node/node recurses.
+template <typename F>
+void SyncScanSlotPair(const PrefixTree& left, const PrefixTree& right,
+                      PrefixTree::Slot ls, PrefixTree::Slot rs,
+                      size_t bit_off, size_t width, F&& fn) {
+  bool lc = PrefixTree::IsContent(ls);
+  bool rc = PrefixTree::IsContent(rs);
+  if (lc && rc) {
+    const auto* a = PrefixTree::AsContent(ls);
+    const auto* b = PrefixTree::AsContent(rs);
+    if (CompareKeys(a->key(), b->key(), left.key_len()) == 0) {
+      fn(a->key(), left.ValuesOf(a), right.ValuesOf(b));
+    }
+  } else if (lc) {
+    // Left content vs right subtree: the content key either exists in
+    // the right subtree or the pair has no matches here.
+    const auto* a = PrefixTree::AsContent(ls);
+    const auto* b = internal::FindInSubtree(
+        right, PrefixTree::AsNode(rs), bit_off + width, a->key());
+    if (b != nullptr) fn(a->key(), left.ValuesOf(a), right.ValuesOf(b));
+  } else if (rc) {
+    const auto* b = PrefixTree::AsContent(rs);
+    const auto* a = internal::FindInSubtree(
+        left, PrefixTree::AsNode(ls), bit_off + width, b->key());
+    if (a != nullptr) fn(b->key(), left.ValuesOf(a), right.ValuesOf(b));
+  } else {
+    SyncScanRec(left, right, PrefixTree::AsNode(ls), PrefixTree::AsNode(rs),
+                bit_off + width, fn);
+  }
+}
+
+template <typename F>
+void SyncScanRec(const PrefixTree& left, const PrefixTree& right,
+                 const PrefixTree::Node* lnode,
                  const PrefixTree::Node* rnode, size_t bit_off, F&& fn) {
   size_t key_bits = left.key_len() * 8;
   size_t width = std::min(left.config().kprime, key_bits - bit_off);
@@ -95,30 +135,7 @@ void SyncScanRec(const PrefixTree& left, const PrefixTree& right,
     if (ls == 0) continue;
     PrefixTree::Slot rs = rnode->slots[i];
     if (rs == 0) continue;  // skipped descent: bucket unused on one side
-    bool lc = PrefixTree::IsContent(ls);
-    bool rc = PrefixTree::IsContent(rs);
-    if (lc && rc) {
-      const auto* a = PrefixTree::AsContent(ls);
-      const auto* b = PrefixTree::AsContent(rs);
-      if (CompareKeys(a->key(), b->key(), left.key_len()) == 0) {
-        fn(a->key(), left.ValuesOf(a), right.ValuesOf(b));
-      }
-    } else if (lc) {
-      // Left content vs right subtree: the content key either exists in
-      // the right subtree or the pair has no matches here.
-      const auto* a = PrefixTree::AsContent(ls);
-      const auto* b = internal::FindInSubtree(
-          right, PrefixTree::AsNode(rs), bit_off + width, a->key());
-      if (b != nullptr) fn(a->key(), left.ValuesOf(a), right.ValuesOf(b));
-    } else if (rc) {
-      const auto* b = PrefixTree::AsContent(rs);
-      const auto* a = internal::FindInSubtree(
-          left, PrefixTree::AsNode(ls), bit_off + width, b->key());
-      if (a != nullptr) fn(b->key(), left.ValuesOf(a), right.ValuesOf(b));
-    } else {
-      SyncScanRec(left, right, PrefixTree::AsNode(ls),
-                  PrefixTree::AsNode(rs), bit_off + width, fn);
-    }
+    SyncScanSlotPair(left, right, ls, rs, bit_off, width, fn);
   }
 }
 
@@ -134,6 +151,80 @@ void SynchronousScan(const PrefixTree& left, const PrefixTree& right,
          "synchronous scan requires identical key layout");
   if (left.num_keys() == 0 || right.num_keys() == 0) return;
   internal::SyncScanRec(left, right, left.root(), right.root(), 0, fn);
+}
+
+// ---- parallel pair scan (branching-level partitioning) -----------------------
+//
+// Order-preserving encodings give keys long shared prefixes (e.g. the
+// sign-flipped leading bytes of small int64 keys), so the top of both
+// trees is a chain of single-slot inner nodes holding zero parallelism.
+// FindPairScanLevel descends that chain to the *branching level*: the
+// shallowest level with more than one jointly populated slot (or a
+// content node). Its slot list is the morsel source of the parallel
+// prefix-tree star join — each jointly populated slot is an independent
+// subtree pair, scanned by SynchronousScanPairSlots.
+
+struct PairScanLevel {
+  const PrefixTree::Node* lnode = nullptr;
+  const PrefixTree::Node* rnode = nullptr;
+  size_t bit_off = 0;          // bit offset of this level's fragment
+  size_t width = 0;            // fragment width at this level
+  std::vector<size_t> slots;   // jointly populated slots, ascending
+};
+
+inline PairScanLevel FindPairScanLevel(const PrefixTree& left,
+                                       const PrefixTree& right) {
+  assert(left.key_len() == right.key_len() &&
+         left.config().kprime == right.config().kprime &&
+         "synchronous scan requires identical key layout");
+  PairScanLevel level;
+  if (left.num_keys() == 0 || right.num_keys() == 0) return level;
+  size_t key_bits = left.key_len() * 8;
+  const PrefixTree::Node* lnode = left.root();
+  const PrefixTree::Node* rnode = right.root();
+  size_t bit_off = 0;
+  for (;;) {
+    size_t width = std::min(left.config().kprime, key_bits - bit_off);
+    level.lnode = lnode;
+    level.rnode = rnode;
+    level.bit_off = bit_off;
+    level.width = width;
+    level.slots.clear();
+    size_t fanout = size_t{1} << width;
+    for (size_t i = 0; i < fanout; ++i) {
+      if (lnode->slots[i] != 0 && rnode->slots[i] != 0) {
+        level.slots.push_back(i);
+      }
+    }
+    if (level.slots.size() != 1) return level;  // branched (or empty): stop
+    PrefixTree::Slot ls = lnode->slots[level.slots[0]];
+    PrefixTree::Slot rs = rnode->slots[level.slots[0]];
+    if (PrefixTree::IsContent(ls) || PrefixTree::IsContent(rs) ||
+        bit_off + width >= key_bits) {
+      return level;  // single pair resolves directly — nothing to split
+    }
+    lnode = PrefixTree::AsNode(ls);
+    rnode = PrefixTree::AsNode(rs);
+    bit_off += width;
+  }
+}
+
+// Scans the subtree pairs behind level.slots[begin..end) (indexes into
+// the slot list), invoking fn exactly like SynchronousScan. Disjoint
+// index subranges touch disjoint subtrees, so concurrent callers need no
+// synchronization. Within a subrange, keys ascend in encoded order.
+template <typename F>
+void SynchronousScanPairSlots(const PrefixTree& left, const PrefixTree& right,
+                              const PairScanLevel& level, size_t begin,
+                              size_t end, F&& fn) {
+  if (level.lnode == nullptr) return;
+  if (end > level.slots.size()) end = level.slots.size();
+  for (size_t s = begin; s < end; ++s) {
+    size_t i = level.slots[s];
+    internal::SyncScanSlotPair(left, right, level.lnode->slots[i],
+                               level.rnode->slots[i], level.bit_off,
+                               level.width, fn);
+  }
 }
 
 }  // namespace qppt

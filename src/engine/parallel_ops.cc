@@ -1,19 +1,242 @@
 #include "engine/parallel_ops.h"
 
+#include <algorithm>
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <functional>
+#include <limits>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "util/bits.h"
 
 namespace qppt::engine {
 
 size_t RunKissRangeMorsels(
     WorkerPool* pool, const KissTree& tree, uint32_t lo, uint32_t hi,
     const std::function<void(size_t, uint32_t, uint32_t)>& fn) {
-  auto ranges = PartitionKissRange(tree, lo, hi, MorselTarget(*pool));
+  auto ranges = PartitionKissRange(tree, lo, hi, pool->morsel_target());
   if (ranges.empty()) return 0;
-  pool->Run(ranges.size(), [&](size_t worker, size_t m) {
+  RunTimedMorsels(pool, ranges.size(), [&](size_t worker, size_t m) {
     fn(worker, ranges[m].first, ranges[m].second);
   });
+  return ranges.size();
+}
+
+size_t RunPrefixPairMorsels(
+    WorkerPool* pool, const PrefixTree& left, const PrefixTree& right,
+    const std::function<void(size_t, const PairScanLevel&, size_t, size_t)>&
+        fn) {
+  PairScanLevel level = FindPairScanLevel(left, right);
+  if (level.slots.empty()) return 0;
+  auto slices = SplitEvenly(level.slots.size(), pool->morsel_target());
+  RunTimedMorsels(pool, slices.size(), [&](size_t worker, size_t m) {
+    fn(worker, level, slices[m].first, slices[m].second);
+  });
+  return slices.size();
+}
+
+namespace {
+
+// Bucket-aligned KISS key ranges covering the union key span of all
+// non-empty partials. Alignment guarantees no two merge workers ever
+// touch the same level-2 node of the destination tree.
+std::vector<IndexedTable::MergeKeyRange> PlanKissMergeRanges(
+    const std::vector<std::unique_ptr<IndexedTable>>& partials,
+    size_t shards, uint32_t* span_lo, uint32_t* span_hi) {
+  uint32_t lo = std::numeric_limits<uint32_t>::max();
+  uint32_t hi = 0;
+  size_t l2 = 0;
+  for (const auto& p : partials) {
+    const KissTree* tree = p->kiss();
+    if (tree->empty()) continue;
+    lo = std::min(lo, tree->min_key());
+    hi = std::max(hi, tree->max_key());
+    l2 = tree->level2_bits();
+  }
+  *span_lo = lo;
+  *span_hi = hi;
+  std::vector<IndexedTable::MergeKeyRange> ranges;
+  if (lo > hi) return ranges;  // all partials empty
+  uint64_t first_bucket = lo >> l2;
+  uint64_t last_bucket = hi >> l2;
+  size_t buckets = static_cast<size_t>(last_bucket - first_bucket + 1);
+  for (const auto& [begin, end] : SplitEvenly(buckets, shards)) {
+    IndexedTable::MergeKeyRange r;
+    r.kiss_lo = static_cast<uint32_t>((first_bucket + begin) << l2);
+    r.kiss_hi = static_cast<uint32_t>(
+        std::min<uint64_t>(((first_bucket + end) << l2) - 1,
+                           std::numeric_limits<uint32_t>::max()));
+    ranges.push_back(r);
+  }
+  return ranges;
+}
+
+void SetKeyBit(uint8_t* key, size_t bit, bool value) {
+  size_t byte = bit >> 3;
+  uint8_t mask = static_cast<uint8_t>(0x80 >> (bit & 7));
+  if (value) {
+    key[byte] |= mask;
+  } else {
+    key[byte] &= static_cast<uint8_t>(~mask);
+  }
+}
+
+// Builds an inclusive range bound: the shared prefix of `prefix_key`
+// above `bit_off`, fragment `frag` at [bit_off, bit_off + width), and
+// all-zeros (lower bound) or all-ones (upper bound) below.
+void BuildBoundKey(uint8_t* out, const uint8_t* prefix_key, size_t key_len,
+                   size_t bit_off, size_t width, uint32_t frag,
+                   bool fill_ones) {
+  std::memcpy(out, prefix_key, key_len);
+  for (size_t i = 0; i < width; ++i) {
+    SetKeyBit(out, bit_off + i, ((frag >> (width - 1 - i)) & 1) != 0);
+  }
+  for (size_t bit = bit_off + width; bit < key_len * 8; ++bit) {
+    SetKeyBit(out, bit, fill_ones);
+  }
+}
+
+// Fragment-aligned encoded key ranges chopping the union key span of all
+// partials at its *branching level* — the first fragment where the union
+// min and max keys differ. Order-preserving encodings share long key
+// prefixes (e.g. the sign byte of int64 keys), so partitioning any
+// higher would yield a single degenerate range. The shared chain above
+// the branch is pre-built in the destination (PrepareMergeChain) so
+// concurrent workers only read it.
+std::vector<IndexedTable::MergeKeyRange> PlanPrefixMergeRanges(
+    const std::vector<std::unique_ptr<IndexedTable>>& partials,
+    size_t shards, const uint8_t** chain_key, size_t* branch_bit_off) {
+  const PrefixTree* any = partials.front()->prefix();
+  size_t key_len = any->key_len();
+  size_t key_bits = key_len * 8;
+  size_t kprime = any->config().kprime;
+  const uint8_t* min_key = nullptr;
+  const uint8_t* max_key = nullptr;
+  for (const auto& p : partials) {
+    const PrefixTree::ContentNode* mn = p->prefix()->MinContent();
+    if (mn == nullptr) continue;
+    const PrefixTree::ContentNode* mx = p->prefix()->MaxContent();
+    if (min_key == nullptr || CompareKeys(mn->key(), min_key, key_len) < 0) {
+      min_key = mn->key();
+    }
+    if (max_key == nullptr || CompareKeys(mx->key(), max_key, key_len) > 0) {
+      max_key = mx->key();
+    }
+  }
+  if (min_key == nullptr ||
+      CompareKeys(min_key, max_key, key_len) == 0) {
+    return {};  // empty or single-key union: nothing to partition
+  }
+  size_t bit_off = 0;
+  uint32_t frag_lo = 0;
+  uint32_t frag_hi = 0;
+  size_t width = 0;
+  for (;;) {
+    width = std::min(kprime, key_bits - bit_off);
+    frag_lo = ExtractFragment(min_key, key_len, bit_off, width);
+    frag_hi = ExtractFragment(max_key, key_len, bit_off, width);
+    if (frag_lo != frag_hi) break;
+    bit_off += width;
+  }
+  *chain_key = min_key;
+  *branch_bit_off = bit_off;
+  size_t span = static_cast<size_t>(frag_hi) - frag_lo + 1;
+  std::vector<IndexedTable::MergeKeyRange> ranges;
+  for (const auto& [begin, end] : SplitEvenly(span, shards)) {
+    IndexedTable::MergeKeyRange r;
+    BuildBoundKey(r.prefix_lo, min_key, key_len, bit_off, width,
+                  static_cast<uint32_t>(frag_lo + begin),
+                  /*fill_ones=*/false);
+    BuildBoundKey(r.prefix_hi, min_key, key_len, bit_off, width,
+                  static_cast<uint32_t>(frag_lo + end - 1),
+                  /*fill_ones=*/true);
+    ranges.push_back(r);
+  }
+  return ranges;
+}
+
+}  // namespace
+
+size_t PartialOutputs::MergeInto(WorkerPool* pool,
+                                 IndexedTable* final_table) {
+  size_t total = 0;
+  for (const auto& p : partials_) total += p->num_tuples();
+  const bool parallel = pool != nullptr && pool->num_workers() > 1 &&
+                        !final_table->aggregated() &&
+                        total >= kMinParallelInputTuples;
+  if (!parallel) {
+    MergeInto(final_table);
+    return 0;
+  }
+
+  uint32_t span_lo = 0;
+  uint32_t span_hi = 0;
+  std::vector<IndexedTable::MergeKeyRange> ranges;
+  if (final_table->kind() == IndexedTable::Kind::kKiss) {
+    ranges = PlanKissMergeRanges(partials_, pool->morsel_target(), &span_lo,
+                                 &span_hi);
+  } else if (final_table->num_tuples() == 0) {
+    // The chain pre-build below requires an empty destination; merging
+    // into a populated prefix table (not an engine flow today) stays
+    // serial.
+    const uint8_t* chain_key = nullptr;
+    size_t branch_bit_off = 0;
+    ranges = PlanPrefixMergeRanges(partials_, pool->morsel_target(),
+                                   &chain_key, &branch_bit_off);
+    if (ranges.size() > 1) {
+      final_table->PrepareMergeChain(chain_key, branch_bit_off);
+    }
+  }
+  if (ranges.size() <= 1) {
+    MergeInto(final_table);
+    return 0;
+  }
+
+  // Pass 1 (parallel, read-only): per-range tuple counts, so each range
+  // worker owns a contiguous, pre-assigned block of final row ids and
+  // the workers never contend on row storage.
+  std::vector<size_t> counts(ranges.size(), 0);
+  pool->Run(ranges.size(), [&](size_t, size_t m) {
+    size_t c = 0;
+    for (const auto& p : partials_) c += p->CountTuplesInRange(ranges[m]);
+    counts[m] = c;
+  });
+
+  uint64_t first_id = final_table->BeginParallelMerge(total);
+  std::vector<uint64_t> base(ranges.size(), 0);
+  uint64_t at = first_id;
+  for (size_t m = 0; m < ranges.size(); ++m) {
+    base[m] = at;
+    at += counts[m];
+  }
+  assert(at == first_id + total && "merge ranges must cover every tuple");
+
+  // Pass 2 (parallel): each range worker folds ALL partials' tuples of
+  // its key range into the final table. Ranges are bucket/root-slot
+  // aligned, so index mutations stay within disjoint subtrees; shard
+  // statistics are summed and applied once at the end.
+  std::vector<IndexedTable::MergeShardStats> shard_stats(ranges.size());
+  pool->Run(ranges.size(), [&](size_t, size_t m) {
+    uint64_t id = base[m];
+    for (const auto& p : partials_) {
+      size_t before = shard_stats[m].tuples;
+      final_table->MergeRangeFrom(*p, ranges[m], id, &shard_stats[m]);
+      id += shard_stats[m].tuples - before;
+    }
+  });
+
+  IndexedTable::MergeShardStats summed;
+  for (const auto& s : shard_stats) {
+    summed.tuples += s.tuples;
+    summed.new_keys += s.new_keys;
+    summed.new_inner_nodes += s.new_inner_nodes;
+  }
+  final_table->EndParallelMerge(summed, span_lo, span_hi);
+  for (auto& partial : partials_) partial.reset();
   return ranges.size();
 }
 

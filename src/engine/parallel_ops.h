@@ -6,8 +6,14 @@
 // per morsel on the worker pool with *per-worker* partial output tables,
 // and merge the partials into the real output once at the end
 // (aggregation merges accumulators via BoundAggSpec::Merge; plain tables
-// re-insert). The input trees are never mutated, so concurrent readers
-// need no synchronization.
+// merge key-range-partitioned across the pool, see
+// PartialOutputs::MergeInto). The input trees are never mutated, so
+// concurrent readers need no synchronization.
+//
+// Split counts are adaptive: each driver reports its batch's per-morsel
+// wall times to the pool's MorselTuner (engine/scheduler.h), which
+// refines the split when one straggler morsel dominates and coarsens it
+// when scheduling overhead does.
 
 #ifndef QPPT_ENGINE_PARALLEL_OPS_H_
 #define QPPT_ENGINE_PARALLEL_OPS_H_
@@ -21,25 +27,31 @@
 
 #include "core/indexed_table.h"
 #include "core/parallel.h"
+#include "core/stats.h"
+#include "core/sync_scan.h"
 #include "engine/scheduler.h"
 
 namespace qppt::engine {
-
-// Morsels per worker per batch: enough of a surplus that work stealing
-// evens out skewed shards, coarse enough that the scheduler lock stays
-// cold.
-inline constexpr size_t kMorselsPerWorker = 8;
 
 // Inputs smaller than this run serially — forking costs more than it
 // saves on a few thousand tuples.
 inline constexpr size_t kMinParallelInputTuples = 4096;
 
-inline size_t MorselTarget(const WorkerPool& pool) {
-  return pool.num_workers() * kMorselsPerWorker;
+// Runs fn(worker, morsel) for every morsel, recording per-morsel wall
+// times and feeding them to the pool's adaptive tuner.
+template <typename Fn>
+void RunTimedMorsels(WorkerPool* pool, size_t count, Fn&& fn) {
+  std::vector<double> times(count, 0.0);
+  pool->Run(count, [&](size_t worker, size_t m) {
+    Timer t;
+    fn(worker, m);
+    times[m] = t.ElapsedMs();
+  });
+  pool->tuner()->RecordBatch(&times);
 }
 
-// Per-worker partial outputs of one parallel operator, merged (serially)
-// into the final table after the fork-join.
+// Per-worker partial outputs of one parallel operator, merged into the
+// final table after the fork-join.
 class PartialOutputs {
  public:
   PartialOutputs(const IndexedTable& final_table, size_t workers) {
@@ -51,12 +63,22 @@ class PartialOutputs {
 
   IndexedTable* worker(size_t w) { return partials_[w].get(); }
 
+  // Serial fallback: re-insert (plain) / accumulator-merge (aggregated)
+  // each partial in turn.
   void MergeInto(IndexedTable* final_table) {
     for (auto& partial : partials_) {
       final_table->MergeFrom(*partial);
       partial.reset();  // free per-worker index memory eagerly
     }
   }
+
+  // Key-range-partitioned parallel merge: plain outputs large enough to
+  // amortize the fork-join are merged by range-owning workers — each
+  // worker folds ALL partials' tuples of one disjoint key range into the
+  // final table concurrently (aggregated or small outputs fall back to
+  // the serial path above). Returns the number of merge morsels executed
+  // (0 = serial merge).
+  size_t MergeInto(WorkerPool* pool, IndexedTable* final_table);
 
  private:
   std::vector<std::unique_ptr<IndexedTable>> partials_;
@@ -68,6 +90,17 @@ class PartialOutputs {
 size_t RunKissRangeMorsels(
     WorkerPool* pool, const KissTree& tree, uint32_t lo, uint32_t hi,
     const std::function<void(size_t, uint32_t, uint32_t)>& fn);
+
+// Pair-partitions two prefix trees at their branching level
+// (FindPairScanLevel, core/sync_scan.h) and runs
+// fn(worker, level, begin, end) for each slot-list slice on the pool —
+// the driver of the parallel prefix-tree star join; the callback scans
+// its slice with SynchronousScanPairSlots. Returns the number of
+// morsels executed (0 = the trees share no subtree).
+size_t RunPrefixPairMorsels(
+    WorkerPool* pool, const PrefixTree& left, const PrefixTree& right,
+    const std::function<void(size_t, const PairScanLevel&, size_t, size_t)>&
+        fn);
 
 // Values per slice morsel when the gather fallback below kicks in.
 inline constexpr size_t kMinSliceValues = 1024;
@@ -82,10 +115,10 @@ inline constexpr size_t kMinSliceValues = 1024;
 template <typename ProcessFn>
 size_t RunKissValueMorsels(WorkerPool* pool, const KissTree& tree,
                            uint32_t lo, uint32_t hi, ProcessFn&& process) {
-  auto ranges = PartitionKissRange(tree, lo, hi, MorselTarget(*pool));
+  auto ranges = PartitionKissRange(tree, lo, hi, pool->morsel_target());
   if (ranges.empty()) return 0;
   if (ranges.size() >= pool->num_workers()) {
-    pool->Run(ranges.size(), [&](size_t worker, size_t m) {
+    RunTimedMorsels(pool, ranges.size(), [&](size_t worker, size_t m) {
       tree.ScanRange(ranges[m].first, ranges[m].second,
                      [&](uint32_t, const KissTree::ValueRef& vals) {
                        vals.ForEach(
@@ -99,25 +132,16 @@ size_t RunKissValueMorsels(WorkerPool* pool, const KissTree& tree,
     vals.ForEach([&](uint64_t v) { values.push_back(v); });
   });
   if (values.empty()) return 0;
-  size_t morsels = std::min(
-      MorselTarget(*pool),
-      (values.size() + kMinSliceValues - 1) / kMinSliceValues);
-  size_t per = values.size() / morsels;
-  size_t extra = values.size() % morsels;
-  std::vector<std::pair<size_t, size_t>> slices;
-  slices.reserve(morsels);
-  size_t at = 0;
-  for (size_t m = 0; m < morsels; ++m) {
-    size_t take = per + (m < extra ? 1 : 0);
-    slices.emplace_back(at, at + take);
-    at += take;
-  }
-  pool->Run(morsels, [&](size_t worker, size_t m) {
+  auto slices = SplitEvenly(
+      values.size(),
+      std::min(pool->morsel_target(),
+               (values.size() + kMinSliceValues - 1) / kMinSliceValues));
+  RunTimedMorsels(pool, slices.size(), [&](size_t worker, size_t m) {
     for (size_t i = slices[m].first; i < slices[m].second; ++i) {
       process(worker, values[i]);
     }
   });
-  return morsels;
+  return slices.size();
 }
 
 }  // namespace qppt::engine

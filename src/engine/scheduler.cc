@@ -1,9 +1,35 @@
 #include "engine/scheduler.h"
 
+#include <algorithm>
 #include <cstddef>
 #include <utility>
+#include <vector>
 
 namespace qppt::engine {
+
+void MorselTuner::RecordBatch(std::vector<double>* morsel_ms) {
+  // A 1-morsel batch carries no skew signal, and a batch that was capped
+  // by the partitioner (fewer morsels than requested) would mis-read as
+  // "coarse enough" — both still feed the overhead check below, so only
+  // the degenerate sizes are skipped.
+  if (morsel_ms->size() < 2) return;
+  std::sort(morsel_ms->begin(), morsel_ms->end());
+  double median = (*morsel_ms)[morsel_ms->size() / 2];
+  double max = morsel_ms->back();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (max > kSkewFactor * median && max > kMinMorselMs) {
+    // One shard dominated the fork-join: split finer so the straggler's
+    // key range lands in several steal-able morsels next batch.
+    if (per_worker_ < kMaxPerWorker) {
+      per_worker_ *= 2;
+      ++refines_;
+    }
+  } else if (median < kMinMorselMs && per_worker_ > kMinPerWorker) {
+    // Uniform but tiny morsels: scheduling overhead dominates, coarsen.
+    per_worker_ /= 2;
+    ++coarsens_;
+  }
+}
 
 WorkerPool::WorkerPool(size_t threads) {
   if (threads == 0) return;

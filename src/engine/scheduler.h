@@ -29,6 +29,57 @@
 
 namespace qppt::engine {
 
+// Adaptive morsel sizing: a feedback loop that replaces the engine's
+// fixed morsels-per-worker split count. The parallel drivers
+// (engine/parallel_ops.h) report each batch's per-morsel wall times;
+// when the slowest morsel exceeds ~2x the median (skew — one shard
+// dominating the fork-join), the next batch splits finer so work
+// stealing can even it out; when morsels are so small that scheduling
+// overhead dominates, the next batch splits coarser. The state is
+// pool-global and deliberately coarse: morsel sources are deterministic
+// tree partitions, so finer/coarser only changes shard count, never
+// correctness.
+class MorselTuner {
+ public:
+  static constexpr size_t kBasePerWorker = 8;
+  static constexpr size_t kMinPerWorker = 2;
+  static constexpr size_t kMaxPerWorker = 64;
+  // Re-split when max > kSkewFactor * median.
+  static constexpr double kSkewFactor = 2.0;
+  // Coarsen when the median morsel is shorter than this (scheduling
+  // overhead territory).
+  static constexpr double kMinMorselMs = 0.05;
+
+  // Current split target for a pool with `workers` workers.
+  size_t MorselTarget(size_t workers) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return workers * per_worker_;
+  }
+
+  size_t per_worker() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return per_worker_;
+  }
+  size_t refines() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return refines_;
+  }
+  size_t coarsens() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return coarsens_;
+  }
+
+  // Feeds one finished batch's per-morsel wall times back into the loop.
+  // `morsel_ms` is consumed (sorted in place).
+  void RecordBatch(std::vector<double>* morsel_ms);
+
+ private:
+  mutable std::mutex mu_;
+  size_t per_worker_ = kBasePerWorker;
+  size_t refines_ = 0;   // skew-triggered finer splits
+  size_t coarsens_ = 0;  // overhead-triggered coarser splits
+};
+
 class WorkerPool {
  public:
   // fn(worker, morsel): `worker` is a stable id in [0, num_workers()) —
@@ -44,6 +95,11 @@ class WorkerPool {
   WorkerPool& operator=(const WorkerPool&) = delete;
 
   size_t num_workers() const { return deques_.empty() ? 1 : deques_.size(); }
+
+  // The adaptive split target for this pool's next morsel batch
+  // (replaces the old fixed workers x 8).
+  size_t morsel_target() const { return tuner_.MorselTarget(num_workers()); }
+  MorselTuner* tuner() { return &tuner_; }
 
   // Executes fn for every morsel index in [0, num_morsels) and blocks
   // until all have finished. Thread-safe: batches submitted concurrently
@@ -77,6 +133,7 @@ class WorkerPool {
   std::vector<std::thread> workers_;
   size_t next_deque_ = 0;  // round-robin distribution cursor (guarded by mu_)
   bool stop_ = false;
+  MorselTuner tuner_;
 };
 
 }  // namespace qppt::engine

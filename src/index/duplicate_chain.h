@@ -20,6 +20,7 @@
 #include <cstdint>
 
 #include "util/arena.h"
+#include "util/prefetch.h"
 
 namespace qppt {
 
@@ -58,6 +59,10 @@ class ValueList {
     if (count_ == 0) return;
     fn(first_);
     for (const Segment* seg = head_; seg != nullptr; seg = seg->next) {
+      // Segments live on different pages; kick off the next segment's
+      // header fetch while this segment streams at hardware-prefetch
+      // speed (prefetching nullptr is harmless).
+      PrefetchRead(seg->next);
       const uint64_t* values = seg->values();
       for (uint32_t i = 0; i < seg->used; ++i) fn(values[i]);
     }

@@ -17,8 +17,8 @@ size_t CompactSlab::bytes_resident() const {
   const size_t page_size = static_cast<size_t>(::sysconf(_SC_PAGESIZE));
   size_t pages = 0;
   std::vector<unsigned char> vec(kChunkBytes / page_size);
-  for (char* chunk : chunks_) {
-    if (::mincore(chunk, kChunkBytes, vec.data()) == 0) {
+  for (size_t i = 0; i < num_chunks_; ++i) {
+    if (::mincore(chunk_dir_[i], kChunkBytes, vec.data()) == 0) {
       for (unsigned char v : vec) pages += v & 1;
     }
   }
@@ -26,14 +26,49 @@ size_t CompactSlab::bytes_resident() const {
 }
 
 CompactSlab::~CompactSlab() {
-  for (char* chunk : chunks_) {
-    ::munmap(chunk, kChunkBytes);
+  if (chunk_dir_ == nullptr) return;
+  for (size_t i = 0; i < num_chunks_; ++i) {
+    ::munmap(chunk_dir_[i], kChunkBytes);
   }
+  ::munmap(chunk_dir_, kMaxChunks * sizeof(char*));
+}
+
+CompactSlab::CompactSlab(CompactSlab&& other) noexcept
+    : chunk_dir_(other.chunk_dir_),
+      num_chunks_(other.num_chunks_),
+      used_in_chunk_(other.used_in_chunk_),
+      concurrent_(other.concurrent_),
+      mu_(std::move(other.mu_)) {
+  other.chunk_dir_ = nullptr;
+  other.num_chunks_ = 0;
+  other.used_in_chunk_ = kChunkBytes;
 }
 
 uint32_t CompactSlab::Allocate(size_t bytes) {
+  if (concurrent_) {
+    std::lock_guard<std::mutex> lock(*mu_);
+    return AllocateLocked(bytes);
+  }
+  return AllocateLocked(bytes);
+}
+
+uint32_t CompactSlab::AllocateLocked(size_t bytes) {
   bytes = (bytes + kGranularity - 1) & ~(kGranularity - 1);
   assert(bytes <= kChunkBytes);
+  if (chunk_dir_ == nullptr) {
+    // First allocation: map the chunk directory. Tiny virtually
+    // (256 KiB), MAP_NORESERVE, and fixed — its slots never move, which
+    // keeps Resolve() safe against concurrent Allocate(), and empty
+    // slabs (every fresh CloneEmpty partial) never pay for it.
+    void* dir = ::mmap(nullptr, kMaxChunks * sizeof(char*),
+                       PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+    if (dir == MAP_FAILED) {
+      std::perror("CompactSlab: mmap of chunk directory failed");
+      std::abort();
+    }
+    chunk_dir_ = static_cast<char**>(dir);
+  }
   if (used_in_chunk_ + bytes > kChunkBytes) {
     // Anonymous mappings are zero-filled on demand, so a freshly allocated
     // node needs no memset and costs physical memory only for the pages
@@ -44,10 +79,11 @@ uint32_t CompactSlab::Allocate(size_t bytes) {
       std::perror("CompactSlab: mmap of chunk failed");
       std::abort();
     }
-    chunks_.push_back(static_cast<char*>(mem));
+    assert(num_chunks_ < kMaxChunks);
+    chunk_dir_[num_chunks_++] = static_cast<char*>(mem);
     used_in_chunk_ = 0;
   }
-  size_t chunk = chunks_.size() - 1;
+  size_t chunk = num_chunks_ - 1;
   size_t unit = (chunk << kUnitsPerChunkLog2) |
                 (used_in_chunk_ / kGranularity);
   used_in_chunk_ += bytes;
@@ -202,6 +238,33 @@ void KissTree::Insert(uint32_t key, uint64_t value) {
   uint64_t* entry = FindOrCreateEntrySlot(key);
   NoteKey(key, *entry == 0);
   AppendToEntry(entry, value);
+}
+
+void KissTree::BeginConcurrentInserts() {
+  slab_.set_concurrent(true);
+  value_arena_.set_concurrent(true);
+  dup_arena_.set_concurrent(true);
+}
+
+void KissTree::EndConcurrentInserts() {
+  slab_.set_concurrent(false);
+  value_arena_.set_concurrent(false);
+  dup_arena_.set_concurrent(false);
+}
+
+bool KissTree::InsertForMerge(uint32_t key, uint64_t value) {
+  assert(config_.mode == PayloadMode::kValues);
+  uint64_t* entry = FindOrCreateEntrySlot(key);
+  bool created = *entry == 0;
+  AppendToEntry(entry, value);
+  return created;
+}
+
+void KissTree::AddMergedKeyStats(size_t new_keys, uint32_t lo, uint32_t hi) {
+  if (new_keys == 0) return;
+  num_keys_ += new_keys;
+  if (lo < min_key_) min_key_ = lo;
+  if (hi > max_key_) max_key_ = hi;
 }
 
 void KissTree::Upsert(uint32_t key, uint64_t value) {

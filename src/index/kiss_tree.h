@@ -31,6 +31,7 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -46,6 +47,13 @@ namespace qppt {
 // pages materialize only when a slot is first written — the same on-demand
 // allocation trick the paper uses for the root array. This is what keeps
 // wide uncompressed level-2 nodes (small root_bits) cheap on sparse keys.
+//
+// The chunk directory is itself a fixed MAP_NORESERVE mapping (256 KiB
+// virtual for the maximal 32 Ki chunks, created on first Allocate so
+// empty slabs stay free to construct), so Resolve() never observes a
+// reallocating container — the property the partitioned parallel merge
+// relies on when workers Allocate() (mutex-guarded, opt-in) while other
+// workers Resolve() handles concurrently.
 class CompactSlab {
  public:
   static constexpr size_t kChunkBytes = size_t{1} << 20;  // 1 MiB
@@ -56,7 +64,7 @@ class CompactSlab {
   ~CompactSlab();
   CompactSlab(const CompactSlab&) = delete;
   CompactSlab& operator=(const CompactSlab&) = delete;
-  CompactSlab(CompactSlab&&) = default;
+  CompactSlab(CompactSlab&& other) noexcept;
   CompactSlab& operator=(CompactSlab&&) = delete;
 
   // Allocates `bytes` (rounded up to 8) of zero-filled memory and returns
@@ -64,16 +72,23 @@ class CompactSlab {
   // stays in the slab), so every allocation is virgin zero pages.
   uint32_t Allocate(size_t bytes);
 
+  // Same contract as Arena::set_concurrent(): while on, Allocate() is
+  // mutex-guarded so concurrent merge workers can share the slab.
+  void set_concurrent(bool on) {
+    if (on && mu_ == nullptr) mu_ = std::make_unique<std::mutex>();
+    concurrent_ = on;
+  }
+
   void* Resolve(uint32_t handle) {
     uint32_t unit = handle - 1;
-    return chunks_[unit >> kUnitsPerChunkLog2] +
+    return chunk_dir_[unit >> kUnitsPerChunkLog2] +
            (unit & (kUnitsPerChunk - 1)) * kGranularity;
   }
   const void* Resolve(uint32_t handle) const {
     return const_cast<CompactSlab*>(this)->Resolve(handle);
   }
 
-  size_t bytes_reserved() const { return chunks_.size() * kChunkBytes; }
+  size_t bytes_reserved() const { return num_chunks_ * kChunkBytes; }
 
   // Physical bytes actually materialized by the OS (resident pages, via
   // mincore). With lazy-zero chunks this is what a sparse tree truly
@@ -84,9 +99,17 @@ class CompactSlab {
   static constexpr size_t kUnitsPerChunk = kChunkBytes / kGranularity;
   static constexpr size_t kUnitsPerChunkLog2 = 17;
   static_assert((size_t{1} << kUnitsPerChunkLog2) == kUnitsPerChunk);
+  // 2^32 addressable units / units per chunk = most chunks a slab can hold.
+  static constexpr size_t kMaxChunks =
+      (uint64_t{1} << 32) / kUnitsPerChunk;
 
-  std::vector<char*> chunks_;  // anonymous mappings, munmap'd in ~CompactSlab
+  uint32_t AllocateLocked(size_t bytes);
+
+  char** chunk_dir_ = nullptr;  // MAP_NORESERVE array of kMaxChunks slots
+  size_t num_chunks_ = 0;
   size_t used_in_chunk_ = kChunkBytes;  // forces allocation on first use
+  bool concurrent_ = false;
+  std::unique_ptr<std::mutex> mu_;  // created lazily by set_concurrent
 };
 
 class KissTree {
@@ -212,6 +235,25 @@ class KissTree {
 
   // Batched duplicate-append (kValues).
   void BatchInsert(std::span<UpsertJob> jobs);
+
+  // --- partitioned parallel merge support (engine layer) ----------------------
+  //
+  // Between BeginConcurrentInserts() and EndConcurrentInserts(),
+  // InsertForMerge() may be called from multiple threads as long as each
+  // caller stays within a disjoint, root-bucket-aligned key range (so no
+  // two callers ever touch the same level-2 node; allocators are
+  // mutex-guarded while the window is open). Key statistics
+  // (num_keys/min/max) are NOT updated by InsertForMerge — callers
+  // accumulate the returned created-key counts and apply them once via
+  // AddMergedKeyStats() after the fork-join.
+
+  void BeginConcurrentInserts();
+  void EndConcurrentInserts();
+  // Appends like Insert(); returns true when `key` was new.
+  bool InsertForMerge(uint32_t key, uint64_t value);
+  // Folds externally accumulated key statistics back in. [lo, hi] is the
+  // key span the merged tuples came from (ignored when new_keys == 0).
+  void AddMergedKeyStats(size_t new_keys, uint32_t lo, uint32_t hi);
 
   // --- structural access for the synchronous index scan (§4.2) ---------------
 

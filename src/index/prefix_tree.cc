@@ -18,17 +18,20 @@ PrefixTree::PrefixTree(Config config)
       node_arena_(/*block_size=*/256 * 1024) {
   assert(config.key_len >= 1 && config.key_len <= KeyBuf::kCapacity);
   assert(config.kprime >= 1 && config.kprime <= 16);
-  root_ = NewNode();
+  MergeStats stats;
+  root_ = NewNode(&stats);
+  num_inner_nodes_ += stats.new_inner_nodes;
 }
 
-PrefixTree::Node* PrefixTree::NewNode() {
+PrefixTree::Node* PrefixTree::NewNode(MergeStats* stats) {
   void* mem = node_arena_.AllocateZeroed(fanout_ * sizeof(Slot),
                                          /*align=*/alignof(Slot));
-  ++num_inner_nodes_;
+  ++stats->new_inner_nodes;
   return reinterpret_cast<Node*>(mem);
 }
 
-PrefixTree::ContentNode* PrefixTree::NewContent(const uint8_t* key) {
+PrefixTree::ContentNode* PrefixTree::NewContent(const uint8_t* key,
+                                                MergeStats* stats) {
   void* mem =
       node_arena_.AllocateZeroed(payload_offset_ + payload_size_, /*align=*/8);
   auto* content = reinterpret_cast<ContentNode*>(mem);
@@ -36,12 +39,13 @@ PrefixTree::ContentNode* PrefixTree::NewContent(const uint8_t* key) {
   if (config_.mode == PayloadMode::kValues) {
     new (MutableValuesOf(content)) ValueList();
   }
-  ++num_keys_;
+  ++stats->new_keys;
   return content;
 }
 
 PrefixTree::ContentNode* PrefixTree::FindOrCreateContent(const uint8_t* key,
-                                                         bool* created) {
+                                                         bool* created,
+                                                         MergeStats* stats) {
   Node* node = root_;
   size_t bit_off = 0;
   for (;;) {
@@ -50,7 +54,7 @@ PrefixTree::ContentNode* PrefixTree::FindOrCreateContent(const uint8_t* key,
         ExtractFragment(key, config_.key_len, bit_off, width);
     Slot& slot = node->slots[frag];
     if (slot == 0) {
-      ContentNode* c = NewContent(key);
+      ContentNode* c = NewContent(key, stats);
       slot = reinterpret_cast<uintptr_t>(c) | 1;
       *created = true;
       return c;
@@ -66,7 +70,7 @@ PrefixTree::ContentNode* PrefixTree::FindOrCreateContent(const uint8_t* key,
       Slot* slot_ref = &slot;
       size_t off = bit_off + width;
       for (;;) {
-        Node* inner = NewNode();
+        Node* inner = NewNode(stats);
         *slot_ref = reinterpret_cast<uintptr_t>(inner);
         size_t w = FragWidth(off);
         uint32_t existing_frag =
@@ -75,7 +79,7 @@ PrefixTree::ContentNode* PrefixTree::FindOrCreateContent(const uint8_t* key,
         if (existing_frag != new_frag) {
           inner->slots[existing_frag] =
               reinterpret_cast<uintptr_t>(existing) | 1;
-          ContentNode* c = NewContent(key);
+          ContentNode* c = NewContent(key, stats);
           inner->slots[new_frag] = reinterpret_cast<uintptr_t>(c) | 1;
           *created = true;
           return c;
@@ -95,22 +99,100 @@ PrefixTree::ContentNode* PrefixTree::FindOrCreateContent(const uint8_t* key,
 void PrefixTree::Insert(const uint8_t* key, uint64_t value) {
   assert(config_.mode == PayloadMode::kValues);
   bool created = false;
-  ContentNode* c = FindOrCreateContent(key, &created);
+  MergeStats stats;
+  ContentNode* c = FindOrCreateContent(key, &created, &stats);
+  AddMergedKeyStats(stats);
   MutableValuesOf(c)->Append(value, &dup_arena_);
 }
 
 void PrefixTree::Upsert(const uint8_t* key, uint64_t value) {
   assert(config_.mode == PayloadMode::kValues);
   bool created = false;
-  ContentNode* c = FindOrCreateContent(key, &created);
+  MergeStats stats;
+  ContentNode* c = FindOrCreateContent(key, &created, &stats);
+  AddMergedKeyStats(stats);
   MutableValuesOf(c)->ReplaceWith(value);
+}
+
+void PrefixTree::BeginConcurrentInserts() {
+  node_arena_.set_concurrent(true);
+  dup_arena_.set_concurrent(true);
+}
+
+void PrefixTree::EndConcurrentInserts() {
+  node_arena_.set_concurrent(false);
+  dup_arena_.set_concurrent(false);
+}
+
+void PrefixTree::InsertForMerge(const uint8_t* key, uint64_t value,
+                                MergeStats* stats) {
+  assert(config_.mode == PayloadMode::kValues);
+  bool created = false;
+  ContentNode* c = FindOrCreateContent(key, &created, stats);
+  MutableValuesOf(c)->Append(value, &dup_arena_);
 }
 
 std::byte* PrefixTree::FindOrCreatePayload(const uint8_t* key,
                                            bool* created) {
   assert(config_.mode == PayloadMode::kAggregate);
-  ContentNode* c = FindOrCreateContent(key, created);
+  MergeStats stats;
+  ContentNode* c = FindOrCreateContent(key, created, &stats);
+  AddMergedKeyStats(stats);
   return MutablePayloadOf(c);
+}
+
+const PrefixTree::ContentNode* PrefixTree::MinContent() const {
+  if (num_keys_ == 0) return nullptr;
+  const Node* node = root_;
+  size_t bit_off = 0;
+  for (;;) {
+    size_t width = FragWidth(bit_off);
+    size_t fanout = size_t{1} << width;
+    size_t i = 0;
+    while (i < fanout && node->slots[i] == 0) ++i;
+    assert(i < fanout && "non-empty tree must have a populated slot");
+    Slot s = node->slots[i];
+    if (IsContent(s)) return AsContent(s);
+    node = AsNode(s);
+    bit_off += width;
+  }
+}
+
+const PrefixTree::ContentNode* PrefixTree::MaxContent() const {
+  if (num_keys_ == 0) return nullptr;
+  const Node* node = root_;
+  size_t bit_off = 0;
+  for (;;) {
+    size_t width = FragWidth(bit_off);
+    size_t i = size_t{1} << width;
+    while (i > 0 && node->slots[i - 1] == 0) --i;
+    assert(i > 0 && "non-empty tree must have a populated slot");
+    Slot s = node->slots[i - 1];
+    if (IsContent(s)) return AsContent(s);
+    node = AsNode(s);
+    bit_off += width;
+  }
+}
+
+void PrefixTree::EnsureChainForMerge(const uint8_t* key,
+                                     size_t branch_bit_off) {
+  assert(num_keys_ == 0 && "chain pre-build requires an empty tree");
+  MergeStats stats;
+  Node* node = root_;
+  size_t bit_off = 0;
+  while (bit_off < branch_bit_off) {
+    size_t width = FragWidth(bit_off);
+    uint32_t frag = ExtractFragment(key, config_.key_len, bit_off, width);
+    Slot& slot = node->slots[frag];
+    if (slot == 0) {
+      Node* inner = NewNode(&stats);
+      slot = reinterpret_cast<uintptr_t>(inner);
+    }
+    assert(!IsContent(slot));
+    node = AsNode(slot);
+    bit_off += width;
+  }
+  AddMergedKeyStats(stats);
 }
 
 const PrefixTree::ContentNode* PrefixTree::Find(const uint8_t* key) const {

@@ -124,6 +124,7 @@ Status BuildIndexes(Database* db, const SsbConfig& config) {
   BaseIndex::Options opt;
   opt.kiss_root_bits = config.kiss_root_bits;
   opt.kprime = config.kprime;
+  opt.prefer_kiss = config.prefer_kiss;
 
   // Fact-table indexes on the join keys used as the left main of the
   // multi-way/star joins, plus the Q1.x selection index on lo_discount.

@@ -1,5 +1,7 @@
 #include "util/arena.h"
 
+#include <mutex>
+
 namespace qppt {
 
 namespace {
@@ -11,6 +13,14 @@ uintptr_t AlignUp(uintptr_t v, size_t align) {
 }  // namespace
 
 void* Arena::Allocate(size_t size, size_t align) {
+  if (concurrent_) {
+    std::lock_guard<std::mutex> lock(*mu_);
+    return AllocateLocked(size, align);
+  }
+  return AllocateLocked(size, align);
+}
+
+void* Arena::AllocateLocked(size_t size, size_t align) {
   uintptr_t current = reinterpret_cast<uintptr_t>(ptr_);
   uintptr_t aligned = AlignUp(current, align);
   size_t needed = (aligned - current) + size;
@@ -50,6 +60,14 @@ void Arena::Reset() {
 }
 
 void* PageArena::Allocate(size_t size) {
+  if (concurrent_) {
+    std::lock_guard<std::mutex> lock(*mu_);
+    return AllocateLocked(size);
+  }
+  return AllocateLocked(size);
+}
+
+void* PageArena::AllocateLocked(size_t size) {
   if (size == 0) size = 8;
   if (size > kPageSize) {
     // Oversized requests get their own page-aligned region.

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 namespace qppt {
@@ -58,6 +59,17 @@ class Arena {
     return p;
   }
 
+  // Opt-in thread safety for the partitioned parallel merge (engine
+  // layer): while on, Allocate() takes an internal mutex so workers
+  // filling disjoint index subtrees can share the arena. Returned
+  // pointers stay valid and data-race-free either way (blocks are never
+  // moved). Off by default — the serial hot path pays only a branch,
+  // and the mutex is not even allocated until first enabled.
+  void set_concurrent(bool on) {
+    if (on && mu_ == nullptr) mu_ = std::make_unique<std::mutex>();
+    concurrent_ = on;
+  }
+
   // Total bytes handed out by Allocate().
   size_t bytes_allocated() const { return bytes_allocated_; }
   // Total bytes reserved from the system (>= bytes_allocated()).
@@ -73,6 +85,7 @@ class Arena {
   };
 
   char* AllocateNewBlock(size_t min_size);
+  void* AllocateLocked(size_t size, size_t align);
 
   size_t block_size_;
   std::vector<Block> blocks_;
@@ -80,6 +93,10 @@ class Arena {
   char* end_ = nullptr;   // end of current block
   size_t bytes_allocated_ = 0;
   size_t bytes_reserved_ = 0;
+  bool concurrent_ = false;
+  // unique_ptr keeps the arena movable (std::mutex is not); created
+  // lazily by set_concurrent(true).
+  std::unique_ptr<std::mutex> mu_;
 };
 
 // Arena whose allocations never straddle a 4 KiB page boundary (for sizes
@@ -100,17 +117,27 @@ class PageArena {
   // not cross a page boundary.
   void* Allocate(size_t size);
 
+  // Same contract as Arena::set_concurrent().
+  void set_concurrent(bool on) {
+    if (on && mu_ == nullptr) mu_ = std::make_unique<std::mutex>();
+    concurrent_ = on;
+  }
+
   size_t bytes_allocated() const { return bytes_allocated_; }
   size_t bytes_reserved() const { return bytes_reserved_; }
 
  private:
   static constexpr size_t kChunkPages = 64;  // 256 KiB chunks
 
+  void* AllocateLocked(size_t size);
+
   std::vector<std::unique_ptr<char[]>> chunks_;
   char* ptr_ = nullptr;
   char* end_ = nullptr;
   size_t bytes_allocated_ = 0;
   size_t bytes_reserved_ = 0;
+  bool concurrent_ = false;
+  std::unique_ptr<std::mutex> mu_;
 };
 
 }  // namespace qppt

@@ -68,6 +68,7 @@ TEST_P(EngineQueryParam, ParallelEngineAgreesWithSerial) {
 
   engine::EngineConfig par_cfg;
   par_cfg.threads = 4;
+  par_cfg.clamp_threads_to_hardware = false;  // tiny CI boxes
   engine::EngineRunner par_runner(par_cfg);
   PlanStats stats;
   auto engine_par = RunQppt(par_runner, *data_, id, knobs, &stats);
@@ -91,6 +92,7 @@ INSTANTIATE_TEST_SUITE_P(AllQueries, EngineQueryParam,
 TEST_F(EngineQueryTest, HotQueriesRunMorselParallel) {
   engine::EngineConfig cfg;
   cfg.threads = 4;
+  cfg.clamp_threads_to_hardware = false;  // tiny CI boxes
   engine::EngineRunner runner(cfg);
   for (const std::string id : {"1.1", "2.1", "3.1", "4.1"}) {
     PlanStats stats;
@@ -113,6 +115,7 @@ TEST_F(EngineQueryTest, ConcurrentClientsAgreeWithSerial) {
 
   engine::EngineConfig cfg;
   cfg.threads = 4;
+  cfg.clamp_threads_to_hardware = false;  // tiny CI boxes
   engine::EngineRunner runner(cfg);
   constexpr size_t kClients = 4;
   std::atomic<int> failures{0};

@@ -528,5 +528,69 @@ TEST_F(OperatorsTest, StatsToStringRenders) {
   EXPECT_NE(rendered.find("TOTAL"), std::string::npos);
 }
 
+// The star join must produce the same result whatever index family each
+// main uses — including the mixed KISS x prefix pairs with negative and
+// >= 2^32 join keys: the KISS side stores the attribute truncated to 32
+// bits, and the mixed path probes KISS with the same truncation, so
+// every value a KISS x KISS scan can represent joins identically. (Keys
+// are chosen alias-free; aliasing values are conflated by ANY
+// KISS-backed path by design, which the exact prefix x prefix scan
+// legitimately distinguishes.)
+TEST(StarJoinFamiliesTest, ExtremeKeysJoinIdenticallyAcrossFamilies) {
+  const std::vector<int64_t> keys{-70000, -3,    -1,
+                                  0,      5,     70000,
+                                  int64_t{5000000000}};  // > 2^32
+  auto make_side = [&](bool prefer_kiss, const char* value_col,
+                       int64_t value_base, int64_t dups) {
+    Schema schema({{"k", ValueType::kInt64, nullptr},
+                   {value_col, ValueType::kInt64, nullptr}});
+    IndexedTable::Options opt;
+    opt.prefer_kiss = prefer_kiss;
+    opt.kiss_root_bits = 20;
+    auto table = IndexedTable::Create(schema, {"k"}, opt);
+    EXPECT_TRUE(table.ok());
+    int64_t v = value_base;
+    for (int64_t k : keys) {
+      for (int64_t d = 0; d < dups; ++d) {
+        uint64_t row[2] = {SlotFromInt64(k), SlotFromInt64(v++)};
+        (*table)->Insert(row);
+      }
+    }
+    return std::move(table).value();
+  };
+
+  Database db;
+  auto run = [&](bool left_kiss, bool right_kiss) {
+    ExecContext ctx(&db, PlanKnobs{});
+    EXPECT_TRUE(
+        ctx.Put("l", make_side(left_kiss, "lv", 100, /*dups=*/2)).ok());
+    EXPECT_TRUE(
+        ctx.Put("r", make_side(right_kiss, "rv", 500, /*dups=*/3)).ok());
+    StarJoinSpec join;
+    join.left = SideRef::Slot("l");
+    join.left_columns = {"k", "lv"};
+    join.right = SideRef::Slot("r");
+    join.right_columns = {"rv"};
+    join.output = {"result", {"k"}, {}};
+    Plan plan;
+    plan.Emplace<StarJoinOp>(join);
+    plan.set_result_slot("result");
+    auto result = plan.Execute(&ctx);
+    EXPECT_TRUE(result.ok()) << result.status();
+    std::multiset<std::tuple<int64_t, int64_t, int64_t>> rows;
+    for (const auto& row : result->rows) {
+      rows.emplace(row[0].AsInt(), row[1].AsInt(), row[2].AsInt());
+    }
+    return rows;
+  };
+
+  auto reference = run(/*left_kiss=*/true, /*right_kiss=*/true);
+  // Every key matches itself: 6 keys x 2 left dups x 3 right dups.
+  EXPECT_EQ(reference.size(), keys.size() * 2 * 3);
+  EXPECT_EQ(run(true, false), reference) << "kiss x prefix diverged";
+  EXPECT_EQ(run(false, true), reference) << "prefix x kiss diverged";
+  EXPECT_EQ(run(false, false), reference) << "prefix x prefix diverged";
+}
+
 }  // namespace
 }  // namespace qppt
