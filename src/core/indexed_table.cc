@@ -223,23 +223,6 @@ void IndexedTable::MergeFrom(const IndexedTable& other) {
   }
 }
 
-size_t IndexedTable::CountTuplesInRange(const MergeKeyRange& range) const {
-  assert(agg_.empty());
-  size_t count = 0;
-  if (kind_ == Kind::kKiss) {
-    kiss_->ScanRange(range.kiss_lo, range.kiss_hi,
-                     [&](uint32_t, const KissTree::ValueRef& vals) {
-                       count += vals.size();
-                     });
-  } else {
-    prefix_->ScanRange(range.prefix_lo, range.prefix_hi,
-                       [&](const PrefixTree::ContentNode& c) {
-                         count += prefix_->ValuesOf(&c)->size();
-                       });
-  }
-  return count;
-}
-
 void IndexedTable::PrepareMergeChain(const uint8_t* key,
                                      size_t branch_bit_off) {
   assert(kind_ == Kind::kPrefix);
@@ -260,20 +243,21 @@ uint64_t IndexedTable::BeginParallelMerge(size_t total) {
 
 void IndexedTable::MergeRangeFrom(const IndexedTable& other,
                                   const MergeKeyRange& range,
-                                  uint64_t first_id, MergeShardStats* stats) {
+                                  uint64_t id_base, MergeShardStats* stats) {
   assert(kind_ == other.kind_ &&
          schema_.num_columns() == other.schema_.num_columns());
   const size_t width = schema_.num_columns();
-  uint64_t id = first_id;
+  size_t copied = 0;
   if (kind_ == Kind::kKiss) {
     other.kiss_->ScanRange(
         range.kiss_lo, range.kiss_hi,
         [&](uint32_t key, const KissTree::ValueRef& vals) {
           vals.ForEach([&](uint64_t src_id) {
+            uint64_t id = id_base + src_id;
             std::memcpy(rows_.data() + id * width, other.Tuple(src_id),
                         width * sizeof(uint64_t));
             if (kiss_->InsertForMerge(key, id)) ++stats->new_keys;
-            ++id;
+            ++copied;
           });
         });
   } else {
@@ -282,21 +266,105 @@ void IndexedTable::MergeRangeFrom(const IndexedTable& other,
         range.prefix_lo, range.prefix_hi,
         [&](const PrefixTree::ContentNode& c) {
           other.prefix_->ValuesOf(&c)->ForEach([&](uint64_t src_id) {
+            uint64_t id = id_base + src_id;
             std::memcpy(rows_.data() + id * width, other.Tuple(src_id),
                         width * sizeof(uint64_t));
             prefix_->InsertForMerge(c.key(), id, &tree_stats);
-            ++id;
+            ++copied;
           });
         });
     stats->new_keys += tree_stats.new_keys;
     stats->new_inner_nodes += tree_stats.new_inner_nodes;
   }
-  stats->tuples += id - first_id;
+  stats->tuples += copied;
 }
 
 void IndexedTable::EndParallelMerge(const MergeShardStats& total,
                                     uint32_t kiss_lo, uint32_t kiss_hi) {
   num_tuples_ += total.tuples;
+  if (kind_ == Kind::kKiss) {
+    kiss_->EndConcurrentInserts();
+    kiss_->AddMergedKeyStats(total.new_keys, kiss_lo, kiss_hi);
+  } else {
+    prefix_->EndConcurrentInserts();
+    prefix_->AddMergedKeyStats({total.new_keys, total.new_inner_nodes});
+  }
+}
+
+void IndexedTable::BeginParallelAggMerge() {
+  assert(!agg_.empty());
+  if (kind_ == Kind::kKiss) {
+    kiss_->BeginConcurrentInserts();
+  } else {
+    prefix_->BeginConcurrentInserts();
+  }
+}
+
+void IndexedTable::MergeAggRangeFrom(
+    const std::vector<const IndexedTable*>& partials,
+    const MergeKeyRange& range, MergeShardStats* stats) {
+  assert(!agg_.empty());
+  if (kind_ == Kind::kKiss) {
+    // Bucket-level co-iteration: the range is root-bucket-aligned, so
+    // every partial's groups for one key sit at the same (bucket, slot)
+    // coordinates — gather all their accumulators and fold them into the
+    // destination payload with one MergeRange pass per group.
+    const size_t l2 = kiss_->level2_bits();
+    const size_t fanout = size_t{1} << l2;
+    const uint64_t first_bucket = range.kiss_lo >> l2;
+    const uint64_t last_bucket = range.kiss_hi >> l2;
+    std::vector<uint32_t> handles(partials.size());
+    std::vector<const std::byte*> srcs(partials.size());
+    for (uint64_t b = first_bucket; b <= last_bucket; ++b) {
+      bool any = false;
+      for (size_t p = 0; p < partials.size(); ++p) {
+        handles[p] = partials[p]->kiss_->RootEntry(b);
+        any = any || handles[p] != 0;
+      }
+      if (!any) continue;
+      for (uint32_t slot = 0; slot < fanout; ++slot) {
+        size_t n = 0;
+        for (size_t p = 0; p < partials.size(); ++p) {
+          uint64_t entry = partials[p]->kiss_->Level2Entry(handles[p], slot);
+          if (entry != 0) srcs[n++] = KissTree::EntryPayload(entry);
+        }
+        if (n == 0) continue;
+        uint32_t key = static_cast<uint32_t>((b << l2) | slot);
+        if (key < range.kiss_lo || key > range.kiss_hi) continue;
+        bool created = false;
+        std::byte* dst = kiss_->FindOrCreatePayloadForMerge(key, &created);
+        if (created) {
+          bound_agg_.Init(dst);
+          ++stats->new_keys;
+        }
+        bound_agg_.MergeRange(dst, srcs.data(), n);
+      }
+    }
+  } else {
+    // Prefix trees have no shared slot coordinates across partials, so
+    // each partial's range is folded in turn (the destination lookup
+    // re-finds the group; ranges are subtree-disjoint across workers).
+    PrefixTree::MergeStats tree_stats;
+    for (const IndexedTable* p : partials) {
+      p->prefix_->ScanRange(
+          range.prefix_lo, range.prefix_hi,
+          [&](const PrefixTree::ContentNode& c) {
+            bool created = false;
+            std::byte* dst = prefix_->FindOrCreatePayloadForMerge(
+                c.key(), &created, &tree_stats);
+            if (created) bound_agg_.Init(dst);
+            bound_agg_.Merge(dst, p->prefix_->PayloadOf(&c));
+          });
+    }
+    stats->new_keys += tree_stats.new_keys;
+    stats->new_inner_nodes += tree_stats.new_inner_nodes;
+  }
+}
+
+void IndexedTable::EndParallelAggMerge(const MergeShardStats& total,
+                                       uint32_t kiss_lo, uint32_t kiss_hi,
+                                       size_t folded_tuples) {
+  num_tuples_ += folded_tuples;
   if (kind_ == Kind::kKiss) {
     kiss_->EndConcurrentInserts();
     kiss_->AddMergedKeyStats(total.new_keys, kiss_lo, kiss_hi);

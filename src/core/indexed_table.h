@@ -132,15 +132,26 @@ class IndexedTable {
 
   // --- key-range-partitioned parallel merge (engine layer) --------------------
   //
-  // Protocol for plain (non-aggregated) tables, driven by
-  // engine::PartialOutputs: the engine partitions the union key span of
-  // all partials into disjoint ranges (root-bucket-aligned for KISS;
-  // branching-level fragment-aligned encoded ranges for prefix trees,
-  // whose shared-prefix chain PrepareMergeChain pre-builds), counts
-  // tuples per range to pre-assign contiguous row-id blocks, opens the
-  // window with BeginParallelMerge, runs MergeRangeFrom concurrently —
-  // one worker per range — and closes with EndParallelMerge, which
-  // applies the summed key statistics.
+  // Protocol driven by engine::PartialOutputs: the engine partitions the
+  // union key span of all partials into disjoint ranges
+  // (root-bucket-aligned for KISS; branching-level fragment-aligned
+  // encoded ranges for prefix trees, whose shared-prefix chain
+  // PrepareMergeChain pre-builds) and validates that they tile the span
+  // before touching the destination.
+  //
+  // Plain tables: BeginParallelMerge opens the window and reserves row
+  // storage; each partial owns the contiguous row-id block
+  // [base_p, base_p + num_tuples_p) — base_p is derived from the tuple
+  // counts the partial builds already maintain, so the merge needs no
+  // separate counting pass — and MergeRangeFrom runs concurrently, one
+  // worker per range, copying each source tuple to its pre-assigned id
+  // (base_p + source id). EndParallelMerge closes the window and applies
+  // the summed key statistics.
+  //
+  // Aggregated tables: BeginParallelAggMerge opens the window and each
+  // range worker folds ALL partials' accumulators of its key range into
+  // the destination via MergeAggRangeFrom (BoundAggSpec::MergeRange);
+  // EndParallelAggMerge applies the summed group statistics.
 
   struct MergeKeyRange {
     uint32_t kiss_lo = 0;  // kKiss: inclusive key range, whole root buckets
@@ -161,24 +172,43 @@ class IndexedTable {
     size_t new_inner_nodes = 0;  // prefix trees only
   };
 
-  // Tuples this (plain) table stores under `range`.
-  size_t CountTuplesInRange(const MergeKeyRange& range) const;
-
   // Reserves row storage for `total` additional tuples and opens the
   // index's concurrent-insert window. Returns the first new row id.
   uint64_t BeginParallelMerge(size_t total);
 
-  // Copies `other`'s tuples under `range` into this table, assigning row
-  // ids sequentially from `first_id`, and inserts them into the index.
+  // Copies `other`'s tuples under `range` into this table at the
+  // pre-assigned row ids `id_base + source id` — `other`'s own row ids
+  // are dense in [0, num_tuples), so `id_base` blocks derived from the
+  // partials' tuple counts cover every destination id exactly once when
+  // the ranges tile the key span — and inserts them into the index.
   // Safe for concurrent callers on disjoint ranges while the
   // BeginParallelMerge window is open; counts into `stats`.
   void MergeRangeFrom(const IndexedTable& other, const MergeKeyRange& range,
-                      uint64_t first_id, MergeShardStats* stats);
+                      uint64_t id_base, MergeShardStats* stats);
 
   // Closes the window and applies the summed per-shard statistics.
   // [kiss_lo, kiss_hi] is the union key span merged (kKiss only).
   void EndParallelMerge(const MergeShardStats& total, uint32_t kiss_lo,
                         uint32_t kiss_hi);
+
+  // Opens the concurrent-insert window of an aggregated table (no row
+  // storage to reserve — the "tuples" live in the index payloads).
+  void BeginParallelAggMerge();
+
+  // Folds every partial's accumulators under `range` into this
+  // (aggregated) table: per group key, the accumulators of all partials
+  // holding the key merge into the destination payload in one
+  // BoundAggSpec::MergeRange pass. Safe for concurrent callers on
+  // disjoint ranges while the BeginParallelAggMerge window is open;
+  // created groups count into `stats->new_keys`.
+  void MergeAggRangeFrom(const std::vector<const IndexedTable*>& partials,
+                         const MergeKeyRange& range, MergeShardStats* stats);
+
+  // Closes the window and applies the summed group statistics.
+  // `folded_tuples` is the total number of input tuples the partials had
+  // folded (their num_tuples() sum); [kiss_lo, kiss_hi] as above.
+  void EndParallelAggMerge(const MergeShardStats& total, uint32_t kiss_lo,
+                           uint32_t kiss_hi, size_t folded_tuples);
 
   // In-order scan over groups: fn(const uint64_t* out_row) where out_row
   // has schema(): decoded key columns followed by finalized aggregates.

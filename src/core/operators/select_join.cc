@@ -81,7 +81,8 @@ Status SelectJoinOp::Execute(ExecContext* ctx) {
           ctx->knobs().join_buffer_size));
     }
     stats.morsels = engine::RunKissValueMorsels(
-        pool, *kiss, lo, hi, [&](size_t w, uint64_t value) {
+        pool, pool->TunerFor(display_name()), *kiss, lo, hi,
+        [&](size_t w, uint64_t value) {
           for (const auto& r : residuals) {
             if (!r.Eval(value)) return;
           }

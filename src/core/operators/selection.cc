@@ -81,8 +81,11 @@ Status SelectionOp::Execute(ExecContext* ctx) {
                                             std::vector<uint64_t>(width));
     std::vector<std::vector<uint64_t>> keys(
         workers, std::vector<uint64_t>(key_positions.size() + 1));
+    // Adaptive split feedback is keyed per operator site (the planner
+    // stage label), so interleaved queries tune independently.
     stats.morsels = engine::RunKissValueMorsels(
-        pool, *kiss, lo, hi, [&](size_t w, uint64_t value) {
+        pool, pool->TunerFor(display_name()), *kiss, lo, hi,
+        [&](size_t w, uint64_t value) {
           process(value, rows[w].data(), keys[w].data(),
                   partials.worker(w));
         });

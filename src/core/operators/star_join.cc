@@ -63,6 +63,10 @@ Status StarJoinOp::Execute(ExecContext* ctx) {
   };
 
   engine::WorkerPool* pool = ctx->worker_pool();
+  // Adaptive split feedback is keyed per operator site (the planner
+  // stage label), so interleaved queries tune independently.
+  engine::MorselTuner* tuner =
+      pool != nullptr ? pool->TunerFor(display_name()) : nullptr;
   // Forking pays off when the side driving the scan is big enough; the
   // mixed branch overrides this with the KISS (scanned) side's size.
   auto worth_forking = [&](uint64_t scanned_tuples) {
@@ -123,7 +127,7 @@ Status StarJoinOp::Execute(ExecContext* ctx) {
     if (parallel) {
       run_parallel([&](auto& pipelines) {
         return engine::RunPrefixPairMorsels(
-            pool, lp, rp,
+            pool, tuner, lp, rp,
             [&](size_t w, const PairScanLevel& level, size_t begin,
                 size_t end) {
               CandidatePipeline* pipeline = pipelines[w].get();
@@ -158,7 +162,7 @@ Status StarJoinOp::Execute(ExecContext* ctx) {
       uint32_t hi = std::min(lk.max_key(), rk.max_key());
       run_parallel([&](auto& pipelines) {
         return engine::RunKissRangeMorsels(
-            pool, lk, lo, hi, [&](size_t w, uint32_t mlo, uint32_t mhi) {
+            pool, tuner, lk, lo, hi, [&](size_t w, uint32_t mlo, uint32_t mhi) {
               CandidatePipeline* pipeline = pipelines[w].get();
               SynchronousScanRange(
                   lk, rk, mlo, mhi,
@@ -245,7 +249,7 @@ Status StarJoinOp::Execute(ExecContext* ctx) {
                                right.num_input_tuples()))) {
       run_parallel([&](auto& pipelines) {
         return engine::RunPrefixPairMorsels(
-            pool, ptree, ptree,  // self-pair: every populated subtree
+            pool, tuner, ptree, ptree,  // self-pair: every populated subtree
             [&](size_t w, const PairScanLevel& level, size_t begin,
                 size_t end) {
               scan_mixed(pipelines[w].get(), [&](auto&& sink) {

@@ -16,24 +16,29 @@
 namespace qppt::engine {
 
 size_t RunKissRangeMorsels(
-    WorkerPool* pool, const KissTree& tree, uint32_t lo, uint32_t hi,
-    const std::function<void(size_t, uint32_t, uint32_t)>& fn) {
-  auto ranges = PartitionKissRange(tree, lo, hi, pool->morsel_target());
+    WorkerPool* pool, MorselTuner* tuner, const KissTree& tree, uint32_t lo,
+    uint32_t hi, const std::function<void(size_t, uint32_t, uint32_t)>& fn) {
+  if (tuner == nullptr) tuner = pool->tuner();
+  auto ranges = PartitionKissRange(tree, lo, hi,
+                                   tuner->MorselTarget(pool->num_workers()));
   if (ranges.empty()) return 0;
-  RunTimedMorsels(pool, ranges.size(), [&](size_t worker, size_t m) {
+  RunTimedMorsels(pool, tuner, ranges.size(), [&](size_t worker, size_t m) {
     fn(worker, ranges[m].first, ranges[m].second);
   });
   return ranges.size();
 }
 
 size_t RunPrefixPairMorsels(
-    WorkerPool* pool, const PrefixTree& left, const PrefixTree& right,
+    WorkerPool* pool, MorselTuner* tuner, const PrefixTree& left,
+    const PrefixTree& right,
     const std::function<void(size_t, const PairScanLevel&, size_t, size_t)>&
         fn) {
+  if (tuner == nullptr) tuner = pool->tuner();
   PairScanLevel level = FindPairScanLevel(left, right);
   if (level.slots.empty()) return 0;
-  auto slices = SplitEvenly(level.slots.size(), pool->morsel_target());
-  RunTimedMorsels(pool, slices.size(), [&](size_t worker, size_t m) {
+  auto slices = SplitEvenly(level.slots.size(),
+                            tuner->MorselTarget(pool->num_workers()));
+  RunTimedMorsels(pool, tuner, slices.size(), [&](size_t worker, size_t m) {
     fn(worker, level, slices[m].first, slices[m].second);
   });
   return slices.size();
@@ -41,12 +46,20 @@ size_t RunPrefixPairMorsels(
 
 namespace {
 
-// Bucket-aligned KISS key ranges covering the union key span of all
-// non-empty partials. Alignment guarantees no two merge workers ever
-// touch the same level-2 node of the destination tree.
+// Test-only mutation of planned merge ranges (injects non-covering
+// plans); see PartialOutputs::SetPlanMutatorForTest.
+PartialOutputs::PlanMutator g_plan_mutator_for_test;
+
+// Bucket-aligned KISS key ranges tiling the union key span of all
+// non-empty partials, with the outermost bounds clamped to the exact
+// span (so the first/last range workers skip the empty key regions of
+// their boundary buckets, and the span end points can be read back off
+// ranges.front()/.back() for the key statistics). Bucket alignment
+// guarantees no two merge workers ever touch the same level-2 node of
+// the destination tree.
 std::vector<IndexedTable::MergeKeyRange> PlanKissMergeRanges(
     const std::vector<std::unique_ptr<IndexedTable>>& partials,
-    size_t shards, uint32_t* span_lo, uint32_t* span_hi) {
+    size_t shards) {
   uint32_t lo = std::numeric_limits<uint32_t>::max();
   uint32_t hi = 0;
   size_t l2 = 0;
@@ -57,8 +70,6 @@ std::vector<IndexedTable::MergeKeyRange> PlanKissMergeRanges(
     hi = std::max(hi, tree->max_key());
     l2 = tree->level2_bits();
   }
-  *span_lo = lo;
-  *span_hi = hi;
   std::vector<IndexedTable::MergeKeyRange> ranges;
   if (lo > hi) return ranges;  // all partials empty
   uint64_t first_bucket = lo >> l2;
@@ -72,6 +83,8 @@ std::vector<IndexedTable::MergeKeyRange> PlanKissMergeRanges(
                            std::numeric_limits<uint32_t>::max()));
     ranges.push_back(r);
   }
+  ranges.front().kiss_lo = lo;
+  ranges.back().kiss_hi = hi;
   return ranges;
 }
 
@@ -100,6 +113,15 @@ void BuildBoundKey(uint8_t* out, const uint8_t* prefix_key, size_t key_len,
   }
 }
 
+// Adds one to a big-endian `key` of `key_len` bytes in place. Returns
+// false on overflow (the key was all-ones).
+bool IncrementKey(uint8_t* key, size_t key_len) {
+  for (size_t i = key_len; i-- > 0;) {
+    if (++key[i] != 0) return true;
+  }
+  return false;
+}
+
 // Fragment-aligned encoded key ranges chopping the union key span of all
 // partials at its *branching level* — the first fragment where the union
 // min and max keys differ. Order-preserving encodings share long key
@@ -109,7 +131,8 @@ void BuildBoundKey(uint8_t* out, const uint8_t* prefix_key, size_t key_len,
 // concurrent workers only read it.
 std::vector<IndexedTable::MergeKeyRange> PlanPrefixMergeRanges(
     const std::vector<std::unique_ptr<IndexedTable>>& partials,
-    size_t shards, const uint8_t** chain_key, size_t* branch_bit_off) {
+    size_t shards, const uint8_t** chain_key, size_t* branch_bit_off,
+    const uint8_t** span_lo, const uint8_t** span_hi) {
   const PrefixTree* any = partials.front()->prefix();
   size_t key_len = any->key_len();
   size_t key_bits = key_len * 8;
@@ -144,6 +167,8 @@ std::vector<IndexedTable::MergeKeyRange> PlanPrefixMergeRanges(
   }
   *chain_key = min_key;
   *branch_bit_off = bit_off;
+  *span_lo = min_key;
+  *span_hi = max_key;
   size_t span = static_cast<size_t>(frag_hi) - frag_lo + 1;
   std::vector<IndexedTable::MergeKeyRange> ranges;
   for (const auto& [begin, end] : SplitEvenly(span, shards)) {
@@ -159,73 +184,165 @@ std::vector<IndexedTable::MergeKeyRange> PlanPrefixMergeRanges(
   return ranges;
 }
 
-}  // namespace
-
-size_t PartialOutputs::MergeInto(WorkerPool* pool,
-                                 IndexedTable* final_table) {
-  size_t total = 0;
-  for (const auto& p : partials_) total += p->num_tuples();
-  const bool parallel = pool != nullptr && pool->num_workers() > 1 &&
-                        !final_table->aggregated() &&
-                        total >= kMinParallelInputTuples;
-  if (!parallel) {
-    MergeInto(final_table);
-    return 0;
-  }
-
-  uint32_t span_lo = 0;
-  uint32_t span_hi = 0;
+// One validated range plan shared by the plain and aggregated merge
+// paths: plans against the destination's index family, applies the
+// test-only mutator, checks the ranges tile the partials' union key
+// span (the Release-mode guard against silent row-id / group
+// corruption), and pre-builds the prefix destination's shared chain
+// when the plan is usable.
+struct MergeRangePlan {
   std::vector<IndexedTable::MergeKeyRange> ranges;
+  uint32_t kiss_lo = 0;  // exact union key span (kKiss finals only)
+  uint32_t kiss_hi = 0;
+  bool covering = false;
+
+  bool usable() const { return covering && ranges.size() > 1; }
+};
+
+MergeRangePlan PlanValidatedMergeRanges(
+    const std::vector<std::unique_ptr<IndexedTable>>& partials,
+    IndexedTable* final_table, size_t shards) {
+  MergeRangePlan plan;
   if (final_table->kind() == IndexedTable::Kind::kKiss) {
-    ranges = PlanKissMergeRanges(partials_, pool->morsel_target(), &span_lo,
-                                 &span_hi);
+    plan.ranges = PlanKissMergeRanges(partials, shards);
+    if (g_plan_mutator_for_test) g_plan_mutator_for_test(&plan.ranges);
+    if (plan.ranges.empty()) return plan;
+    // The clamped outermost bounds ARE the union key span.
+    plan.kiss_lo = plan.ranges.front().kiss_lo;
+    plan.kiss_hi = plan.ranges.back().kiss_hi;
+    uint32_t lo = std::numeric_limits<uint32_t>::max();
+    uint32_t hi = 0;
+    for (const auto& p : partials) {
+      if (p->kiss()->empty()) continue;
+      lo = std::min(lo, p->kiss()->min_key());
+      hi = std::max(hi, p->kiss()->max_key());
+    }
+    plan.covering = merge_detail::KissRangesCoverSpan(plan.ranges, lo, hi);
   } else if (final_table->num_tuples() == 0) {
-    // The chain pre-build below requires an empty destination; merging
-    // into a populated prefix table (not an engine flow today) stays
-    // serial.
+    // The chain pre-build requires an empty destination; merging into a
+    // populated prefix table (not an engine flow today) stays serial.
     const uint8_t* chain_key = nullptr;
     size_t branch_bit_off = 0;
-    ranges = PlanPrefixMergeRanges(partials_, pool->morsel_target(),
-                                   &chain_key, &branch_bit_off);
-    if (ranges.size() > 1) {
+    const uint8_t* span_lo = nullptr;
+    const uint8_t* span_hi = nullptr;
+    plan.ranges = PlanPrefixMergeRanges(partials, shards, &chain_key,
+                                        &branch_bit_off, &span_lo, &span_hi);
+    if (g_plan_mutator_for_test) g_plan_mutator_for_test(&plan.ranges);
+    if (plan.ranges.empty()) return plan;
+    plan.covering = merge_detail::PrefixRangesCoverSpan(
+        plan.ranges, final_table->prefix()->key_len(), span_lo, span_hi);
+    if (plan.usable()) {
       final_table->PrepareMergeChain(chain_key, branch_bit_off);
     }
   }
-  if (ranges.size() <= 1) {
+  return plan;
+}
+
+}  // namespace
+
+namespace merge_detail {
+
+bool KissRangesCoverSpan(
+    const std::vector<IndexedTable::MergeKeyRange>& ranges, uint32_t span_lo,
+    uint32_t span_hi) {
+  if (ranges.empty()) return false;
+  if (ranges.front().kiss_lo > span_lo) return false;
+  if (ranges.back().kiss_hi < span_hi) return false;
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    if (ranges[i].kiss_lo > ranges[i].kiss_hi) return false;
+    if (i + 1 < ranges.size() &&
+        (ranges[i].kiss_hi == std::numeric_limits<uint32_t>::max() ||
+         ranges[i].kiss_hi + 1 != ranges[i + 1].kiss_lo)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool PrefixRangesCoverSpan(
+    const std::vector<IndexedTable::MergeKeyRange>& ranges, size_t key_len,
+    const uint8_t* span_lo, const uint8_t* span_hi) {
+  if (ranges.empty()) return false;
+  if (CompareKeys(ranges.front().prefix_lo, span_lo, key_len) > 0) {
+    return false;
+  }
+  if (CompareKeys(ranges.back().prefix_hi, span_hi, key_len) < 0) {
+    return false;
+  }
+  uint8_t next[KeyBuf::kCapacity];
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    if (CompareKeys(ranges[i].prefix_lo, ranges[i].prefix_hi, key_len) > 0) {
+      return false;
+    }
+    if (i + 1 < ranges.size()) {
+      std::memcpy(next, ranges[i].prefix_hi, key_len);
+      if (!IncrementKey(next, key_len) ||
+          CompareKeys(next, ranges[i + 1].prefix_lo, key_len) != 0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace merge_detail
+
+void PartialOutputs::SetPlanMutatorForTest(PlanMutator mutator) {
+  g_plan_mutator_for_test = std::move(mutator);
+}
+
+size_t PartialOutputs::MergeInto(WorkerPool* pool,
+                                 IndexedTable* final_table) {
+  if (pool == nullptr || pool->num_workers() <= 1) {
+    MergeInto(final_table);
+    return 0;
+  }
+  return final_table->aggregated() ? MergeAggInto(pool, final_table)
+                                   : MergePlainInto(pool, final_table);
+}
+
+size_t PartialOutputs::MergePlainInto(WorkerPool* pool,
+                                      IndexedTable* final_table) {
+  size_t total = 0;
+  for (const auto& p : partials_) total += p->num_tuples();
+  if (total < kMinParallelInputTuples) {
     MergeInto(final_table);
     return 0;
   }
 
-  // Pass 1 (parallel, read-only): per-range tuple counts, so each range
-  // worker owns a contiguous, pre-assigned block of final row ids and
-  // the workers never contend on row storage.
-  std::vector<size_t> counts(ranges.size(), 0);
-  pool->Run(ranges.size(), [&](size_t, size_t m) {
-    size_t c = 0;
-    for (const auto& p : partials_) c += p->CountTuplesInRange(ranges[m]);
-    counts[m] = c;
-  });
-
-  uint64_t first_id = final_table->BeginParallelMerge(total);
-  std::vector<uint64_t> base(ranges.size(), 0);
-  uint64_t at = first_id;
-  for (size_t m = 0; m < ranges.size(); ++m) {
-    base[m] = at;
-    at += counts[m];
+  // A plan that does not tile the span would leave pre-assigned row ids
+  // unwritten and drop tuples — checked at runtime (Release included),
+  // never just asserted; the serial path is always correct.
+  MergeRangePlan plan =
+      PlanValidatedMergeRanges(partials_, final_table, pool->morsel_target());
+  if (!plan.usable()) {
+    MergeInto(final_table);
+    return 0;
   }
-  assert(at == first_id + total && "merge ranges must cover every tuple");
+  const std::vector<IndexedTable::MergeKeyRange>& ranges = plan.ranges;
 
-  // Pass 2 (parallel): each range worker folds ALL partials' tuples of
+  // Per-partial contiguous row-id blocks: partial p's tuple ids are
+  // dense in [0, n_p), so block bases derived from the tuple counts the
+  // builds already maintain pre-assign every destination row id without
+  // a counting scan — the merge below is the only pass over the data.
+  uint64_t first_id = final_table->BeginParallelMerge(total);
+  std::vector<uint64_t> base(partials_.size(), 0);
+  uint64_t at = first_id;
+  for (size_t p = 0; p < partials_.size(); ++p) {
+    base[p] = at;
+    at += partials_[p]->num_tuples();
+  }
+
+  // One parallel pass: each range worker folds ALL partials' tuples of
   // its key range into the final table. Ranges are bucket/root-slot
-  // aligned, so index mutations stay within disjoint subtrees; shard
-  // statistics are summed and applied once at the end.
+  // aligned, so index mutations stay within disjoint subtrees; row
+  // writes are disjoint because (partial, source id) determines the
+  // destination id; shard statistics are summed and applied once.
   std::vector<IndexedTable::MergeShardStats> shard_stats(ranges.size());
   pool->Run(ranges.size(), [&](size_t, size_t m) {
-    uint64_t id = base[m];
-    for (const auto& p : partials_) {
-      size_t before = shard_stats[m].tuples;
-      final_table->MergeRangeFrom(*p, ranges[m], id, &shard_stats[m]);
-      id += shard_stats[m].tuples - before;
+    for (size_t p = 0; p < partials_.size(); ++p) {
+      final_table->MergeRangeFrom(*partials_[p], ranges[m], base[p],
+                                  &shard_stats[m]);
     }
   });
 
@@ -235,7 +352,52 @@ size_t PartialOutputs::MergeInto(WorkerPool* pool,
     summed.new_keys += s.new_keys;
     summed.new_inner_nodes += s.new_inner_nodes;
   }
-  final_table->EndParallelMerge(summed, span_lo, span_hi);
+  assert(summed.tuples == total && "validated ranges must cover every tuple");
+  final_table->EndParallelMerge(summed, plan.kiss_lo, plan.kiss_hi);
+  for (auto& partial : partials_) partial.reset();
+  return ranges.size();
+}
+
+size_t PartialOutputs::MergeAggInto(WorkerPool* pool,
+                                    IndexedTable* final_table) {
+  size_t folded_tuples = 0;
+  size_t group_entries = 0;
+  for (const auto& p : partials_) {
+    folded_tuples += p->num_tuples();
+    group_entries += p->num_keys();
+  }
+  if (group_entries < kMinParallelAggGroups) {
+    MergeInto(final_table);
+    return 0;
+  }
+
+  // Same runtime guarantee as the plain path: a non-covering plan would
+  // silently drop groups, so it falls back to the serial merge.
+  MergeRangePlan plan =
+      PlanValidatedMergeRanges(partials_, final_table, pool->morsel_target());
+  if (!plan.usable()) {
+    MergeInto(final_table);
+    return 0;
+  }
+  const std::vector<IndexedTable::MergeKeyRange>& ranges = plan.ranges;
+
+  std::vector<const IndexedTable*> views;
+  views.reserve(partials_.size());
+  for (const auto& p : partials_) views.push_back(p.get());
+
+  final_table->BeginParallelAggMerge();
+  std::vector<IndexedTable::MergeShardStats> shard_stats(ranges.size());
+  pool->Run(ranges.size(), [&](size_t, size_t m) {
+    final_table->MergeAggRangeFrom(views, ranges[m], &shard_stats[m]);
+  });
+
+  IndexedTable::MergeShardStats summed;
+  for (const auto& s : shard_stats) {
+    summed.new_keys += s.new_keys;
+    summed.new_inner_nodes += s.new_inner_nodes;
+  }
+  final_table->EndParallelAggMerge(summed, plan.kiss_lo, plan.kiss_hi,
+                                   folded_tuples);
   for (auto& partial : partials_) partial.reset();
   return ranges.size();
 }

@@ -4,16 +4,19 @@
 // index into disjoint morsels (core/parallel.h — deterministic tree
 // partitions need no rebalancing guard), run the operator's tuple loop
 // per morsel on the worker pool with *per-worker* partial output tables,
-// and merge the partials into the real output once at the end
-// (aggregation merges accumulators via BoundAggSpec::Merge; plain tables
-// merge key-range-partitioned across the pool, see
-// PartialOutputs::MergeInto). The input trees are never mutated, so
+// and merge the partials into the real output once at the end. Both
+// output shapes merge key-range-partitioned across the pool (plain
+// tables re-insert tuples at pre-assigned row ids; aggregated tables
+// fold accumulators via BoundAggSpec::MergeRange) — see
+// PartialOutputs::MergeInto. The input trees are never mutated, so
 // concurrent readers need no synchronization.
 //
 // Split counts are adaptive: each driver reports its batch's per-morsel
-// wall times to the pool's MorselTuner (engine/scheduler.h), which
-// refines the split when one straggler morsel dominates and coarsens it
-// when scheduling overhead does.
+// wall times to its operator site's MorselTuner
+// (WorkerPool::TunerFor, engine/scheduler.h), which refines the split
+// when one straggler morsel dominates and coarsens it when scheduling
+// overhead does — per site, so interleaved queries with different
+// morsel cost profiles keep independent feedback loops.
 
 #ifndef QPPT_ENGINE_PARALLEL_OPS_H_
 #define QPPT_ENGINE_PARALLEL_OPS_H_
@@ -37,18 +40,40 @@ namespace qppt::engine {
 // saves on a few thousand tuples.
 inline constexpr size_t kMinParallelInputTuples = 4096;
 
+// Aggregated outputs whose partials hold fewer group entries than this
+// (summed across workers) merge serially — the accumulator fold is
+// per-group work, so a handful of groups cannot amortize the fork-join.
+inline constexpr size_t kMinParallelAggGroups = 64;
+
 // Runs fn(worker, morsel) for every morsel, recording per-morsel wall
-// times and feeding them to the pool's adaptive tuner.
+// times and feeding them to `tuner` (the caller's operator-site tuner;
+// nullptr uses the pool's default).
 template <typename Fn>
-void RunTimedMorsels(WorkerPool* pool, size_t count, Fn&& fn) {
+void RunTimedMorsels(WorkerPool* pool, MorselTuner* tuner, size_t count,
+                     Fn&& fn) {
   std::vector<double> times(count, 0.0);
   pool->Run(count, [&](size_t worker, size_t m) {
     Timer t;
     fn(worker, m);
     times[m] = t.ElapsedMs();
   });
-  pool->tuner()->RecordBatch(&times);
+  (tuner != nullptr ? tuner : pool->tuner())->RecordBatch(&times);
 }
+
+// Validators for the merge-range plans below (exposed for tests): true
+// iff `ranges` tile a superset of the partials' union key span —
+// non-empty, ascending, gap-free, and covering [span_lo, span_hi]. A
+// plan that fails this check would silently drop tuples (or leave
+// pre-assigned row ids unwritten), so PartialOutputs::MergeInto checks
+// it at runtime — in Release builds too — and falls back to the serial
+// merge instead of corrupting the output.
+namespace merge_detail {
+bool KissRangesCoverSpan(const std::vector<IndexedTable::MergeKeyRange>& ranges,
+                         uint32_t span_lo, uint32_t span_hi);
+bool PrefixRangesCoverSpan(
+    const std::vector<IndexedTable::MergeKeyRange>& ranges, size_t key_len,
+    const uint8_t* span_lo, const uint8_t* span_hi);
+}  // namespace merge_detail
 
 // Per-worker partial outputs of one parallel operator, merged into the
 // final table after the fork-join.
@@ -72,24 +97,39 @@ class PartialOutputs {
     }
   }
 
-  // Key-range-partitioned parallel merge: plain outputs large enough to
+  // Key-range-partitioned parallel merge: outputs large enough to
   // amortize the fork-join are merged by range-owning workers — each
-  // worker folds ALL partials' tuples of one disjoint key range into the
-  // final table concurrently (aggregated or small outputs fall back to
-  // the serial path above). Returns the number of merge morsels executed
-  // (0 = serial merge).
+  // worker folds ALL partials' tuples (plain) or group accumulators
+  // (aggregated) of one disjoint key range into the final table
+  // concurrently; small outputs fall back to the serial path above.
+  // Plain merges are single-pass: each partial's tuple count (maintained
+  // by its build) pre-assigns it a contiguous row-id block, so no
+  // separate counting scan runs. A range plan that fails the coverage
+  // validation (merge_detail) also falls back to the serial path.
+  // Returns the number of merge morsels executed (0 = serial merge).
   size_t MergeInto(WorkerPool* pool, IndexedTable* final_table);
 
+  // Test hook: mutates every planned range list before validation, so
+  // tests can inject non-covering plans and exercise the runtime
+  // fallback. Pass nullptr to clear. Not thread-safe; tests only.
+  using PlanMutator = std::function<void(
+      std::vector<IndexedTable::MergeKeyRange>*)>;
+  static void SetPlanMutatorForTest(PlanMutator mutator);
+
  private:
+  size_t MergePlainInto(WorkerPool* pool, IndexedTable* final_table);
+  size_t MergeAggInto(WorkerPool* pool, IndexedTable* final_table);
+
   std::vector<std::unique_ptr<IndexedTable>> partials_;
 };
 
 // Partitions `tree` ∩ [lo, hi] into morsel key ranges and runs
 // fn(worker, morsel_lo, morsel_hi) for each on the pool. Returns the
-// number of morsels executed (0 = empty intersection).
+// number of morsels executed (0 = empty intersection). `tuner` is the
+// caller's operator-site tuner (nullptr = pool default), here and below.
 size_t RunKissRangeMorsels(
-    WorkerPool* pool, const KissTree& tree, uint32_t lo, uint32_t hi,
-    const std::function<void(size_t, uint32_t, uint32_t)>& fn);
+    WorkerPool* pool, MorselTuner* tuner, const KissTree& tree, uint32_t lo,
+    uint32_t hi, const std::function<void(size_t, uint32_t, uint32_t)>& fn);
 
 // Pair-partitions two prefix trees at their branching level
 // (FindPairScanLevel, core/sync_scan.h) and runs
@@ -98,7 +138,8 @@ size_t RunKissRangeMorsels(
 // its slice with SynchronousScanPairSlots. Returns the number of
 // morsels executed (0 = the trees share no subtree).
 size_t RunPrefixPairMorsels(
-    WorkerPool* pool, const PrefixTree& left, const PrefixTree& right,
+    WorkerPool* pool, MorselTuner* tuner, const PrefixTree& left,
+    const PrefixTree& right,
     const std::function<void(size_t, const PairScanLevel&, size_t, size_t)>&
         fn);
 
@@ -113,18 +154,23 @@ inline constexpr size_t kMinSliceValues = 1024;
 // and morsels over slices of the gathered vector instead. Returns the
 // morsel count (0 = nothing qualified).
 template <typename ProcessFn>
-size_t RunKissValueMorsels(WorkerPool* pool, const KissTree& tree,
-                           uint32_t lo, uint32_t hi, ProcessFn&& process) {
-  auto ranges = PartitionKissRange(tree, lo, hi, pool->morsel_target());
+size_t RunKissValueMorsels(WorkerPool* pool, MorselTuner* tuner,
+                           const KissTree& tree, uint32_t lo, uint32_t hi,
+                           ProcessFn&& process) {
+  if (tuner == nullptr) tuner = pool->tuner();
+  const size_t target = tuner->MorselTarget(pool->num_workers());
+  auto ranges = PartitionKissRange(tree, lo, hi, target);
   if (ranges.empty()) return 0;
   if (ranges.size() >= pool->num_workers()) {
-    RunTimedMorsels(pool, ranges.size(), [&](size_t worker, size_t m) {
-      tree.ScanRange(ranges[m].first, ranges[m].second,
-                     [&](uint32_t, const KissTree::ValueRef& vals) {
-                       vals.ForEach(
-                           [&](uint64_t v) { process(worker, v); });
-                     });
-    });
+    RunTimedMorsels(pool, tuner, ranges.size(),
+                    [&](size_t worker, size_t m) {
+                      tree.ScanRange(
+                          ranges[m].first, ranges[m].second,
+                          [&](uint32_t, const KissTree::ValueRef& vals) {
+                            vals.ForEach(
+                                [&](uint64_t v) { process(worker, v); });
+                          });
+                    });
     return ranges.size();
   }
   std::vector<uint64_t> values;
@@ -134,9 +180,9 @@ size_t RunKissValueMorsels(WorkerPool* pool, const KissTree& tree,
   if (values.empty()) return 0;
   auto slices = SplitEvenly(
       values.size(),
-      std::min(pool->morsel_target(),
+      std::min(target,
                (values.size() + kMinSliceValues - 1) / kMinSliceValues));
-  RunTimedMorsels(pool, slices.size(), [&](size_t worker, size_t m) {
+  RunTimedMorsels(pool, tuner, slices.size(), [&](size_t worker, size_t m) {
     for (size_t i = slices[m].first; i < slices[m].second; ++i) {
       process(worker, values[i]);
     }

@@ -31,6 +31,20 @@ void MorselTuner::RecordBatch(std::vector<double>* morsel_ms) {
   }
 }
 
+MorselTuner* WorkerPool::TunerFor(std::string_view site) {
+  std::lock_guard<std::mutex> lock(tuners_mu_);
+  auto it = site_tuners_.find(site);
+  if (it == site_tuners_.end()) {
+    it = site_tuners_.try_emplace(std::string(site)).first;
+  }
+  return &it->second;
+}
+
+size_t WorkerPool::num_tuner_sites() const {
+  std::lock_guard<std::mutex> lock(tuners_mu_);
+  return site_tuners_.size();
+}
+
 WorkerPool::WorkerPool(size_t threads) {
   if (threads == 0) return;
   deques_.resize(threads);

@@ -23,7 +23,10 @@
 #include <deque>
 #include <exception>
 #include <functional>
+#include <map>
 #include <mutex>
+#include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -36,9 +39,12 @@ namespace qppt::engine {
 // dominating the fork-join), the next batch splits finer so work
 // stealing can even it out; when morsels are so small that scheduling
 // overhead dominates, the next batch splits coarser. The state is
-// pool-global and deliberately coarse: morsel sources are deterministic
-// tree partitions, so finer/coarser only changes shard count, never
-// correctness.
+// deliberately coarse: morsel sources are deterministic tree
+// partitions, so finer/coarser only changes shard count, never
+// correctness. Tuners are keyed per *operator site*
+// (WorkerPool::TunerFor) — a pool-global loop would let interleaved
+// queries with different per-morsel cost profiles pollute each other's
+// split counts.
 class MorselTuner {
  public:
   static constexpr size_t kBasePerWorker = 8;
@@ -96,10 +102,21 @@ class WorkerPool {
 
   size_t num_workers() const { return deques_.empty() ? 1 : deques_.size(); }
 
-  // The adaptive split target for this pool's next morsel batch
-  // (replaces the old fixed workers x 8).
+  // The default tuner's split target for this pool's next morsel batch
+  // (used by callers without an operator site, e.g. merge-range
+  // planning).
   size_t morsel_target() const { return tuner_.MorselTarget(num_workers()); }
+  // The pool's default (site-less) tuner.
   MorselTuner* tuner() { return &tuner_; }
+
+  // The adaptive tuner of one operator site (keyed by the operator's
+  // planner stage label / display name). Each site carries its own
+  // feedback loop, so two interleaved queries with different per-morsel
+  // cost profiles cannot pollute each other's split counts. The returned
+  // pointer is stable for the pool's lifetime.
+  MorselTuner* TunerFor(std::string_view site);
+  // Distinct operator sites seen so far (excludes the default tuner).
+  size_t num_tuner_sites() const;
 
   // Executes fn for every morsel index in [0, num_morsels) and blocks
   // until all have finished. Thread-safe: batches submitted concurrently
@@ -134,6 +151,10 @@ class WorkerPool {
   size_t next_deque_ = 0;  // round-robin distribution cursor (guarded by mu_)
   bool stop_ = false;
   MorselTuner tuner_;
+  // Per-site tuners. std::map node stability keeps returned pointers
+  // valid across later insertions (MorselTuner is not movable).
+  mutable std::mutex tuners_mu_;
+  std::map<std::string, MorselTuner, std::less<>> site_tuners_;
 };
 
 }  // namespace qppt::engine

@@ -283,13 +283,19 @@ bool KissTree::Lookup(uint32_t key, ValueRef* out) const {
 }
 
 std::byte* KissTree::FindOrCreatePayload(uint32_t key, bool* created) {
+  std::byte* payload = FindOrCreatePayloadForMerge(key, created);
+  if (*created) NoteKey(key, true);
+  return payload;
+}
+
+std::byte* KissTree::FindOrCreatePayloadForMerge(uint32_t key,
+                                                 bool* created) {
   assert(config_.mode == PayloadMode::kAggregate);
   uint64_t* entry = FindOrCreateEntrySlot(key);
   if (*entry == 0) {
     void* payload =
         value_arena_.AllocateZeroed(config_.agg_payload_size, /*align=*/8);
     *entry = reinterpret_cast<uint64_t>(payload);
-    NoteKey(key, true);
     *created = true;
   } else {
     *created = false;

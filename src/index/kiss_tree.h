@@ -251,6 +251,11 @@ class KissTree {
   void EndConcurrentInserts();
   // Appends like Insert(); returns true when `key` was new.
   bool InsertForMerge(uint32_t key, uint64_t value);
+  // FindOrCreatePayload without the key-statistics update (kAggregate
+  // mode) — the aggregated partitioned merge's per-range workers create
+  // groups concurrently and fold the created-key counts back in via
+  // AddMergedKeyStats() after the fork-join.
+  std::byte* FindOrCreatePayloadForMerge(uint32_t key, bool* created);
   // Folds externally accumulated key statistics back in. [lo, hi] is the
   // key span the merged tuples came from (ignored when new_keys == 0).
   void AddMergedKeyStats(size_t new_keys, uint32_t lo, uint32_t hi);

@@ -134,10 +134,17 @@ void PrefixTree::InsertForMerge(const uint8_t* key, uint64_t value,
 
 std::byte* PrefixTree::FindOrCreatePayload(const uint8_t* key,
                                            bool* created) {
-  assert(config_.mode == PayloadMode::kAggregate);
   MergeStats stats;
-  ContentNode* c = FindOrCreateContent(key, created, &stats);
+  std::byte* payload = FindOrCreatePayloadForMerge(key, created, &stats);
   AddMergedKeyStats(stats);
+  return payload;
+}
+
+std::byte* PrefixTree::FindOrCreatePayloadForMerge(const uint8_t* key,
+                                                   bool* created,
+                                                   MergeStats* stats) {
+  assert(config_.mode == PayloadMode::kAggregate);
+  ContentNode* c = FindOrCreateContent(key, created, stats);
   return MutablePayloadOf(c);
 }
 

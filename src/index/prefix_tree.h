@@ -224,6 +224,12 @@ class PrefixTree {
   void EndConcurrentInserts();
   // Appends like Insert() (kValues mode), counting into `stats`.
   void InsertForMerge(const uint8_t* key, uint64_t value, MergeStats* stats);
+  // FindOrCreatePayload (kAggregate mode) with the statistics deferred
+  // into `stats` — the aggregated partitioned merge's per-range workers
+  // create groups within disjoint branching-level subtrees and apply the
+  // summed stats once via AddMergedKeyStats() after the fork-join.
+  std::byte* FindOrCreatePayloadForMerge(const uint8_t* key, bool* created,
+                                         MergeStats* stats);
   void AddMergedKeyStats(const MergeStats& stats) {
     num_keys_ += stats.new_keys;
     num_inner_nodes_ += stats.new_inner_nodes;

@@ -312,9 +312,264 @@ TEST(PartialOutputsTest, ParallelMergeMatchesSerialPrefixPlain) {
   EXPECT_EQ(got, want);
 }
 
+// ---- aggregated key-range-partitioned parallel merge ------------------------
+
+// Builds an aggregated table with one term of `fn` over "x", keyed on
+// "g" (KISS) — used by the identity grid below.
+std::unique_ptr<IndexedTable> MakeKissAgg(AggFn fn) {
+  Schema input = AggInputSchema();
+  auto table_or = IndexedTable::CreateAggregated(
+      {{"g", ValueType::kInt64, nullptr}},
+      AggSpec({{fn, ScalarExpr::Column("x"), "out"}}), input);
+  EXPECT_TRUE(table_or.ok());
+  return std::move(table_or).value();
+}
+
+std::unique_ptr<IndexedTable> MakePrefixAgg(AggFn fn) {
+  Schema input = Schema({{"g1", ValueType::kInt64, nullptr},
+                         {"g2", ValueType::kInt64, nullptr},
+                         {"x", ValueType::kInt64, nullptr}});
+  auto table_or = IndexedTable::CreateAggregated(
+      {{"g1", ValueType::kInt64, nullptr}, {"g2", ValueType::kInt64, nullptr}},
+      AggSpec({{fn, ScalarExpr::Column("x"), "out"}}), input);
+  EXPECT_TRUE(table_or.ok());
+  return std::move(table_or).value();
+}
+
+void ExpectSameGroups(const IndexedTable& got, const IndexedTable& want,
+                      const std::string& label) {
+  ASSERT_EQ(got.num_tuples(), want.num_tuples()) << label;
+  ASSERT_EQ(got.num_keys(), want.num_keys()) << label;
+  std::vector<std::vector<uint64_t>> expected;
+  want.ScanGroups([&](const uint64_t* row) {
+    expected.emplace_back(row, row + want.schema().num_columns());
+  });
+  size_t at = 0;
+  got.ScanGroups([&](const uint64_t* row) {
+    ASSERT_LT(at, expected.size()) << label;
+    for (size_t c = 0; c < expected[at].size(); ++c) {
+      EXPECT_EQ(row[c], expected[at][c])
+          << label << " group " << at << " col " << c;
+    }
+    ++at;
+  });
+  EXPECT_EQ(at, expected.size()) << label;
+}
+
+// The partitioned aggregated merge must equal the serial accumulator
+// merge for every aggregate kind, both index families, and every worker
+// count — and must actually partition at 8 workers.
+TEST(PartialOutputsTest, AggParallelMergeMatchesSerialAllKindsAndFamilies) {
+  constexpr int kRows = 20000;
+  constexpr int kGroups = 2000;  // >= kMinParallelAggGroups, many buckets
+  for (AggFn fn : {AggFn::kCount, AggFn::kSum, AggFn::kMin, AggFn::kMax}) {
+    for (bool kiss : {true, false}) {
+      for (size_t threads : {1, 2, 8}) {
+        engine::WorkerPool pool(threads);
+        auto serial = kiss ? MakeKissAgg(fn) : MakePrefixAgg(fn);
+        ASSERT_EQ(serial->kind(), kiss ? IndexedTable::Kind::kKiss
+                                       : IndexedTable::Kind::kPrefix);
+        auto merged = serial->CloneEmpty();
+        engine::PartialOutputs partials(*merged, pool.num_workers());
+        Rng rng(fn == AggFn::kCount ? 11 : 12);
+        for (int i = 0; i < kRows; ++i) {
+          int64_t g = static_cast<int64_t>(rng.NextBounded(kGroups));
+          int64_t x = static_cast<int64_t>(rng.NextBounded(100000)) - 50000;
+          if (kiss) {
+            // Spread the groups over many level-2 buckets.
+            uint64_t key = SlotFromInt64(g * 37);
+            uint64_t row[2] = {key, SlotFromInt64(x)};
+            serial->InsertAggregated(&key, row);
+            partials.worker(static_cast<size_t>(i) % pool.num_workers())
+                ->InsertAggregated(&key, row);
+          } else {
+            uint64_t keys[2] = {SlotFromInt64(g / 40), SlotFromInt64(g % 40)};
+            uint64_t row[3] = {keys[0], keys[1], SlotFromInt64(x)};
+            serial->InsertAggregated(keys, row);
+            partials.worker(static_cast<size_t>(i) % pool.num_workers())
+                ->InsertAggregated(keys, row);
+          }
+        }
+        size_t merge_morsels = partials.MergeInto(&pool, merged.get());
+        std::string label = std::string(AggFnToString(fn)) +
+                            (kiss ? " kiss" : " prefix") + " t=" +
+                            std::to_string(threads);
+        if (threads >= 8) {
+          EXPECT_GT(merge_morsels, 1u)
+              << label << ": aggregated merge did not partition";
+        }
+        ExpectSameGroups(*merged, *serial, label);
+      }
+    }
+  }
+}
+
+// Partials whose key spans do not overlap at all (one worker saw only
+// low keys, another only high keys) still merge correctly — the range
+// plan covers the union span, and the clamped outer bounds keep the
+// destination's key statistics exact.
+TEST(PartialOutputsTest, ParallelMergeHandlesDisjointPartialSpans) {
+  Schema schema({{"k", ValueType::kInt64, nullptr},
+                 {"v", ValueType::kInt64, nullptr}});
+  auto serial_or = IndexedTable::Create(schema, {"k"});
+  ASSERT_TRUE(serial_or.ok());
+  auto serial = std::move(serial_or).value();
+  auto merged = serial->CloneEmpty();
+
+  engine::WorkerPool pool(4);
+  engine::PartialOutputs partials(*merged, 2);
+  constexpr int kTuplesPerSide = 10000;
+  for (int i = 0; i < kTuplesPerSide; ++i) {
+    // Partial 0: keys [3, 103); partial 1: keys [4000003, 4000103).
+    int64_t lo_key = 3 + (i % 100);
+    int64_t hi_key = 4000003 + (i % 100);
+    uint64_t lo_row[2] = {SlotFromInt64(lo_key), SlotFromInt64(i)};
+    uint64_t hi_row[2] = {SlotFromInt64(hi_key), SlotFromInt64(i)};
+    serial->Insert(lo_row);
+    serial->Insert(hi_row);
+    partials.worker(0)->Insert(lo_row);
+    partials.worker(1)->Insert(hi_row);
+  }
+  size_t merge_morsels = partials.MergeInto(&pool, merged.get());
+  EXPECT_GT(merge_morsels, 1u);
+  EXPECT_EQ(merged->num_tuples(), serial->num_tuples());
+  EXPECT_EQ(merged->num_keys(), serial->num_keys());
+  // Clamped outer range bounds keep min/max exact (not bucket-aligned).
+  EXPECT_EQ(merged->kiss()->min_key(), serial->kiss()->min_key());
+  EXPECT_EQ(merged->kiss()->max_key(), serial->kiss()->max_key());
+  std::multiset<std::pair<int64_t, int64_t>> want, got;
+  serial->ScanInOrder([&](const uint64_t* row) {
+    want.emplace(Int64FromSlot(row[0]), Int64FromSlot(row[1]));
+  });
+  merged->ScanInOrder([&](const uint64_t* row) {
+    got.emplace(Int64FromSlot(row[0]), Int64FromSlot(row[1]));
+  });
+  EXPECT_EQ(got, want);
+}
+
+// ---- Release-mode merge hardening (non-covering range plans) ----------------
+
+// Clears the test-only plan mutator on scope exit so a failing test
+// cannot poison later ones.
+struct PlanMutatorGuard {
+  explicit PlanMutatorGuard(engine::PartialOutputs::PlanMutator m) {
+    engine::PartialOutputs::SetPlanMutatorForTest(std::move(m));
+  }
+  ~PlanMutatorGuard() {
+    engine::PartialOutputs::SetPlanMutatorForTest(nullptr);
+  }
+};
+
+// A range plan with a hole (a middle range dropped) must be rejected by
+// the runtime coverage check — the merge falls back to the serial path
+// (returns 0 shards) and the result stays complete. This used to be a
+// Debug-only assert that compiled out in Release.
+TEST(PartialOutputsTest, NonCoveringKissPlanFallsBackToSerialMerge) {
+  Schema schema({{"k", ValueType::kInt64, nullptr},
+                 {"v", ValueType::kInt64, nullptr}});
+  auto serial_or = IndexedTable::Create(schema, {"k"});
+  ASSERT_TRUE(serial_or.ok());
+  auto serial = std::move(serial_or).value();
+  auto merged = serial->CloneEmpty();
+
+  engine::WorkerPool pool(4);
+  engine::PartialOutputs partials(*merged, 3);
+  Rng rng(47);
+  constexpr int kTuples = 20000;
+  for (int i = 0; i < kTuples; ++i) {
+    int64_t k = static_cast<int64_t>(rng.NextBounded(5000));
+    uint64_t row[2] = {SlotFromInt64(k), SlotFromInt64(i)};
+    serial->Insert(row);
+    partials.worker(static_cast<size_t>(i) % 3)->Insert(row);
+  }
+  PlanMutatorGuard guard(
+      [](std::vector<IndexedTable::MergeKeyRange>* ranges) {
+        if (ranges->size() > 2) ranges->erase(ranges->begin() + 1);
+      });
+  EXPECT_EQ(partials.MergeInto(&pool, merged.get()), 0u)
+      << "non-covering plan must fall back to the serial merge";
+  EXPECT_EQ(merged->num_tuples(), serial->num_tuples());
+  EXPECT_EQ(merged->num_keys(), serial->num_keys());
+  std::multiset<std::pair<int64_t, int64_t>> want, got;
+  serial->ScanInOrder([&](const uint64_t* row) {
+    want.emplace(Int64FromSlot(row[0]), Int64FromSlot(row[1]));
+  });
+  merged->ScanInOrder([&](const uint64_t* row) {
+    got.emplace(Int64FromSlot(row[0]), Int64FromSlot(row[1]));
+  });
+  EXPECT_EQ(got, want);
+}
+
+// Same hardening for prefix-tree outputs: a truncated last range (the
+// plan no longer reaches the union max key) is rejected at runtime.
+TEST(PartialOutputsTest, NonCoveringPrefixPlanFallsBackToSerialMerge) {
+  Schema schema({{"k1", ValueType::kInt64, nullptr},
+                 {"k2", ValueType::kInt64, nullptr},
+                 {"v", ValueType::kInt64, nullptr}});
+  auto serial_or = IndexedTable::Create(schema, {"k1", "k2"});
+  ASSERT_TRUE(serial_or.ok());
+  auto serial = std::move(serial_or).value();
+  ASSERT_EQ(serial->kind(), IndexedTable::Kind::kPrefix);
+  auto merged = serial->CloneEmpty();
+
+  engine::WorkerPool pool(4);
+  engine::PartialOutputs partials(*merged, 4);
+  Rng rng(53);
+  constexpr int kTuples = 20000;
+  for (int i = 0; i < kTuples; ++i) {
+    uint64_t row[3] = {
+        SlotFromInt64(static_cast<int64_t>(rng.NextBounded(12))),
+        SlotFromInt64(static_cast<int64_t>(rng.NextBounded(9))),
+        SlotFromInt64(i)};
+    serial->Insert(row);
+    partials.worker(static_cast<size_t>(i) % 4)->Insert(row);
+  }
+  PlanMutatorGuard guard(
+      [](std::vector<IndexedTable::MergeKeyRange>* ranges) {
+        if (!ranges->empty()) ranges->pop_back();
+      });
+  EXPECT_EQ(partials.MergeInto(&pool, merged.get()), 0u)
+      << "truncated plan must fall back to the serial merge";
+  EXPECT_EQ(merged->num_tuples(), serial->num_tuples());
+  EXPECT_EQ(merged->num_keys(), serial->num_keys());
+  std::multiset<std::vector<int64_t>> want, got;
+  serial->ScanInOrder([&](const uint64_t* row) {
+    want.insert({Int64FromSlot(row[0]), Int64FromSlot(row[1]),
+                 Int64FromSlot(row[2])});
+  });
+  merged->ScanInOrder([&](const uint64_t* row) {
+    got.insert({Int64FromSlot(row[0]), Int64FromSlot(row[1]),
+                Int64FromSlot(row[2])});
+  });
+  EXPECT_EQ(got, want);
+}
+
+// The coverage validators themselves: gaps, inversions, truncations.
+TEST(MergeRangeValidationTest, DetectsGapsAndTruncations) {
+  using engine::merge_detail::KissRangesCoverSpan;
+  std::vector<IndexedTable::MergeKeyRange> ranges(3);
+  ranges[0].kiss_lo = 10;
+  ranges[0].kiss_hi = 63;
+  ranges[1].kiss_lo = 64;
+  ranges[1].kiss_hi = 127;
+  ranges[2].kiss_lo = 128;
+  ranges[2].kiss_hi = 200;
+  EXPECT_TRUE(KissRangesCoverSpan(ranges, 10, 200));
+  EXPECT_FALSE(KissRangesCoverSpan(ranges, 5, 200));    // span starts below
+  EXPECT_FALSE(KissRangesCoverSpan(ranges, 10, 300));   // span ends above
+  auto gap = ranges;
+  gap.erase(gap.begin() + 1);
+  EXPECT_FALSE(KissRangesCoverSpan(gap, 10, 200));      // hole in the tiling
+  auto inverted = ranges;
+  std::swap(inverted[1].kiss_lo, inverted[1].kiss_hi);
+  EXPECT_FALSE(KissRangesCoverSpan(inverted, 10, 200));
+  EXPECT_FALSE(KissRangesCoverSpan({}, 0, 0));
+}
+
 TEST(PartialOutputsTest, ParallelMergeFallsBackWhenSerialIsRight) {
   engine::WorkerPool pool(4);
-  // Aggregated output: accumulator merge is not partitioned.
+  // Aggregated output with only a handful of groups: the accumulator
+  // merge is per-group work, so it stays serial below the threshold.
   Schema input = AggInputSchema();
   auto agg_or = IndexedTable::CreateAggregated(
       {{"g", ValueType::kInt64, nullptr}}, FullAggSpec(), input);
@@ -386,6 +641,35 @@ TEST(MorselTunerTest, BalancedBatchesLeaveTheSplitAlone) {
   EXPECT_EQ(tuner.per_worker(), engine::MorselTuner::kBasePerWorker);
 }
 
+// Regression for pool-global tuner pollution: two interleaved queries
+// with opposite morsel cost profiles (one skewed — wants finer splits;
+// one uniform-tiny — wants coarser) must tune independently. With one
+// pool-global feedback loop the alternating signals fight each other
+// and neither site converges.
+TEST(MorselTunerTest, InterleavedSitesTuneIndependently) {
+  engine::WorkerPool pool(2);
+  engine::MorselTuner* heavy = pool.TunerFor("join:heavy_query");
+  engine::MorselTuner* tiny = pool.TunerFor("sel:tiny_query");
+  ASSERT_NE(heavy, tiny);
+  // Same site name resolves to the same feedback loop.
+  EXPECT_EQ(heavy, pool.TunerFor("join:heavy_query"));
+  EXPECT_EQ(pool.num_tuner_sites(), 2u);
+
+  for (int round = 0; round < 10; ++round) {
+    // Interleave the two queries' batches, as concurrent admission does.
+    std::vector<double> skewed{1.0, 1.0, 1.0, 1.0, 10.0};
+    heavy->RecordBatch(&skewed);
+    std::vector<double> uniform_tiny(16, 0.001);
+    tiny->RecordBatch(&uniform_tiny);
+  }
+  EXPECT_EQ(heavy->per_worker(), engine::MorselTuner::kMaxPerWorker)
+      << "skewed site failed to refine — polluted by the tiny site?";
+  EXPECT_EQ(tiny->per_worker(), engine::MorselTuner::kMinPerWorker)
+      << "tiny site failed to coarsen — polluted by the skewed site?";
+  // The pool's default tuner saw none of it.
+  EXPECT_EQ(pool.tuner()->per_worker(), engine::MorselTuner::kBasePerWorker);
+}
+
 // The tuner feedback is wired into the drivers: a skewed key
 // distribution (one giant duplicate chain) refines the pool's split.
 TEST(MorselTunerTest, DriverFeedbackRefinesPoolTarget) {
@@ -402,7 +686,7 @@ TEST(MorselTunerTest, DriverFeedbackRefinesPoolTarget) {
   std::atomic<uint64_t> seen{0};
   for (int round = 0; round < 20; ++round) {
     engine::RunKissRangeMorsels(
-        &pool, tree, 0, 0xFFFFFFFFu,
+        &pool, pool.tuner(), tree, 0, 0xFFFFFFFFu,
         [&](size_t, uint32_t lo, uint32_t hi) {
           tree.ScanRange(lo, hi,
                          [&](uint32_t, const KissTree::ValueRef& vals) {

@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "core/query/query_spec.h"
+#include "engine/scheduler.h"
 #include "engine/session.h"
 #include "ssb/queries_qppt.h"
 
@@ -191,10 +193,74 @@ TEST_F(StarJoinParallelTest, PartitionedMergeKicksInAndPreservesResults) {
     auto got = RunQppt(runner, *kiss_data_, "4.1", knobs, &stats);
     ASSERT_TRUE(got.ok()) << got.status();
     ExpectSameResults(*reference, *got, "chained Q4.1 prefix merge");
+    EXPECT_GT(stats.TotalMergeMorsels(), 1u)
+        << "chained Q4.1 merges stayed serial:\n" << stats.ToString();
     auto serial_ref = RunQppt(*kiss_data_, "4.1", PlanKnobs{});
     ASSERT_TRUE(serial_ref.ok());
     ExpectSameResults(*serial_ref, *got, "chained Q4.1 vs default plan");
   }
+}
+
+// Aggregated outputs now merge key-range-partitioned too. At SF 0.01
+// only operators scanning the lineorder fact (60 K tuples) fork, so the
+// probe is a dimension-less aggregation over the fact index — the §3
+// aggregation-on-insert shape with enough groups (one per order date)
+// to partition: the aggregated operator itself must report merge shards
+// at 8 threads, for a KISS final (single group key) and a prefix final
+// (composite group key), with results identical to the serial merge.
+TEST_F(StarJoinParallelTest, AggregatedMergePartitionsOnFactAggregation) {
+  engine::EngineConfig serial_cfg;
+  serial_cfg.threads = 1;
+  engine::EngineRunner serial_runner(serial_cfg);
+  engine::EngineConfig cfg;
+  cfg.threads = 8;
+  cfg.clamp_threads_to_hardware = false;  // tiny CI boxes
+  engine::EngineRunner runner(cfg);
+
+  struct Shape {
+    const char* name;
+    std::vector<std::string> group_by;
+  };
+  const Shape shapes[] = {
+      {"kiss final (lo_orderdate)", {"lo_orderdate"}},
+      {"prefix final (lo_orderdate, lo_discount)",
+       {"lo_orderdate", "lo_discount"}},
+  };
+  for (const auto& shape : shapes) {
+    query::QueryBuilder b(std::string("fact_agg:") + shape.name);
+    b.From("lineorder").FactIndex("lo_discount").FactColumns(
+        {"lo_orderdate", "lo_discount", "lo_extendedprice"});
+    b.GroupBy(shape.group_by)
+        .Aggregate(AggFn::kSum, ScalarExpr::Column("lo_extendedprice"),
+                   "sum_price")
+        .Aggregate(AggFn::kCount, ScalarExpr::Column("lo_extendedprice"),
+                   "cnt")
+        .Aggregate(AggFn::kMin, ScalarExpr::Column("lo_extendedprice"),
+                   "min_price")
+        .Aggregate(AggFn::kMax, ScalarExpr::Column("lo_extendedprice"),
+                   "max_price");
+    query::QuerySpec spec = std::move(b).Build();
+
+    auto reference =
+        serial_runner.Execute(kiss_data_->db, spec, PlanKnobs{});
+    ASSERT_TRUE(reference.ok()) << shape.name << ": " << reference.status();
+    PlanStats stats;
+    auto got = runner.Execute(kiss_data_->db, spec, PlanKnobs{}, &stats);
+    ASSERT_TRUE(got.ok()) << shape.name << ": " << got.status();
+    ExpectSameResults(*reference, *got, shape.name);
+
+    uint64_t agg_merge_morsels = 0;
+    for (const auto& op : stats.operators) {
+      if (op.output_desc.find("aggregated") != std::string::npos) {
+        agg_merge_morsels += op.merge_morsels;
+      }
+    }
+    EXPECT_GT(agg_merge_morsels, 1u)
+        << shape.name << " aggregated-output merge stayed serial:\n"
+        << stats.ToString();
+  }
+  // Each executed operator site carries its own adaptive morsel tuner.
+  EXPECT_GE(runner.pool()->num_tuner_sites(), 1u);
 }
 
 }  // namespace
