@@ -38,6 +38,38 @@ Result<std::unique_ptr<BaseIndex>> BaseIndex::BuildFromSnapshot(
   return index;
 }
 
+Result<std::unique_ptr<BaseIndex>> BaseIndex::BuildLive(
+    const MvccTable* table, std::vector<std::string> key_columns,
+    Options options) {
+  // Index every version row present, visible or not: scans filter through
+  // RidVisibleAt, and rows from aborted transactions simply never become
+  // visible. This keeps the build independent of in-flight transactions.
+  std::vector<Rid> rids(table->num_versions());
+  for (Rid r = 0; r < rids.size(); ++r) rids[r] = r;
+  auto index = std::unique_ptr<BaseIndex>(new BaseIndex());
+  QPPT_RETURN_NOT_OK(index->Init(&table->storage(), &rids,
+                                 std::move(key_columns),
+                                 /*included_columns=*/{}, options));
+  index->mvcc_ = table;
+  return index;
+}
+
+void BaseIndex::InsertLive(Rid rid) {
+  assert(mvcc_ != nullptr && !clustered());
+  if (kind_ == Kind::kKiss) {
+    kiss_->Insert(KissKeyOf(table_->GetSlot(rid, key_cols_[0])), rid);
+  } else {
+    KeyBuf key;
+    uint64_t slots[KeyBuf::kCapacity / 8];
+    for (size_t i = 0; i < key_cols_.size(); ++i) {
+      slots[i] = table_->GetSlot(rid, key_cols_[i]);
+    }
+    EncodeKey(slots, &key);
+    prefix_->Insert(key.data(), rid);
+  }
+  num_rows_.fetch_add(1, std::memory_order_relaxed);
+}
+
 Status BaseIndex::Init(const RowTable* table, const std::vector<Rid>* rids,
                        std::vector<std::string> key_columns,
                        std::vector<std::string> included_columns,
@@ -74,6 +106,7 @@ Status BaseIndex::Init(const RowTable* table, const std::vector<Rid>* rids,
   }
   heap_width_ = clustered() ? 1 + included_cols_.size() : 0;
 
+  size_t indexed = 0;
   auto index_row = [&](Rid rid) {
     uint64_t value;
     if (clustered()) {
@@ -96,7 +129,7 @@ Status BaseIndex::Init(const RowTable* table, const std::vector<Rid>* rids,
       EncodeKey(slots, &key);
       prefix_->Insert(key.data(), value);
     }
-    ++num_rows_;
+    ++indexed;
   };
 
   if (rids != nullptr) {
@@ -104,6 +137,7 @@ Status BaseIndex::Init(const RowTable* table, const std::vector<Rid>* rids,
   } else {
     for (Rid rid = 0; rid < table->num_rows(); ++rid) index_row(rid);
   }
+  num_rows_.store(indexed, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -160,10 +194,65 @@ Status Database::AddTable(std::unique_ptr<RowTable> table) {
 
 Result<const RowTable*> Database::table(const std::string& name) const {
   auto it = tables_.find(name);
-  if (it == tables_.end()) {
-    return Status::NotFound("no table named '" + name + "'");
+  if (it != tables_.end()) return it->second.get();
+  auto vit = versioned_.find(name);
+  if (vit != versioned_.end()) return &vit->second->storage();
+  return Status::NotFound("no table named '" + name + "'");
+}
+
+Status Database::AddVersionedTable(std::unique_ptr<MvccTable> table) {
+  if (table->name().empty()) {
+    return Status::InvalidArgument("table must be named");
+  }
+  if (tables_.count(table->name()) > 0) {
+    return Status::AlreadyExists("table '" + table->name() +
+                                 "' already exists");
+  }
+  auto [it, inserted] = versioned_.emplace(table->name(), std::move(table));
+  if (!inserted) {
+    return Status::AlreadyExists("table '" + it->first + "' already exists");
+  }
+  return Status::OK();
+}
+
+Result<MvccTable*> Database::versioned_table(const std::string& name) {
+  auto it = versioned_.find(name);
+  if (it == versioned_.end()) {
+    return Status::NotFound("no versioned table named '" + name + "'");
   }
   return it->second.get();
+}
+
+Result<const MvccTable*> Database::versioned_table(
+    const std::string& name) const {
+  auto it = versioned_.find(name);
+  if (it == versioned_.end()) {
+    return Status::NotFound("no versioned table named '" + name + "'");
+  }
+  return it->second.get();
+}
+
+Status Database::BuildLiveIndex(const std::string& index_name,
+                                const std::string& table_name,
+                                std::vector<std::string> key_columns,
+                                BaseIndex::Options options) {
+  if (indexes_.count(index_name) > 0) {
+    return Status::AlreadyExists("index '" + index_name + "' already exists");
+  }
+  QPPT_ASSIGN_OR_RETURN(const MvccTable* tbl, versioned_table(table_name));
+  QPPT_ASSIGN_OR_RETURN(
+      auto index, BaseIndex::BuildLive(tbl, std::move(key_columns), options));
+  BaseIndex* raw = index.get();
+  indexes_.emplace(index_name, std::move(index));
+  live_by_table_[table_name].push_back(raw);
+  return Status::OK();
+}
+
+const std::vector<BaseIndex*>& Database::live_indexes(
+    const std::string& table_name) const {
+  static const std::vector<BaseIndex*> kNone;
+  auto it = live_by_table_.find(table_name);
+  return it == live_by_table_.end() ? kNone : it->second;
 }
 
 Status Database::BuildIndex(const std::string& index_name,
@@ -193,6 +282,9 @@ Result<const BaseIndex*> Database::index(const std::string& name) const {
 size_t Database::MemoryUsage() const {
   size_t total = 0;
   for (const auto& [name, table] : tables_) total += table->MemoryUsage();
+  for (const auto& [name, table] : versioned_) {
+    total += table->storage().MemoryUsage();
+  }
   for (const auto& [name, index] : indexes_) total += index->MemoryUsage();
   return total;
 }
@@ -200,6 +292,13 @@ size_t Database::MemoryUsage() const {
 std::vector<std::string> Database::table_names() const {
   std::vector<std::string> names;
   for (const auto& [name, table] : tables_) names.push_back(name);
+  for (const auto& [name, table] : versioned_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> Database::versioned_table_names() const {
+  std::vector<std::string> names;
+  for (const auto& [name, table] : versioned_) names.push_back(name);
   return names;
 }
 

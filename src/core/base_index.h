@@ -16,9 +16,11 @@
 #ifndef QPPT_CORE_BASE_INDEX_H_
 #define QPPT_CORE_BASE_INDEX_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -66,12 +68,39 @@ class BaseIndex {
                              std::move(included_columns), Options{});
   }
 
+  // Builds a *live* index over an MVCC table: every version row currently
+  // in the table is indexed (including superseded and not-yet-committed
+  // ones — visibility is enforced per scan via MvccTable::RidVisibleAt),
+  // and InsertLive feeds version rows created by later transactions into
+  // the trees while snapshot readers scan concurrently. Live indexes are
+  // secondary-only: the partially clustered payload heap reallocates on
+  // growth, which would race readers, so included columns are rejected.
+  static Result<std::unique_ptr<BaseIndex>> BuildLive(
+      const MvccTable* table, std::vector<std::string> key_columns,
+      Options options);
+  static Result<std::unique_ptr<BaseIndex>> BuildLive(
+      const MvccTable* table, std::vector<std::string> key_columns) {
+    return BuildLive(table, std::move(key_columns), Options{});
+  }
+
+  // Appends one version row to a live index. Writer-side: the caller
+  // serializes all InsertLive calls (Database::write_mutex); concurrent
+  // snapshot readers are safe because the trees publish new keys and
+  // values with release stores (§7: no rebalancing, so a published node
+  // is never restructured under a reader).
+  void InsertLive(Rid rid);
+
+  // Non-null iff built with BuildLive.
+  const MvccTable* mvcc() const { return mvcc_; }
+
   Kind kind() const { return kind_; }
   bool clustered() const { return !included_cols_.empty(); }
   const RowTable& table() const { return *table_; }
   const KissTree* kiss() const { return kiss_.get(); }
   const PrefixTree* prefix() const { return prefix_.get(); }
-  size_t num_rows() const { return num_rows_; }
+  size_t num_rows() const {
+    return num_rows_.load(std::memory_order_relaxed);
+  }
   size_t num_keys() const {
     return kind_ == Kind::kKiss ? kiss_->num_keys() : prefix_->num_keys();
   }
@@ -210,16 +239,18 @@ class BaseIndex {
     }
   }
 
+  // Maps an index value back to its record identifier. For secondary
+  // (and all live) indexes the value *is* the rid.
+  Rid RidOf(uint64_t value) const {
+    return clustered() ? heap_[value * heap_width_] : value;
+  }
+
  private:
   BaseIndex() = default;
 
   Status Init(const RowTable* table, const std::vector<Rid>* rids,
               std::vector<std::string> key_columns,
               std::vector<std::string> included_columns, Options options);
-
-  Rid RidOf(uint64_t value) const {
-    return clustered() ? heap_[value * heap_width_] : value;
-  }
 
   Kind kind_ = Kind::kPrefix;
   const RowTable* table_ = nullptr;
@@ -233,21 +264,32 @@ class BaseIndex {
   // Partial records: heap_width_ slots per entry = [rid, included...].
   std::vector<uint64_t> heap_;
   size_t heap_width_ = 0;
-  size_t num_rows_ = 0;
+  // Relaxed atomic: live indexes grow under the database write lock
+  // while planners read the count for costing; an approximate value is
+  // fine there, and scans never consult it.
+  std::atomic<size_t> num_rows_{0};
+  // Set for live indexes; scans filter values through RidVisibleAt.
+  const MvccTable* mvcc_ = nullptr;
 };
 
 // A named collection of tables and base indexes — the "data pool" the QPPT
-// execution plans of Fig. 5 start from.
+// execution plans of Fig. 5 start from. Versioned (MVCC) tables register
+// alongside plain row tables; their live indexes feed committed writes to
+// in-flight queries through the engine write path.
 class Database {
  public:
   Database() = default;
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
-  Database(Database&&) = default;
-  Database& operator=(Database&&) = default;
 
   Status AddTable(std::unique_ptr<RowTable> table);
   Result<const RowTable*> table(const std::string& name) const;
+
+  // Registers a versioned table. Its row storage also resolves through
+  // table(name), so read-only plan construction works unchanged.
+  Status AddVersionedTable(std::unique_ptr<MvccTable> table);
+  Result<MvccTable*> versioned_table(const std::string& name);
+  Result<const MvccTable*> versioned_table(const std::string& name) const;
 
   // Builds and registers an index named `index_name` over `table_name`.
   Status BuildIndex(const std::string& index_name,
@@ -256,15 +298,41 @@ class Database {
                     std::vector<std::string> included_columns = {},
                     BaseIndex::Options options = BaseIndex::Options{});
 
+  // Builds and registers a *live* secondary index over a versioned
+  // table; committed writes reach it via WriteSession. It resolves
+  // through index(name) like any other base index.
+  Status BuildLiveIndex(const std::string& index_name,
+                        const std::string& table_name,
+                        std::vector<std::string> key_columns,
+                        BaseIndex::Options options = BaseIndex::Options{});
+
   Result<const BaseIndex*> index(const std::string& name) const;
+
+  // Live indexes registered over `table_name` (empty vector if none).
+  const std::vector<BaseIndex*>& live_indexes(
+      const std::string& table_name) const;
+
+  // Commit timestamps for all versioned tables come from this manager.
+  TransactionManager& txn_manager() { return tm_; }
+  const TransactionManager& txn_manager() const { return tm_; }
+
+  // Coarse writer lock: every write transaction applies + commits under
+  // this mutex (§7: no rebalancing means lock-free snapshot readers need
+  // no finer-grained writer coordination).
+  std::mutex& write_mutex() const { return write_mu_; }
 
   size_t MemoryUsage() const;
   std::vector<std::string> table_names() const;
+  std::vector<std::string> versioned_table_names() const;
   std::vector<std::string> index_names() const;
 
  private:
   std::map<std::string, std::unique_ptr<RowTable>> tables_;
+  std::map<std::string, std::unique_ptr<MvccTable>> versioned_;
   std::map<std::string, std::unique_ptr<BaseIndex>> indexes_;
+  std::map<std::string, std::vector<BaseIndex*>> live_by_table_;
+  TransactionManager tm_;
+  mutable std::mutex write_mu_;
 };
 
 }  // namespace qppt

@@ -12,6 +12,10 @@ Result<BoundSide> BoundSide::Bind(const ExecContext& ctx, const SideRef& ref,
   BoundSide side;
   if (ref.kind == SideRef::Kind::kBaseIndex) {
     QPPT_ASSIGN_OR_RETURN(side.base_, ctx.db().index(ref.name));
+    if (side.base_->mvcc() != nullptr) {
+      side.mvcc_ = side.base_->mvcc();
+      side.read_ts_ = ctx.read_ts();
+    }
     const Schema& schema = side.base_->table().schema();
     for (const auto& col : columns) {
       QPPT_ASSIGN_OR_RETURN(auto acc, side.base_->BindColumn(col));
@@ -116,6 +120,7 @@ void CandidatePipeline::Process() {
     next_stage_.clear();
     const KissTree* kiss = assist.side.kiss();
     auto expand = [&](const uint64_t* row, uint64_t assist_value) {
+      if (!assist.side.Visible(assist_value)) return;
       size_t at = next_stage_.size();
       next_stage_.insert(next_stage_.end(), row, row + width_);
       assist.side.Fill(assist_value,

@@ -71,9 +71,21 @@ class BoundSide {
     return is_base() ? base_->num_rows() : inter_->num_tuples();
   }
 
+  // True if the row behind index value `value` is visible at the query
+  // snapshot. Always true for non-versioned inputs (plain base indexes
+  // and intermediates) — one well-predicted branch on the hot path. Live
+  // indexes retain superseded and uncommitted version rows; this is the
+  // single filter that turns their scans into snapshot reads.
+  bool Visible(uint64_t value) const {
+    return mvcc_ == nullptr ||
+           mvcc_->RidVisibleAt(base_->RidOf(value), read_ts_);
+  }
+
  private:
   const BaseIndex* base_ = nullptr;
   const IndexedTable* inter_ = nullptr;
+  const MvccTable* mvcc_ = nullptr;  // non-null iff bound to a live index
+  Timestamp read_ts_ = 0;
   std::vector<BaseIndex::Accessor> base_accessors_;
   std::vector<size_t> inter_positions_;
   std::vector<ColumnDef> defs_;

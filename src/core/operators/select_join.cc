@@ -83,6 +83,7 @@ Status SelectJoinOp::Execute(ExecContext* ctx) {
     stats.morsels = engine::RunKissValueMorsels(
         pool, pool->TunerFor(display_name()), *kiss, lo, hi,
         [&](size_t w, uint64_t value) {
+          if (!left.Visible(value)) return;  // MVCC snapshot filter
           for (const auto& r : residuals) {
             if (!r.Eval(value)) return;
           }
@@ -110,6 +111,7 @@ Status SelectJoinOp::Execute(ExecContext* ctx) {
     // Selection scan: qualifying tuples stream straight into the probe
     // pipeline — no intermediate index is ever materialized (§4.3).
     auto emit = [&](uint64_t value) {
+      if (!left.Visible(value)) return;  // MVCC snapshot filter
       for (const auto& r : residuals) {
         if (!r.Eval(value)) return;
       }

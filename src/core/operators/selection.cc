@@ -41,6 +41,7 @@ Status SelectionOp::Execute(ExecContext* ctx) {
   // scratch (per-worker in the parallel path).
   auto process = [&](uint64_t value, uint64_t* row, uint64_t* key_slots,
                      IndexedTable* out) {
+    if (!side.Visible(value)) return;  // MVCC snapshot filter (live index)
     for (const auto& r : residuals) {
       if (!r.Eval(value)) return;
     }

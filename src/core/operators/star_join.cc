@@ -56,6 +56,8 @@ Status StarJoinOp::Execute(ExecContext* ctx) {
   // Cross-product emission shared by all scan branches (nested-loop over
   // the duplicate lists of one matched key, §4.2).
   auto emit_pair = [&](CandidatePipeline* pipeline, uint64_t l, uint64_t r) {
+    // MVCC snapshot filter: no-op branches for non-versioned sides.
+    if (!left.Visible(l) || !right.Visible(r)) return;
     uint64_t* row = pipeline->AddRow();
     left.Fill(l, row);
     right.Fill(r, row + left_width);

@@ -41,6 +41,11 @@ struct PlanKnobs {
   // >1 requires a WorkerPool attached to the ExecContext (the
   // EngineRunner does both).
   size_t threads = 1;
+  // MVCC snapshot to read versioned tables at. The default sentinel
+  // (kTsInfinity) means "pin the latest committed timestamp when the
+  // ExecContext is constructed" — the engine session pins earlier, at
+  // query admission, so every operator of one flight sees one snapshot.
+  Timestamp read_ts = kTsInfinity;
   // Index construction parameters for intermediate tables.
   IndexedTable::Options table_options;
 };
@@ -48,12 +53,22 @@ struct PlanKnobs {
 class ExecContext {
  public:
   ExecContext(const Database* db, PlanKnobs knobs = PlanKnobs{})
-      : db_(db), knobs_(knobs) {
+      : db_(db),
+        knobs_(knobs),
+        read_ts_(knobs.read_ts == kTsInfinity
+                     ? db->txn_manager().last_commit_ts()
+                     : knobs.read_ts) {
     stats_.threads = knobs_.threads;
+    stats_.read_ts = read_ts_;
   }
 
   const Database& db() const { return *db_; }
   const PlanKnobs& knobs() const { return knobs_; }
+
+  // The MVCC snapshot all operators of this plan read versioned tables
+  // at. Resolved once at construction, so a query is snapshot-consistent
+  // even while writers commit concurrently.
+  Timestamp read_ts() const { return read_ts_; }
   PlanStats* stats() { return &stats_; }
   const PlanStats& stats() const { return stats_; }
 
@@ -71,6 +86,7 @@ class ExecContext {
  private:
   const Database* db_;
   PlanKnobs knobs_;
+  Timestamp read_ts_ = 0;
   engine::WorkerPool* pool_ = nullptr;
   std::map<std::string, std::unique_ptr<IndexedTable>> slots_;
   PlanStats stats_;

@@ -55,12 +55,15 @@ struct PlanStats {
                          // extraction and final ORDER BY (set by the
                          // query driver / engine runner)
   size_t threads = 1;    // morsel workers the query was admitted with
+  uint64_t read_ts = 0;  // MVCC snapshot the query ran at (0 = no
+                         // versioned tables in scope)
 
   void Clear() {
     operators.clear();
     total_ms = 0;
     wall_ms = 0;
     threads = 1;
+    read_ts = 0;
   }
 
   // Total engine morsels across all operators (0 = fully serial plan).

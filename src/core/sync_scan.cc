@@ -18,7 +18,7 @@ const PrefixTree::ContentNode* FindInSubtree(const PrefixTree& tree,
     size_t rest = key_bits - bit_off;
     size_t width = rest < kprime ? rest : kprime;
     uint32_t frag = ExtractFragment(key, key_len, bit_off, width);
-    PrefixTree::Slot slot = node->slots[frag];
+    PrefixTree::Slot slot = PrefixTree::LoadSlot(&node->slots[frag]);
     if (slot == 0) return nullptr;
     if (PrefixTree::IsContent(slot)) {
       const auto* c = PrefixTree::AsContent(slot);

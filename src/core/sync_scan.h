@@ -131,9 +131,9 @@ void SyncScanRec(const PrefixTree& left, const PrefixTree& right,
   size_t width = std::min(left.config().kprime, key_bits - bit_off);
   size_t fanout = size_t{1} << width;
   for (size_t i = 0; i < fanout; ++i) {
-    PrefixTree::Slot ls = lnode->slots[i];
+    PrefixTree::Slot ls = PrefixTree::LoadSlot(&lnode->slots[i]);
     if (ls == 0) continue;
-    PrefixTree::Slot rs = rnode->slots[i];
+    PrefixTree::Slot rs = PrefixTree::LoadSlot(&rnode->slots[i]);
     if (rs == 0) continue;  // skipped descent: bucket unused on one side
     SyncScanSlotPair(left, right, ls, rs, bit_off, width, fn);
   }
@@ -192,13 +192,14 @@ inline PairScanLevel FindPairScanLevel(const PrefixTree& left,
     level.slots.clear();
     size_t fanout = size_t{1} << width;
     for (size_t i = 0; i < fanout; ++i) {
-      if (lnode->slots[i] != 0 && rnode->slots[i] != 0) {
+      if (PrefixTree::LoadSlot(&lnode->slots[i]) != 0 &&
+          PrefixTree::LoadSlot(&rnode->slots[i]) != 0) {
         level.slots.push_back(i);
       }
     }
     if (level.slots.size() != 1) return level;  // branched (or empty): stop
-    PrefixTree::Slot ls = lnode->slots[level.slots[0]];
-    PrefixTree::Slot rs = rnode->slots[level.slots[0]];
+    PrefixTree::Slot ls = PrefixTree::LoadSlot(&lnode->slots[level.slots[0]]);
+    PrefixTree::Slot rs = PrefixTree::LoadSlot(&rnode->slots[level.slots[0]]);
     if (PrefixTree::IsContent(ls) || PrefixTree::IsContent(rs) ||
         bit_off + width >= key_bits) {
       return level;  // single pair resolves directly — nothing to split
@@ -221,9 +222,10 @@ void SynchronousScanPairSlots(const PrefixTree& left, const PrefixTree& right,
   if (end > level.slots.size()) end = level.slots.size();
   for (size_t s = begin; s < end; ++s) {
     size_t i = level.slots[s];
-    internal::SyncScanSlotPair(left, right, level.lnode->slots[i],
-                               level.rnode->slots[i], level.bit_off,
-                               level.width, fn);
+    internal::SyncScanSlotPair(
+        left, right, PrefixTree::LoadSlot(&level.lnode->slots[i]),
+        PrefixTree::LoadSlot(&level.rnode->slots[i]), level.bit_off,
+        level.width, fn);
   }
 }
 

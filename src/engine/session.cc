@@ -16,6 +16,7 @@
 #include "core/query/planner.h"
 #include "core/sync_scan.h"
 #include "engine/scheduler.h"
+#include "engine/write_session.h"
 #include "index/key_encoder.h"
 
 namespace qppt::engine {
@@ -296,6 +297,30 @@ struct EngineRunner::AdmitSlot {
   bool held_ = false;
 };
 
+// Pins one query's MVCC snapshot for its whole flight: resolves the
+// read timestamp (explicit knob, or latest-committed at admission) and
+// registers it so ReclaimVersions never unlinks versions the query may
+// still visit. Unregisters on any exit path.
+struct EngineRunner::ReadPin {
+  ReadPin(EngineRunner* runner, const Database& db, PlanKnobs* knobs)
+      : runner_(runner) {
+    ts_ = knobs->read_ts != kTsInfinity ? knobs->read_ts
+                                        : db.txn_manager().last_commit_ts();
+    knobs->read_ts = ts_;
+    std::lock_guard<std::mutex> lock(runner_->pins_mu_);
+    runner_->pinned_read_ts_.insert(ts_);
+  }
+  ~ReadPin() {
+    std::lock_guard<std::mutex> lock(runner_->pins_mu_);
+    runner_->pinned_read_ts_.erase(runner_->pinned_read_ts_.find(ts_));
+  }
+  ReadPin(const ReadPin&) = delete;
+  ReadPin& operator=(const ReadPin&) = delete;
+
+  EngineRunner* runner_;
+  Timestamp ts_;
+};
+
 Result<QueryResult> EngineRunner::Execute(const Database& db,
                                           const Plan& plan, PlanKnobs knobs,
                                           PlanStats* stats) {
@@ -303,6 +328,7 @@ Result<QueryResult> EngineRunner::Execute(const Database& db,
   AdmitSlot slot(this);
   queries_admitted_.fetch_add(1, std::memory_order_relaxed);
   knobs.threads = config_.threads;
+  ReadPin pin(this, db, &knobs);
   ExecContext ctx(&db, knobs);
   if (pool_ != nullptr && config_.threads > 1) {
     ctx.set_worker_pool(pool_.get());
@@ -346,6 +372,28 @@ QuerySession EngineRunner::OpenSession() {
   return QuerySession(
       this, static_cast<size_t>(
                 next_session_id_.fetch_add(1, std::memory_order_relaxed)));
+}
+
+// ---- the write path ----------------------------------------------------------
+
+WriteSession EngineRunner::OpenWriteSession(Database* db) {
+  return WriteSession(this, db);
+}
+
+Timestamp EngineRunner::OldestActiveReadTs(const Database& db) const {
+  std::lock_guard<std::mutex> lock(pins_mu_);
+  if (pinned_read_ts_.empty()) return db.txn_manager().last_commit_ts();
+  return *pinned_read_ts_.begin();
+}
+
+size_t EngineRunner::ReclaimVersions(Database* db) {
+  Timestamp horizon = OldestActiveReadTs(*db);
+  std::lock_guard<std::mutex> lock(db->write_mutex());
+  size_t unlinked = 0;
+  for (const auto& name : db->versioned_table_names()) {
+    unlinked += (*db->versioned_table(name))->ReclaimBefore(horizon);
+  }
+  return unlinked;
 }
 
 Result<QueryResult> QuerySession::Execute(const Database& db,

@@ -27,6 +27,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <thread>
 #include <vector>
 
@@ -61,6 +62,7 @@ struct EngineConfig {
 };
 
 class QuerySession;
+class WriteSession;
 
 class EngineRunner {
  public:
@@ -102,6 +104,34 @@ class EngineRunner {
 
   QuerySession OpenSession();
 
+  // ---- the write path (HTAP) ------------------------------------------------
+  //
+  // Opens one read-write transaction against `db`'s versioned tables.
+  // Concurrent with any number of queries: queries pin their snapshot at
+  // admission and never see a half-committed transaction. See
+  // engine/write_session.h for the full model.
+  WriteSession OpenWriteSession(Database* db);
+
+  // The oldest read timestamp any in-flight query is pinned to (the
+  // reclamation horizon). With no query in flight this is the latest
+  // committed timestamp — everything superseded is reclaimable.
+  Timestamp OldestActiveReadTs(const Database& db) const;
+
+  // Epoch-deferred reclamation sweep: unlinks version-chain tails no
+  // active or future snapshot can reach, across all versioned tables.
+  // Returns the number of versions unlinked. Safe to call any time (takes
+  // the database write lock; readers are never blocked).
+  size_t ReclaimVersions(Database* db);
+
+  struct WriteStats {
+    uint64_t committed = 0;
+    uint64_t aborted = 0;
+  };
+  WriteStats write_stats() const {
+    return {txns_committed_.load(std::memory_order_relaxed),
+            txns_aborted_.load(std::memory_order_relaxed)};
+  }
+
   // All tuple ids stored under `key` in `table`, in unspecified duplicate
   // order. Concurrent callers against the same table are answered by one
   // shared scan per batch. Supported tables: plain (non-aggregated) with
@@ -140,9 +170,16 @@ class EngineRunner {
 
  private:
   friend class QuerySession;
+  friend class WriteSession;
   struct AdmitSlot;  // RAII admission-semaphore guard (session.cc)
+  struct ReadPin;    // RAII pinned-snapshot registry entry (session.cc)
 
   std::shared_ptr<Batcher> BatcherFor(const IndexedTable& table);
+
+  void NoteCommit() {
+    txns_committed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void NoteAbort() { txns_aborted_.fetch_add(1, std::memory_order_relaxed); }
 
   EngineConfig config_;
   std::unique_ptr<WorkerPool> pool_;
@@ -158,6 +195,12 @@ class EngineRunner {
   std::condition_variable admit_cv_;
   size_t queries_running_ = 0;
   std::atomic<uint64_t> queries_waiting_{0};
+  // Pinned query snapshots (multiset: many queries may pin the same ts);
+  // the minimum is the version-reclamation horizon.
+  mutable std::mutex pins_mu_;
+  std::multiset<Timestamp> pinned_read_ts_;
+  std::atomic<uint64_t> txns_committed_{0};
+  std::atomic<uint64_t> txns_aborted_{0};
 };
 
 // A client handle onto the runner: same operations, plus per-session

@@ -1,0 +1,106 @@
+#include "engine/write_session.h"
+
+#include <algorithm>
+#include <mutex>
+#include <utility>
+
+#include "engine/session.h"
+
+namespace qppt::engine {
+
+WriteSession::WriteSession(EngineRunner* runner, Database* db)
+    : runner_(runner), db_(db), txn_(db->txn_manager().Begin()),
+      active_(true) {}
+
+WriteSession::WriteSession(WriteSession&& other) noexcept
+    : runner_(other.runner_),
+      db_(other.db_),
+      txn_(other.txn_),
+      touched_(std::move(other.touched_)),
+      active_(other.active_) {
+  other.active_ = false;
+}
+
+WriteSession::~WriteSession() {
+  if (active_) {
+    Status ignored = Abort();
+    (void)ignored;
+  }
+}
+
+Result<MvccTable*> WriteSession::Table(const std::string& name) {
+  QPPT_ASSIGN_OR_RETURN(MvccTable * table, db_->versioned_table(name));
+  if (std::find(touched_.begin(), touched_.end(), table) == touched_.end()) {
+    touched_.push_back(table);
+  }
+  return table;
+}
+
+Result<MvccTable::LogicalId> WriteSession::Insert(
+    const std::string& table, std::span<const uint64_t> row) {
+  if (!active_) return Status::InvalidArgument("write session is finished");
+  QPPT_ASSIGN_OR_RETURN(MvccTable * t, Table(table));
+  std::lock_guard<std::mutex> lock(db_->write_mutex());
+  return t->Insert(txn_, row);
+}
+
+Status WriteSession::Update(const std::string& table, MvccTable::LogicalId id,
+                            std::span<const uint64_t> row) {
+  if (!active_) return Status::InvalidArgument("write session is finished");
+  QPPT_ASSIGN_OR_RETURN(MvccTable * t, Table(table));
+  std::lock_guard<std::mutex> lock(db_->write_mutex());
+  return t->Update(txn_, id, row);
+}
+
+Status WriteSession::Delete(const std::string& table,
+                            MvccTable::LogicalId id) {
+  if (!active_) return Status::InvalidArgument("write session is finished");
+  QPPT_ASSIGN_OR_RETURN(MvccTable * t, Table(table));
+  std::lock_guard<std::mutex> lock(db_->write_mutex());
+  return t->Delete(txn_, id);
+}
+
+Result<std::optional<Rid>> WriteSession::Read(
+    const std::string& table, MvccTable::LogicalId id) const {
+  QPPT_ASSIGN_OR_RETURN(const MvccTable* t, std::as_const(*db_).versioned_table(table));
+  return t->Read(txn_, id);
+}
+
+Result<Timestamp> WriteSession::Commit() {
+  if (!active_) return Status::InvalidArgument("write session is finished");
+  active_ = false;
+  TransactionManager& tm = db_->txn_manager();
+  std::lock_guard<std::mutex> lock(db_->write_mutex());
+  // 1. Feed the transaction's new physical rows to the live indexes.
+  // They are not yet visible (begin_ts == infinity), so concurrent
+  // snapshot scans filter them out via RidVisibleAt.
+  for (MvccTable* table : touched_) {
+    const auto& live = db_->live_indexes(table->name());
+    if (live.empty()) continue;
+    table->ForEachPendingWrite(txn_, [&](Rid rid) {
+      for (BaseIndex* index : live) index->InsertLive(rid);
+    });
+  }
+  // 2–4. Allocate, stamp, publish — in that order. Publication happens
+  // in timestamp order (FinishCommit), so a snapshot that includes this
+  // timestamp is guaranteed to find the versions fully stamped AND the
+  // live indexes already populated (the inserts above happened-before
+  // the release store FinishCommit makes).
+  Timestamp ts = tm.BeginCommit();
+  for (MvccTable* table : touched_) table->CommitTransaction(txn_, ts);
+  tm.FinishCommit(txn_, ts);
+  if (runner_ != nullptr) runner_->NoteCommit();
+  return ts;
+}
+
+Status WriteSession::Abort() {
+  if (!active_) return Status::InvalidArgument("write session is finished");
+  active_ = false;
+  std::lock_guard<std::mutex> lock(db_->write_mutex());
+  for (MvccTable* table : touched_) table->AbortTransaction(txn_);
+  db_->txn_manager().Abort(txn_);
+  if (runner_ != nullptr) runner_->NoteAbort();
+  return Status::OK();
+}
+
+}  // namespace qppt::engine

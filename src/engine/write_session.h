@@ -1,0 +1,107 @@
+// The engine write path: transactional writes against a Database's
+// versioned (MVCC) tables, wired into the live base indexes.
+//
+// A WriteSession is one read-write transaction. Writes go to the MVCC
+// version chains immediately (visible only to this session); Commit
+// publishes them to every live index of the touched tables and stamps the
+// commit timestamp, at which point in-flight OLAP queries admitted later
+// — and only those — see the new data. Queries pin their read timestamp
+// at admission (EngineRunner::Execute), so a query that races a commit is
+// still snapshot-consistent: the single RidVisibleAt filter at the
+// operator chokepoints hides rows committed after its snapshot.
+//
+// Concurrency model (§7: no rebalancing, deterministic key positions):
+//   - a coarse per-database writer lock (Database::write_mutex) serializes
+//     all mutations — version-chain writes, live-index inserts, commit
+//     stamping. Multiple WriteSessions may be open at once; their
+//     operations interleave at lock granularity and conflicts resolve
+//     first-updater-wins inside MvccTable.
+//   - readers take NO lock, ever. Trees publish new nodes/values with
+//     release stores; MVCC begin/end stamps publish with release stores;
+//     a reader either sees a row's version as committed for its snapshot
+//     or filters it out.
+//
+// Commit order matters and is fixed here:
+//   1. insert the transaction's new physical rows into the live indexes
+//      (rows are still invisible: begin_ts == infinity),
+//   2. allocate the commit timestamp (TransactionManager::BeginCommit),
+//   3. stamp the version chains (MvccTable::CommitTransaction),
+//   4. publish (TransactionManager::FinishCommit) — only now can a new
+//      query's snapshot include the timestamp, and by then every index
+//      already holds the rows.
+
+#ifndef QPPT_ENGINE_WRITE_SESSION_H_
+#define QPPT_ENGINE_WRITE_SESSION_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/base_index.h"
+#include "storage/mvcc.h"
+#include "util/status.h"
+
+namespace qppt::engine {
+
+class EngineRunner;
+
+// Not thread-safe: one client thread drives one WriteSession. Open many
+// sessions for concurrent writers. Destroying an active session aborts it.
+class WriteSession {
+ public:
+  WriteSession(WriteSession&& other) noexcept;
+  WriteSession& operator=(WriteSession&&) = delete;
+  ~WriteSession();
+
+  uint64_t id() const { return txn_.id; }
+  Timestamp read_ts() const { return txn_.read_ts; }
+  // True until Commit or Abort.
+  bool active() const { return active_; }
+
+  // Inserts a new logical row; visible to this session immediately and to
+  // others after Commit. Returns the logical row id.
+  Result<MvccTable::LogicalId> Insert(const std::string& table,
+                                      std::span<const uint64_t> row);
+
+  // Installs a new version of logical row `id`. AlreadyExists = lost a
+  // write-write conflict (first-updater-wins); NotFound = row deleted in
+  // this snapshot or never committed.
+  Status Update(const std::string& table, MvccTable::LogicalId id,
+                std::span<const uint64_t> row);
+
+  // Marks `id` deleted. Same failure contract as Update.
+  Status Delete(const std::string& table, MvccTable::LogicalId id);
+
+  // Physical rid of the version visible to this session (reads through
+  // its own uncommitted writes), or nullopt if invisible/deleted.
+  Result<std::optional<Rid>> Read(const std::string& table,
+                                  MvccTable::LogicalId id) const;
+
+  // Publishes this transaction: live-index inserts, stamp, publish (see
+  // file comment for the order). Returns the commit timestamp.
+  Result<Timestamp> Commit();
+
+  // Reverts every pending write. Rows already fed to live indexes by an
+  // earlier Commit are unaffected (Abort before Commit never reaches
+  // them).
+  Status Abort();
+
+ private:
+  friend class EngineRunner;
+  WriteSession(EngineRunner* runner, Database* db);
+
+  Result<MvccTable*> Table(const std::string& name);
+
+  EngineRunner* runner_ = nullptr;
+  Database* db_ = nullptr;
+  Transaction txn_;
+  // Versioned tables with pending writes, in first-touch order.
+  std::vector<MvccTable*> touched_;
+  bool active_ = false;
+};
+
+}  // namespace qppt::engine
+
+#endif  // QPPT_ENGINE_WRITE_SESSION_H_

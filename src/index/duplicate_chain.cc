@@ -5,13 +5,16 @@
 namespace qppt {
 
 void ValueList::Append(uint64_t value, PageArena* arena) {
-  if (count_ == 0) {
+  uint32_t count = count_.load(std::memory_order_relaxed);
+  if (count == 0) {
+    // Publish the inline value before the count flips to non-zero.
     first_ = value;
-    count_ = 1;
+    count_.store(1, std::memory_order_release);
     return;
   }
-  Segment* seg = head_;
-  if (seg == nullptr || seg->used == seg->capacity) {
+  Segment* seg = head_.load(std::memory_order_relaxed);
+  if (seg == nullptr ||
+      seg->used.load(std::memory_order_relaxed) == seg->capacity) {
     // Allocate the next segment: double the previous size, capped at the
     // page size. Total segment bytes (header + values) is a power of two,
     // which PageArena packs without crossing page boundaries.
@@ -25,12 +28,17 @@ void ValueList::Append(uint64_t value, PageArena* arena) {
     fresh->next = seg;
     fresh->capacity =
         static_cast<uint32_t>((bytes - sizeof(Segment)) / sizeof(uint64_t));
-    fresh->used = 0;
-    head_ = fresh;
+    fresh->used.store(0, std::memory_order_relaxed);
+    // Fully initialized before readers can reach it.
+    head_.store(fresh, std::memory_order_release);
     seg = fresh;
   }
-  seg->values()[seg->used++] = value;
-  ++count_;
+  uint32_t used = seg->used.load(std::memory_order_relaxed);
+  seg->values()[used] = value;
+  // The slot is published before 'used' and before the total count, so a
+  // reader never visits a half-written value.
+  seg->used.store(used + 1, std::memory_order_release);
+  count_.store(count + 1, std::memory_order_release);
 }
 
 }  // namespace qppt

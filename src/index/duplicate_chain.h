@@ -16,6 +16,7 @@
 #ifndef QPPT_INDEX_DUPLICATE_CHAIN_H_
 #define QPPT_INDEX_DUPLICATE_CHAIN_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 
@@ -26,7 +27,15 @@ namespace qppt {
 
 // A value list with an inline first value and growing duplicate segments.
 // POD-ish: lives inside prefix-tree content nodes; zero-initialized state
-// means "empty". Not thread-safe (intermediate indexes are query-private).
+// means "empty".
+//
+// Thread model: one appender at a time; any number of concurrent readers
+// (the engine's live base indexes are read lock-free under a write
+// stream). Values are published before the count/used release store, so a
+// reader visits only fully written values — possibly including appends
+// that landed after the reader started, which MVCC visibility filtering
+// makes harmless. ReplaceWith is NOT reader-safe; live index maintenance
+// must append only.
 class ValueList {
  public:
   static constexpr size_t kFirstSegmentBytes = 64;
@@ -34,19 +43,19 @@ class ValueList {
 
   ValueList() = default;
 
-  uint32_t size() const { return count_; }
-  bool empty() const { return count_ == 0; }
+  uint32_t size() const { return count_.load(std::memory_order_acquire); }
+  bool empty() const { return size() == 0; }
 
   // Appends `value`. Segments are allocated from `arena` (4 KiB-aligned,
   // never straddling pages).
   void Append(uint64_t value, PageArena* arena);
 
   // Replaces the whole list with a single value (upsert semantics used by
-  // the Fig. 3 insert/update workload).
+  // the Fig. 3 insert/update workload). Single-threaded use only.
   void ReplaceWith(uint64_t value) {
-    count_ = 1;
     first_ = value;
-    head_ = nullptr;
+    head_.store(nullptr, std::memory_order_relaxed);
+    count_.store(1, std::memory_order_release);
   }
 
   uint64_t first() const { return first_; }
@@ -56,19 +65,22 @@ class ValueList {
   // duplicates are a multiset.
   template <typename F>
   void ForEach(F&& fn) const {
-    if (count_ == 0) return;
+    if (count_.load(std::memory_order_acquire) == 0) return;
     fn(first_);
-    for (const Segment* seg = head_; seg != nullptr; seg = seg->next) {
+    for (const Segment* seg = head_.load(std::memory_order_acquire);
+         seg != nullptr; seg = seg->next) {
       // Segments live on different pages; kick off the next segment's
       // header fetch while this segment streams at hardware-prefetch
       // speed (prefetching nullptr is harmless).
       PrefetchRead(seg->next);
       const uint64_t* values = seg->values();
-      for (uint32_t i = 0; i < seg->used; ++i) fn(values[i]);
+      uint32_t used = seg->used.load(std::memory_order_acquire);
+      for (uint32_t i = 0; i < used; ++i) fn(values[i]);
     }
   }
 
   // Copies all values into `out` (which must have room for size() values).
+  // Single-threaded use only: a concurrent append could outgrow `out`.
   void CopyTo(uint64_t* out) const {
     uint64_t* p = out;
     ForEach([&p](uint64_t v) { *p++ = v; });
@@ -78,7 +90,7 @@ class ValueList {
   struct Segment {
     Segment* next = nullptr;
     uint32_t capacity = 0;  // in values
-    uint32_t used = 0;
+    std::atomic<uint32_t> used{0};
 
     uint64_t* values() {
       return reinterpret_cast<uint64_t*>(this + 1);
@@ -90,8 +102,8 @@ class ValueList {
   static_assert(sizeof(Segment) == 16, "segment header must stay 16 bytes");
 
   uint64_t first_ = 0;
-  Segment* head_ = nullptr;
-  uint32_t count_ = 0;
+  std::atomic<Segment*> head_{nullptr};
+  std::atomic<uint32_t> count_{0};
 };
 
 // Naive linked-list duplicate storage: one node per value, allocated from a

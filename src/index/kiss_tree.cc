@@ -131,12 +131,12 @@ KissTree::KissTree(KissTree&& other) noexcept
       slab_(std::move(other.slab_)),
       value_arena_(std::move(other.value_arena_)),
       dup_arena_(std::move(other.dup_arena_)),
-      num_keys_(other.num_keys_),
-      min_key_(other.min_key_),
-      max_key_(other.max_key_) {
+      num_keys_(other.num_keys_.load(std::memory_order_relaxed)),
+      min_key_(other.min_key_.load(std::memory_order_relaxed)),
+      max_key_(other.max_key_.load(std::memory_order_relaxed)) {
   other.root_ = nullptr;
   other.root_map_bytes_ = 0;
-  other.num_keys_ = 0;
+  other.num_keys_.store(0, std::memory_order_relaxed);
 }
 
 size_t KissTree::MemoryUsage() const {
@@ -145,9 +145,9 @@ size_t KissTree::MemoryUsage() const {
   // workload-dependent, so we report the span between min and max bucket,
   // capped by the map size).
   size_t root_touched = 0;
-  if (num_keys_ > 0) {
-    size_t first = (min_key_ >> level2_bits_) * sizeof(uint32_t) / 4096;
-    size_t last = (max_key_ >> level2_bits_) * sizeof(uint32_t) / 4096;
+  if (num_keys() > 0) {
+    size_t first = (min_key() >> level2_bits_) * sizeof(uint32_t) / 4096;
+    size_t last = (max_key() >> level2_bits_) * sizeof(uint32_t) / 4096;
     root_touched = (last - first + 1) * 4096;
   }
   return root_touched + slab_.bytes_resident() +
@@ -157,13 +157,16 @@ size_t KissTree::MemoryUsage() const {
 uint64_t* KissTree::FindOrCreateEntrySlot(uint32_t key) {
   size_t bucket = key >> level2_bits_;
   uint32_t slot = key & static_cast<uint32_t>(l2_fanout_ - 1);
+  // Writer-side: mutations are externally serialized, so plain loads of
+  // root/entry state are safe; every publication store is release so
+  // lock-free readers see initialized nodes.
   uint32_t handle = root_[bucket];
   if (!config_.compress) {
     if (handle == CompactSlab::kNullHandle) {
       // Slab memory is zero on allocation (anonymous mapping), so the new
       // node's empty slots need no explicit clear.
       handle = slab_.Allocate(l2_fanout_ * sizeof(uint64_t));
-      root_[bucket] = handle;
+      StoreRootSlot(&root_[bucket], handle);
     }
     return UncompressedEntries(handle) + slot;
   }
@@ -176,7 +179,7 @@ uint64_t* KissTree::FindOrCreateEntrySlot(uint32_t key) {
     uint64_t* node = UncompressedEntries(fresh);
     node[0] = slot_bit;
     node[1] = 0;
-    root_[bucket] = fresh;
+    StoreRootSlot(&root_[bucket], fresh);
     return node + 1;
   }
   uint64_t* node = UncompressedEntries(handle);
@@ -194,43 +197,47 @@ uint64_t* KissTree::FindOrCreateEntrySlot(uint32_t key) {
   copy[1 + rank] = 0;
   std::memcpy(copy + 2 + rank, node + 1 + rank,
               (old_count - rank) * sizeof(uint64_t));
-  root_[bucket] = fresh;  // old node becomes RCU garbage in the slab
+  // Old node becomes RCU garbage in the slab; in-flight readers keep
+  // traversing it safely.
+  StoreRootSlot(&root_[bucket], fresh);
   return copy + 1 + rank;
 }
 
 uint64_t KissTree::FindEntry(uint32_t key) const {
   size_t bucket = key >> level2_bits_;
   uint32_t slot = key & static_cast<uint32_t>(l2_fanout_ - 1);
-  uint32_t handle = root_[bucket];
+  uint32_t handle = LoadRootSlot(&root_[bucket]);
   if (handle == CompactSlab::kNullHandle) return 0;
   if (!config_.compress) {
-    return UncompressedEntries(handle)[slot];
+    return LoadEntry(UncompressedEntries(handle) + slot);
   }
   const uint64_t* node = UncompressedEntries(handle);
-  uint64_t mask = node[0];
+  uint64_t mask = LoadEntry(node);
   uint64_t slot_bit = uint64_t{1} << slot;
   if (!(mask & slot_bit)) return 0;
   size_t rank = static_cast<size_t>(std::popcount(mask & (slot_bit - 1)));
-  return node[1 + rank];
+  return LoadEntry(node + 1 + rank);
 }
 
 void KissTree::AppendToEntry(uint64_t* entry, uint64_t value) {
   assert(value < (uint64_t{1} << 63) && "inline-tagged values must fit 63 bits");
-  if (*entry == 0) {
-    *entry = (value << 1) | 1;
+  uint64_t cur = *entry;  // writer-owned; readers use LoadEntry
+  if (cur == 0) {
+    StoreEntry(entry, (value << 1) | 1);
     return;
   }
-  ValueList* list;
-  if (*entry & 1) {
-    // Second value for this key: spill the inline value into a list.
-    list = new (value_arena_.Allocate(sizeof(ValueList), alignof(ValueList)))
-        ValueList();
-    list->Append(*entry >> 1, &dup_arena_);
-    *entry = reinterpret_cast<uint64_t>(list);
-  } else {
-    list = reinterpret_cast<ValueList*>(*entry);
+  if (cur & 1) {
+    // Second value for this key: spill the inline value into a list, fully
+    // built before the entry swings from tagged-inline to pointer.
+    ValueList* list =
+        new (value_arena_.Allocate(sizeof(ValueList), alignof(ValueList)))
+            ValueList();
+    list->Append(cur >> 1, &dup_arena_);
+    list->Append(value, &dup_arena_);
+    StoreEntry(entry, reinterpret_cast<uint64_t>(list));
+    return;
   }
-  list->Append(value, &dup_arena_);
+  reinterpret_cast<ValueList*>(cur)->Append(value, &dup_arena_);
 }
 
 void KissTree::Insert(uint32_t key, uint64_t value) {
@@ -272,7 +279,9 @@ void KissTree::Upsert(uint32_t key, uint64_t value) {
   assert(value < (uint64_t{1} << 63));
   uint64_t* entry = FindOrCreateEntrySlot(key);
   NoteKey(key, *entry == 0);
-  *entry = (value << 1) | 1;  // a superseded list becomes arena garbage
+  // A superseded list becomes arena garbage. Not snapshot-safe: the live
+  // engine write path appends via Insert only.
+  StoreEntry(entry, (value << 1) | 1);
 }
 
 bool KissTree::Lookup(uint32_t key, ValueRef* out) const {
@@ -295,7 +304,7 @@ std::byte* KissTree::FindOrCreatePayloadForMerge(uint32_t key,
   if (*entry == 0) {
     void* payload =
         value_arena_.AllocateZeroed(config_.agg_payload_size, /*align=*/8);
-    *entry = reinterpret_cast<uint64_t>(payload);
+    StoreEntry(entry, reinterpret_cast<uint64_t>(payload));
     *created = true;
   } else {
     *created = false;
@@ -315,7 +324,7 @@ void KissTree::BatchLookup(std::span<LookupJob> jobs) const {
   }
   // Stage 2: read root entries (now cached), prefetch level-2 slots.
   for (auto& job : jobs) {
-    job.l2_handle = root_[job.key >> level2_bits_];
+    job.l2_handle = LoadRootSlot(&root_[job.key >> level2_bits_]);
     job.found = false;
     if (job.l2_handle == CompactSlab::kNullHandle) continue;
     const void* node = slab_.Resolve(job.l2_handle);

@@ -26,6 +26,7 @@
 #ifndef QPPT_INDEX_KISS_TREE_H_
 #define QPPT_INDEX_KISS_TREE_H_
 
+#include <atomic>
 #include <bit>
 #include <cstddef>
 #include <cstdint>
@@ -116,6 +117,23 @@ class KissTree {
  public:
   enum class PayloadMode : uint8_t { kValues, kAggregate };
 
+  // Root entries and level-2 entry slots are shared with lock-free
+  // readers: the single writer (engine write path, §7's no-rebalancing
+  // argument) publishes with release stores, readers load with acquire.
+  // On x86 both compile to plain moves.
+  static uint32_t LoadRootSlot(const uint32_t* p) {
+    return __atomic_load_n(p, __ATOMIC_ACQUIRE);
+  }
+  static void StoreRootSlot(uint32_t* p, uint32_t v) {
+    __atomic_store_n(p, v, __ATOMIC_RELEASE);
+  }
+  static uint64_t LoadEntry(const uint64_t* p) {
+    return __atomic_load_n(p, __ATOMIC_ACQUIRE);
+  }
+  static void StoreEntry(uint64_t* p, uint64_t v) {
+    __atomic_store_n(p, v, __ATOMIC_RELEASE);
+  }
+
   struct Config {
     size_t root_bits = 26;  // level-1 fragment width (paper: 26)
     PayloadMode mode = PayloadMode::kValues;
@@ -135,10 +153,16 @@ class KissTree {
   KissTree& operator=(KissTree&&) = delete;
 
   const Config& config() const { return config_; }
-  size_t num_keys() const { return num_keys_; }
-  uint32_t min_key() const { return min_key_; }
-  uint32_t max_key() const { return max_key_; }
-  bool empty() const { return num_keys_ == 0; }
+  size_t num_keys() const {
+    return num_keys_.load(std::memory_order_relaxed);
+  }
+  uint32_t min_key() const {
+    return min_key_.load(std::memory_order_relaxed);
+  }
+  uint32_t max_key() const {
+    return max_key_.load(std::memory_order_relaxed);
+  }
+  bool empty() const { return num_keys() == 0; }
 
   // Bytes of physical memory attributable to the tree (slab + value arena
   // + touched root pages; the untouched remainder of the 256 MiB root is
@@ -265,7 +289,7 @@ class KissTree {
   size_t root_size() const { return root_size_; }
   size_t level2_bits() const { return level2_bits_; }
   // Compact pointer of root bucket i (0 = empty).
-  uint32_t RootEntry(size_t i) const { return root_[i]; }
+  uint32_t RootEntry(size_t i) const { return LoadRootSlot(&root_[i]); }
   const uint32_t* root_data() const { return root_; }
 
   // Iterates the used slots of the level-2 node behind root entry
@@ -276,11 +300,15 @@ class KissTree {
   // Entry at `slot` of the level-2 node behind `handle` (0 = empty).
   uint64_t Level2Entry(uint32_t handle, uint32_t slot) const {
     if (handle == CompactSlab::kNullHandle) return 0;
-    if (!config_.compress) return UncompressedEntries(handle)[slot];
+    if (!config_.compress) {
+      return LoadEntry(UncompressedEntries(handle) + slot);
+    }
     const uint64_t* node = UncompressedEntries(handle);
+    uint64_t mask = LoadEntry(node);
     uint64_t slot_bit = uint64_t{1} << slot;
-    if (!(node[0] & slot_bit)) return 0;
-    return node[1 + static_cast<size_t>(std::popcount(node[0] & (slot_bit - 1)))];
+    if (!(mask & slot_bit)) return 0;
+    return LoadEntry(
+        node + 1 + static_cast<size_t>(std::popcount(mask & (slot_bit - 1))));
   }
 
   // Decodes a level-2 entry into a ValueRef (kValues mode).
@@ -309,11 +337,16 @@ class KissTree {
   uint64_t FindEntry(uint32_t key) const;
 
   void AppendToEntry(uint64_t* entry, uint64_t value);
+  // Key stats are advisory scan bounds; single writer, relaxed readers.
   void NoteKey(uint32_t key, bool created) {
     if (created) {
-      ++num_keys_;
-      if (key < min_key_) min_key_ = key;
-      if (key > max_key_) max_key_ = key;
+      num_keys_.fetch_add(1, std::memory_order_relaxed);
+      if (key < min_key_.load(std::memory_order_relaxed)) {
+        min_key_.store(key, std::memory_order_relaxed);
+      }
+      if (key > max_key_.load(std::memory_order_relaxed)) {
+        max_key_.store(key, std::memory_order_relaxed);
+      }
     }
   }
 
@@ -329,9 +362,9 @@ class KissTree {
   CompactSlab slab_;
   Arena value_arena_;  // ValueLists and aggregate payload blocks
   PageArena dup_arena_;
-  size_t num_keys_ = 0;
-  uint32_t min_key_ = std::numeric_limits<uint32_t>::max();
-  uint32_t max_key_ = 0;
+  std::atomic<size_t> num_keys_{0};
+  std::atomic<uint32_t> min_key_{std::numeric_limits<uint32_t>::max()};
+  std::atomic<uint32_t> max_key_{0};
 };
 
 // ---- template member definitions -------------------------------------------
@@ -342,18 +375,19 @@ void KissTree::ForEachLevel2Slot(uint32_t handle, F&& fn) const {
   if (!config_.compress) {
     const uint64_t* entries = UncompressedEntries(handle);
     for (size_t slot = 0; slot < l2_fanout_; ++slot) {
-      if (entries[slot] != 0) {
-        fn(static_cast<uint32_t>(slot), entries[slot]);
+      uint64_t entry = LoadEntry(entries + slot);
+      if (entry != 0) {
+        fn(static_cast<uint32_t>(slot), entry);
       }
     }
   } else {
     const uint64_t* node = UncompressedEntries(handle);
-    uint64_t mask = node[0];
+    uint64_t mask = LoadEntry(node);
     const uint64_t* packed = node + 1;
     size_t rank = 0;
     while (mask != 0) {
       uint32_t slot = static_cast<uint32_t>(std::countr_zero(mask));
-      fn(slot, packed[rank]);
+      fn(slot, LoadEntry(packed + rank));
       ++rank;
       mask &= mask - 1;
     }
@@ -362,14 +396,16 @@ void KissTree::ForEachLevel2Slot(uint32_t handle, F&& fn) const {
 
 template <typename F>
 void KissTree::ScanRangeImpl(uint32_t lo, uint32_t hi, F&& fn) const {
-  if (num_keys_ == 0) return;
-  if (lo < min_key_) lo = min_key_;
-  if (hi > max_key_) hi = max_key_;
+  if (num_keys() == 0) return;
+  uint32_t min_k = min_key();
+  uint32_t max_k = max_key();
+  if (lo < min_k) lo = min_k;
+  if (hi > max_k) hi = max_k;
   if (lo > hi) return;
   size_t first_bucket = lo >> level2_bits_;
   size_t last_bucket = hi >> level2_bits_;
   for (size_t b = first_bucket; b <= last_bucket; ++b) {
-    uint32_t handle = root_[b];
+    uint32_t handle = LoadRootSlot(&root_[b]);
     if (handle == CompactSlab::kNullHandle) continue;
     ForEachLevel2Slot(handle, [&](uint32_t slot, uint64_t entry) {
       uint32_t key = static_cast<uint32_t>((b << level2_bits_) | slot);
@@ -381,11 +417,11 @@ void KissTree::ScanRangeImpl(uint32_t lo, uint32_t hi, F&& fn) const {
 
 template <typename F>
 void KissTree::ScanPayloads(F&& fn) const {
-  if (num_keys_ == 0) return;
-  size_t first_bucket = min_key_ >> level2_bits_;
-  size_t last_bucket = max_key_ >> level2_bits_;
+  if (num_keys() == 0) return;
+  size_t first_bucket = min_key() >> level2_bits_;
+  size_t last_bucket = max_key() >> level2_bits_;
   for (size_t b = first_bucket; b <= last_bucket; ++b) {
-    uint32_t handle = root_[b];
+    uint32_t handle = LoadRootSlot(&root_[b]);
     if (handle == CompactSlab::kNullHandle) continue;
     ForEachLevel2Slot(handle, [&](uint32_t slot, uint64_t entry) {
       uint32_t key = static_cast<uint32_t>((b << level2_bits_) | slot);

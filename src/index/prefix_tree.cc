@@ -20,7 +20,25 @@ PrefixTree::PrefixTree(Config config)
   assert(config.kprime >= 1 && config.kprime <= 16);
   MergeStats stats;
   root_ = NewNode(&stats);
-  num_inner_nodes_ += stats.new_inner_nodes;
+  num_inner_nodes_.fetch_add(stats.new_inner_nodes,
+                             std::memory_order_relaxed);
+}
+
+PrefixTree::PrefixTree(PrefixTree&& other) noexcept
+    : config_(other.config_),
+      key_bits_(other.key_bits_),
+      fanout_(other.fanout_),
+      payload_offset_(other.payload_offset_),
+      payload_size_(other.payload_size_),
+      node_arena_(std::move(other.node_arena_)),
+      dup_arena_(std::move(other.dup_arena_)),
+      root_(other.root_),
+      num_keys_(other.num_keys_.load(std::memory_order_relaxed)),
+      num_inner_nodes_(
+          other.num_inner_nodes_.load(std::memory_order_relaxed)) {
+  other.root_ = nullptr;
+  other.num_keys_.store(0, std::memory_order_relaxed);
+  other.num_inner_nodes_.store(0, std::memory_order_relaxed);
 }
 
 PrefixTree::Node* PrefixTree::NewNode(MergeStats* stats) {
@@ -52,10 +70,11 @@ PrefixTree::ContentNode* PrefixTree::FindOrCreateContent(const uint8_t* key,
     size_t width = FragWidth(bit_off);
     uint32_t frag =
         ExtractFragment(key, config_.key_len, bit_off, width);
+    // Writer-side plain read; mutations are externally serialized.
     Slot& slot = node->slots[frag];
     if (slot == 0) {
       ContentNode* c = NewContent(key, stats);
-      slot = reinterpret_cast<uintptr_t>(c) | 1;
+      StoreSlot(&slot, reinterpret_cast<uintptr_t>(c) | 1);
       *created = true;
       return c;
     }
@@ -66,12 +85,14 @@ PrefixTree::ContentNode* PrefixTree::FindOrCreateContent(const uint8_t* key,
         return existing;
       }
       // Dynamic expansion: push the existing content node down until its
-      // fragment diverges from the new key's fragment.
-      Slot* slot_ref = &slot;
+      // fragment diverges from the new key's fragment. The chain is built
+      // detached and swapped in with a single release store, so a
+      // concurrent reader sees either the old content slot or the
+      // complete chain — never an inner node that lost `existing`.
       size_t off = bit_off + width;
+      Node* top = NewNode(stats);
+      Node* inner = top;
       for (;;) {
-        Node* inner = NewNode(stats);
-        *slot_ref = reinterpret_cast<uintptr_t>(inner);
         size_t w = FragWidth(off);
         uint32_t existing_frag =
             ExtractFragment(existing->key(), config_.key_len, off, w);
@@ -81,10 +102,13 @@ PrefixTree::ContentNode* PrefixTree::FindOrCreateContent(const uint8_t* key,
               reinterpret_cast<uintptr_t>(existing) | 1;
           ContentNode* c = NewContent(key, stats);
           inner->slots[new_frag] = reinterpret_cast<uintptr_t>(c) | 1;
+          StoreSlot(&slot, reinterpret_cast<uintptr_t>(top));
           *created = true;
           return c;
         }
-        slot_ref = &inner->slots[existing_frag];
+        Node* next = NewNode(stats);
+        inner->slots[existing_frag] = reinterpret_cast<uintptr_t>(next);
+        inner = next;
         off += w;
         // Keys are distinct and fixed-width, so fragments must diverge
         // before we run out of bits.
@@ -149,16 +173,16 @@ std::byte* PrefixTree::FindOrCreatePayloadForMerge(const uint8_t* key,
 }
 
 const PrefixTree::ContentNode* PrefixTree::MinContent() const {
-  if (num_keys_ == 0) return nullptr;
+  if (num_keys() == 0) return nullptr;
   const Node* node = root_;
   size_t bit_off = 0;
   for (;;) {
     size_t width = FragWidth(bit_off);
     size_t fanout = size_t{1} << width;
     size_t i = 0;
-    while (i < fanout && node->slots[i] == 0) ++i;
+    Slot s = 0;
+    while (i < fanout && (s = LoadSlot(&node->slots[i])) == 0) ++i;
     assert(i < fanout && "non-empty tree must have a populated slot");
-    Slot s = node->slots[i];
     if (IsContent(s)) return AsContent(s);
     node = AsNode(s);
     bit_off += width;
@@ -166,15 +190,15 @@ const PrefixTree::ContentNode* PrefixTree::MinContent() const {
 }
 
 const PrefixTree::ContentNode* PrefixTree::MaxContent() const {
-  if (num_keys_ == 0) return nullptr;
+  if (num_keys() == 0) return nullptr;
   const Node* node = root_;
   size_t bit_off = 0;
   for (;;) {
     size_t width = FragWidth(bit_off);
     size_t i = size_t{1} << width;
-    while (i > 0 && node->slots[i - 1] == 0) --i;
+    Slot s = 0;
+    while (i > 0 && (s = LoadSlot(&node->slots[i - 1])) == 0) --i;
     assert(i > 0 && "non-empty tree must have a populated slot");
-    Slot s = node->slots[i - 1];
     if (IsContent(s)) return AsContent(s);
     node = AsNode(s);
     bit_off += width;
@@ -183,7 +207,7 @@ const PrefixTree::ContentNode* PrefixTree::MaxContent() const {
 
 void PrefixTree::EnsureChainForMerge(const uint8_t* key,
                                      size_t branch_bit_off) {
-  assert(num_keys_ == 0 && "chain pre-build requires an empty tree");
+  assert(num_keys() == 0 && "chain pre-build requires an empty tree");
   MergeStats stats;
   Node* node = root_;
   size_t bit_off = 0;
@@ -193,7 +217,7 @@ void PrefixTree::EnsureChainForMerge(const uint8_t* key,
     Slot& slot = node->slots[frag];
     if (slot == 0) {
       Node* inner = NewNode(&stats);
-      slot = reinterpret_cast<uintptr_t>(inner);
+      StoreSlot(&slot, reinterpret_cast<uintptr_t>(inner));
     }
     assert(!IsContent(slot));
     node = AsNode(slot);
@@ -209,7 +233,7 @@ const PrefixTree::ContentNode* PrefixTree::Find(const uint8_t* key) const {
     size_t width = FragWidth(bit_off);
     uint32_t frag =
         ExtractFragment(key, config_.key_len, bit_off, width);
-    Slot slot = node->slots[frag];
+    Slot slot = LoadSlot(&node->slots[frag]);
     if (slot == 0) return nullptr;
     if (IsContent(slot)) {
       const ContentNode* c = AsContent(slot);
@@ -251,7 +275,7 @@ void PrefixTree::BatchLookup(std::span<LookupJob> jobs) const {
       size_t width = FragWidth(job.bit_off);
       uint32_t frag = ExtractFragment(job.key, config_.key_len, job.bit_off,
                                       width);
-      Slot slot = job.node->slots[frag];
+      Slot slot = LoadSlot(&job.node->slots[frag]);
       if (slot == 0) {
         job.done = true;
         job.result = nullptr;

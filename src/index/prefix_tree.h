@@ -21,10 +21,16 @@
 //                   (aggregation-on-insert, §3: group-by as a side effect).
 //
 // The tree is single-writer (intermediate indexes are query-private, §3).
+// Live base indexes additionally allow lock-free readers concurrent with
+// that one writer: slots are published with release stores and read with
+// acquire loads, and the tree never rebalances (§7), so a published slot
+// is immutable except for the RCU-style dynamic-expansion swap, which
+// builds the replacement chain detached and publishes it with one store.
 
 #ifndef QPPT_INDEX_PREFIX_TREE_H_
 #define QPPT_INDEX_PREFIX_TREE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -73,20 +79,33 @@ class PrefixTree {
   }
   static Node* AsNode(Slot s) { return reinterpret_cast<Node*>(s); }
 
+  // Slot accessors shared between the single writer and lock-free
+  // readers. On x86 both compile to plain moves.
+  static Slot LoadSlot(const Slot* p) {
+    return __atomic_load_n(p, __ATOMIC_ACQUIRE);
+  }
+  static void StoreSlot(Slot* p, Slot v) {
+    __atomic_store_n(p, v, __ATOMIC_RELEASE);
+  }
+
   // ----------------------------------------------------------------------
 
   explicit PrefixTree(Config config);
 
   PrefixTree(const PrefixTree&) = delete;
   PrefixTree& operator=(const PrefixTree&) = delete;
-  PrefixTree(PrefixTree&&) = default;
-  PrefixTree& operator=(PrefixTree&&) = default;
+  PrefixTree(PrefixTree&& other) noexcept;
+  PrefixTree& operator=(PrefixTree&&) = delete;
 
   const Config& config() const { return config_; }
   size_t key_len() const { return config_.key_len; }
   size_t fanout() const { return fanout_; }
-  size_t num_keys() const { return num_keys_; }
-  size_t num_inner_nodes() const { return num_inner_nodes_; }
+  size_t num_keys() const {
+    return num_keys_.load(std::memory_order_relaxed);
+  }
+  size_t num_inner_nodes() const {
+    return num_inner_nodes_.load(std::memory_order_relaxed);
+  }
   const Node* root() const { return root_; }
 
   // Total bytes reserved by the tree's arenas.
@@ -171,7 +190,7 @@ class PrefixTree {
     size_t limit = size_t{1} << width;
     if (end_slot > limit) end_slot = limit;
     for (size_t i = begin_slot; i < end_slot; ++i) {
-      Slot s = root_->slots[i];
+      Slot s = LoadSlot(&root_->slots[i]);
       if (s == 0) continue;
       if (IsContent(s)) {
         fn(*AsContent(s));
@@ -231,8 +250,9 @@ class PrefixTree {
   std::byte* FindOrCreatePayloadForMerge(const uint8_t* key, bool* created,
                                          MergeStats* stats);
   void AddMergedKeyStats(const MergeStats& stats) {
-    num_keys_ += stats.new_keys;
-    num_inner_nodes_ += stats.new_inner_nodes;
+    num_keys_.fetch_add(stats.new_keys, std::memory_order_relaxed);
+    num_inner_nodes_.fetch_add(stats.new_inner_nodes,
+                               std::memory_order_relaxed);
   }
 
   // Pre-builds the inner-node chain along `key`'s fragments for the
@@ -268,7 +288,7 @@ class PrefixTree {
   void ScanRec(const Node* node, size_t bit_off, F&& fn) const {
     size_t n = size_t{1} << FragWidth(bit_off);
     for (size_t i = 0; i < n; ++i) {
-      Slot s = node->slots[i];
+      Slot s = LoadSlot(&node->slots[i]);
       if (s == 0) continue;
       if (IsContent(s)) {
         fn(*AsContent(s));
@@ -290,7 +310,7 @@ class PrefixTree {
                                                width)
                              : static_cast<uint32_t>((1u << width) - 1);
     for (uint32_t f = lo_frag; f <= hi_frag; ++f) {
-      Slot s = node->slots[f];
+      Slot s = LoadSlot(&node->slots[f]);
       if (s == 0) continue;
       if (IsContent(s)) {
         // Content nodes can sit above the full key depth (dynamic
@@ -315,8 +335,8 @@ class PrefixTree {
   Arena node_arena_;
   PageArena dup_arena_;
   Node* root_ = nullptr;
-  size_t num_keys_ = 0;
-  size_t num_inner_nodes_ = 0;
+  std::atomic<size_t> num_keys_{0};
+  std::atomic<size_t> num_inner_nodes_{0};
 };
 
 }  // namespace qppt

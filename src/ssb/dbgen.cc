@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -89,11 +90,13 @@ Status BuildSupplierOrCustomer(Database* db, const SsbDictionaries& dicts,
   return db->AddTable(std::move(table));
 }
 
-Status BuildLineorder(Database* db, size_t count, size_t customers,
-                      size_t suppliers, size_t parts,
-                      const std::vector<int64_t>& datekeys, Rng* rng) {
-  auto table = std::make_unique<RowTable>(LineorderSchema(), "lineorder");
-  table->Reserve(count);
+// Generates the lineorder rows; emit(row) receives each 9-slot record.
+// Shared by the plain and versioned builds so both modes produce the
+// identical byte stream for one seed.
+template <typename Emit>
+void GenLineorderRows(size_t count, size_t customers, size_t suppliers,
+                      size_t parts, const std::vector<int64_t>& datekeys,
+                      Rng* rng, Emit&& emit) {
   for (size_t i = 0; i < count; ++i) {
     int64_t quantity = 1 + static_cast<int64_t>(rng->NextBounded(50));
     int64_t discount = static_cast<int64_t>(rng->NextBounded(11));  // 0..10
@@ -112,9 +115,36 @@ Status BuildLineorder(Database* db, size_t count, size_t customers,
         SlotFromInt64(discount),
         SlotFromInt64(revenue),
         SlotFromInt64(supplycost)};
-    table->AppendRow(row);
+    emit(row);
   }
-  return db->AddTable(std::move(table));
+}
+
+Status BuildLineorder(Database* db, bool versioned, size_t count,
+                      size_t customers, size_t suppliers, size_t parts,
+                      const std::vector<int64_t>& datekeys, Rng* rng) {
+  if (!versioned) {
+    auto table = std::make_unique<RowTable>(LineorderSchema(), "lineorder");
+    table->Reserve(count);
+    GenLineorderRows(count, customers, suppliers, parts, datekeys, rng,
+                     [&](const uint64_t* row) {
+                       table->AppendRow(std::span<const uint64_t>(row, 9));
+                     });
+    return db->AddTable(std::move(table));
+  }
+  // Versioned fact table: bulk-load as ONE committed transaction so every
+  // row carries commit timestamp 1 and later write sessions / OLAP
+  // flights interact with a normal MVCC history.
+  auto table = std::make_unique<MvccTable>(LineorderSchema(), "lineorder");
+  TransactionManager& tm = db->txn_manager();
+  Transaction txn = tm.Begin();
+  GenLineorderRows(count, customers, suppliers, parts, datekeys, rng,
+                   [&](const uint64_t* row) {
+                     table->Insert(txn, std::span<const uint64_t>(row, 9));
+                   });
+  Timestamp ts = tm.BeginCommit();
+  table->CommitTransaction(txn, ts);
+  tm.FinishCommit(txn, ts);
+  return db->AddVersionedTable(std::move(table));
 }
 
 // The base-index pool for the QPPT plans: partially clustered indexes on
@@ -128,18 +158,31 @@ Status BuildIndexes(Database* db, const SsbConfig& config) {
 
   // Fact-table indexes on the join keys used as the left main of the
   // multi-way/star joins, plus the Q1.x selection index on lo_discount.
-  QPPT_RETURN_NOT_OK(db->BuildIndex(
-      "lo_partkey", "lineorder", {"lo_partkey"},
-      {"lo_suppkey", "lo_orderdate", "lo_revenue"}, opt));
-  QPPT_RETURN_NOT_OK(db->BuildIndex(
-      "lo_custkey", "lineorder", {"lo_custkey"},
-      {"lo_suppkey", "lo_partkey", "lo_orderdate", "lo_revenue",
-       "lo_supplycost"},
-      opt));
-  QPPT_RETURN_NOT_OK(db->BuildIndex(
-      "lo_discount", "lineorder", {"lo_discount"},
-      {"lo_quantity", "lo_orderdate", "lo_extendedprice", "lo_discount"},
-      opt));
+  // With a versioned lineorder they become *live* secondary indexes under
+  // the same names, so all 13 query plans run unmodified: the clustered
+  // payloads are traded for writability (attribute access reads the
+  // version storage) and scans filter through the MVCC snapshot.
+  if (config.versioned_lineorder) {
+    QPPT_RETURN_NOT_OK(
+        db->BuildLiveIndex("lo_partkey", "lineorder", {"lo_partkey"}, opt));
+    QPPT_RETURN_NOT_OK(
+        db->BuildLiveIndex("lo_custkey", "lineorder", {"lo_custkey"}, opt));
+    QPPT_RETURN_NOT_OK(
+        db->BuildLiveIndex("lo_discount", "lineorder", {"lo_discount"}, opt));
+  } else {
+    QPPT_RETURN_NOT_OK(db->BuildIndex(
+        "lo_partkey", "lineorder", {"lo_partkey"},
+        {"lo_suppkey", "lo_orderdate", "lo_revenue"}, opt));
+    QPPT_RETURN_NOT_OK(db->BuildIndex(
+        "lo_custkey", "lineorder", {"lo_custkey"},
+        {"lo_suppkey", "lo_partkey", "lo_orderdate", "lo_revenue",
+         "lo_supplycost"},
+        opt));
+    QPPT_RETURN_NOT_OK(db->BuildIndex(
+        "lo_discount", "lineorder", {"lo_discount"},
+        {"lo_quantity", "lo_orderdate", "lo_extendedprice", "lo_discount"},
+        opt));
+  }
 
   // Dimension indexes on the selection attributes.
   QPPT_RETURN_NOT_OK(db->BuildIndex("p_category", "part", {"p_category"},
@@ -206,7 +249,7 @@ Result<std::unique_ptr<SsbData>> Generate(const SsbConfig& config) {
   QPPT_RETURN_NOT_OK(BuildSupplierOrCustomer(&data->db, data->dicts,
                                              CustomerSchema(data->dicts),
                                              "customer", customers, &rng));
-  QPPT_RETURN_NOT_OK(BuildLineorder(&data->db,
+  QPPT_RETURN_NOT_OK(BuildLineorder(&data->db, config.versioned_lineorder,
                                     LineorderCount(config.scale_factor),
                                     customers, suppliers, parts, datekeys,
                                     &rng));

@@ -39,6 +39,12 @@ struct SsbConfig {
   bool prefer_kiss = true;
   // Skip base-index construction (for baseline-only experiments).
   bool build_indexes = true;
+  // Store lineorder as a versioned (MVCC) table bulk-loaded in one
+  // committed transaction, with *live* secondary fact indexes under the
+  // usual names (lo_partkey, lo_custkey, lo_discount) — the HTAP setup:
+  // engine write sessions upsert while SSB flights read snapshots. The 13
+  // query plans run unmodified.
+  bool versioned_lineorder = false;
 };
 
 class SsbData {

@@ -8,16 +8,15 @@ namespace qppt {
 MvccTable::LogicalId MvccTable::Insert(const Transaction& txn,
                                        std::span<const uint64_t> row) {
   Rid rid = storage_.AppendRow(row);
-  Version v;
-  v.begin_ts = kTsInfinity;  // stamped at commit
-  v.end_ts = kTsInfinity;
+  LogicalId id = heads_.size();
+  Version& v = versions_.EmplaceBack();
   v.writer_txn = txn.id;
   v.rid = rid;
-  v.logical = heads_.size();
-  uint64_t vidx = versions_.size();
-  versions_.push_back(v);
-  heads_.push_back(vidx);
-  return v.logical;
+  v.logical = id;
+  // versions_ and storage_ grow in lockstep: version index == rid.
+  heads_.EmplaceBack(rid);
+  write_sets_[txn.id].push_back(WriteOp{rid, kInvalidVersion});
+  return id;
 }
 
 Status MvccTable::Update(Transaction& txn, LogicalId id,
@@ -25,38 +24,47 @@ Status MvccTable::Update(Transaction& txn, LogicalId id,
   if (id >= heads_.size()) {
     return Status::NotFound("logical row does not exist");
   }
-  uint64_t head = heads_[id];
+  uint64_t head = heads_[id].load(std::memory_order_acquire);
+  if (head == kInvalidVersion) {
+    // The row's insert aborted; nothing to update.
+    return Status::NotFound("logical row does not exist");
+  }
   Version& current = versions_[head];
+  uint64_t ender = current.ender_txn.load(std::memory_order_relaxed);
+  Timestamp begin = current.begin_ts.load(std::memory_order_acquire);
   // First-updater-wins: someone else already terminated this version, or
   // the head itself is another transaction's uncommitted write.
-  if (current.ender_txn != 0 && current.ender_txn != txn.id) {
+  if (ender != 0 && ender != txn.id) {
     return Status::AlreadyExists("write-write conflict on logical row " +
                                  std::to_string(id));
   }
-  if (current.begin_ts == kTsInfinity && current.writer_txn != txn.id) {
+  if (begin == kTsInfinity && current.writer_txn != txn.id) {
     return Status::AlreadyExists("write-write conflict on logical row " +
                                  std::to_string(id));
+  }
+  // This transaction already deleted the row: no resurrection by update.
+  if (ender == txn.id) {
+    return Status::NotFound("logical row deleted by this transaction");
   }
   // The head must be visible to us (no lost updates against newer commits).
-  if (current.begin_ts != kTsInfinity && current.begin_ts > txn.read_ts) {
+  if (begin != kTsInfinity && begin > txn.read_ts) {
     return Status::AlreadyExists(
         "snapshot too old: row updated by a newer committed transaction");
   }
-  if (current.begin_ts != kTsInfinity && current.end_ts <= txn.read_ts) {
+  if (begin != kTsInfinity &&
+      current.end_ts.load(std::memory_order_acquire) <= txn.read_ts) {
     return Status::NotFound("logical row deleted in this snapshot");
   }
   Rid rid = storage_.AppendRow(row);
-  Version v;
-  v.begin_ts = kTsInfinity;
-  v.end_ts = kTsInfinity;
+  Version& v = versions_.EmplaceBack();
   v.writer_txn = txn.id;
   v.rid = rid;
   v.logical = id;
-  v.older = head;
-  current.ender_txn = txn.id;
-  uint64_t vidx = versions_.size();
-  versions_.push_back(v);
-  heads_[id] = vidx;
+  v.older.store(head, std::memory_order_relaxed);
+  current.ender_txn.store(txn.id, std::memory_order_relaxed);
+  // Fields above are visible to readers via this release store.
+  heads_[id].store(rid, std::memory_order_release);
+  write_sets_[txn.id].push_back(WriteOp{rid, head});
   return Status::OK();
 }
 
@@ -64,97 +72,145 @@ Status MvccTable::Delete(Transaction& txn, LogicalId id) {
   if (id >= heads_.size()) {
     return Status::NotFound("logical row does not exist");
   }
-  uint64_t head = heads_[id];
+  uint64_t head = heads_[id].load(std::memory_order_acquire);
+  if (head == kInvalidVersion) {
+    return Status::NotFound("logical row does not exist");
+  }
   Version& current = versions_[head];
-  if (current.ender_txn != 0 && current.ender_txn != txn.id) {
+  uint64_t ender = current.ender_txn.load(std::memory_order_relaxed);
+  Timestamp begin = current.begin_ts.load(std::memory_order_acquire);
+  if (ender != 0 && ender != txn.id) {
     return Status::AlreadyExists("write-write conflict on logical row " +
                                  std::to_string(id));
   }
-  if (current.begin_ts == kTsInfinity && current.writer_txn != txn.id) {
+  if (begin == kTsInfinity && current.writer_txn != txn.id) {
     return Status::AlreadyExists("write-write conflict on logical row " +
                                  std::to_string(id));
   }
-  if (current.begin_ts != kTsInfinity && current.begin_ts > txn.read_ts) {
+  // Double delete within one transaction.
+  if (ender == txn.id) {
+    return Status::NotFound("logical row deleted by this transaction");
+  }
+  if (begin != kTsInfinity && begin > txn.read_ts) {
     return Status::AlreadyExists(
         "snapshot too old: row updated by a newer committed transaction");
   }
-  current.ender_txn = txn.id;
+  // Row already deleted in our snapshot (end_ts stamped at or before it).
+  if (begin != kTsInfinity &&
+      current.end_ts.load(std::memory_order_acquire) <= txn.read_ts) {
+    return Status::NotFound("logical row deleted in this snapshot");
+  }
+  current.ender_txn.store(txn.id, std::memory_order_relaxed);
+  write_sets_[txn.id].push_back(WriteOp{kInvalidVersion, head});
   return Status::OK();
 }
 
 std::optional<Rid> MvccTable::Read(const Transaction& txn,
                                    LogicalId id) const {
   if (id >= heads_.size()) return std::nullopt;
-  // Own uncommitted writes are visible to the writing transaction.
-  uint64_t idx = heads_[id];
+  uint64_t idx = heads_[id].load(std::memory_order_acquire);
   while (idx != kInvalidVersion) {
     const Version& v = versions_[idx];
-    if (v.begin_ts == kTsInfinity) {
-      if (v.writer_txn == txn.id) return v.rid;  // own write
-      idx = v.older;
+    Timestamp begin = v.begin_ts.load(std::memory_order_acquire);
+    if (begin == kTsInfinity) {
+      // Own uncommitted writes are visible to the writing transaction —
+      // unless it deleted its own version again.
+      if (v.writer_txn == txn.id) {
+        if (v.ender_txn.load(std::memory_order_relaxed) == txn.id) {
+          return std::nullopt;
+        }
+        return v.rid;
+      }
+      idx = v.older.load(std::memory_order_acquire);
       continue;
     }
-    if (v.begin_ts <= txn.read_ts) {
+    if (begin <= txn.read_ts) {
       // Committed at or before our snapshot; check termination.
+      Timestamp end = v.end_ts.load(std::memory_order_acquire);
+      uint64_t ender = v.ender_txn.load(std::memory_order_relaxed);
       bool ended_for_us =
-          (v.end_ts <= txn.read_ts) ||
-          (v.ender_txn != 0 && v.ender_txn == txn.id &&
-           v.end_ts == kTsInfinity);
+          (end <= txn.read_ts) ||
+          (ender != 0 && ender == txn.id && end == kTsInfinity);
       if (ended_for_us) return std::nullopt;  // deleted/overwritten
       return v.rid;
     }
-    idx = v.older;
+    idx = v.older.load(std::memory_order_acquire);
   }
   return std::nullopt;
 }
 
 void MvccTable::CommitTransaction(const Transaction& txn,
                                   Timestamp commit_ts) {
-  for (auto& v : versions_) {
-    if (v.writer_txn == txn.id && v.begin_ts == kTsInfinity) {
-      v.begin_ts = commit_ts;
-      // Terminate the version this one replaced.
-      if (v.older != kInvalidVersion) {
-        versions_[v.older].end_ts = commit_ts;
-        versions_[v.older].ender_txn = 0;
-      }
+  auto it = write_sets_.find(txn.id);
+  if (it == write_sets_.end()) return;
+  for (const WriteOp& op : it->second) {
+    if (op.ended != kInvalidVersion) {
+      Version& old = versions_[op.ended];
+      old.end_ts.store(commit_ts, std::memory_order_release);
+      old.ender_txn.store(0, std::memory_order_release);
     }
-    if (v.ender_txn == txn.id) {
-      // Pure delete (no replacing version): stamp the end.
-      bool replaced = false;
-      if (heads_[v.logical] != kInvalidVersion) {
-        const Version& head = versions_[heads_[v.logical]];
-        replaced = head.writer_txn == txn.id && head.older != kInvalidVersion &&
-                   &versions_[head.older] == &v;
-      }
-      if (!replaced) {
-        v.end_ts = commit_ts;
-        v.ender_txn = 0;
-      }
+    if (op.created != kInvalidVersion) {
+      versions_[op.created].begin_ts.store(commit_ts,
+                                           std::memory_order_release);
     }
   }
+  write_sets_.erase(it);
 }
 
 void MvccTable::AbortTransaction(const Transaction& txn) {
-  // Unwind heads that point to this transaction's versions.
-  for (auto& head : heads_) {
-    while (head != kInvalidVersion && versions_[head].writer_txn == txn.id &&
-           versions_[head].begin_ts == kTsInfinity) {
-      head = versions_[head].older;
+  auto it = write_sets_.find(txn.id);
+  if (it == write_sets_.end()) return;
+  // Reverse order: with several updates to one row in the same txn, each
+  // step restores the head this op displaced.
+  for (auto op = it->second.rbegin(); op != it->second.rend(); ++op) {
+    if (op->created != kInvalidVersion) {
+      Version& v = versions_[op->created];
+      // First-updater-wins guarantees no other txn stacked on top of our
+      // uncommitted version, so the head is still ours.
+      heads_[v.logical].store(v.older.load(std::memory_order_relaxed),
+                              std::memory_order_release);
+    }
+    if (op->ended != kInvalidVersion) {
+      versions_[op->ended].ender_txn.store(0, std::memory_order_release);
     }
   }
-  for (auto& v : versions_) {
-    if (v.ender_txn == txn.id) v.ender_txn = 0;
+  write_sets_.erase(it);
+}
+
+size_t MvccTable::ReclaimBefore(Timestamp horizon) {
+  size_t reclaimed = 0;
+  size_t n = heads_.size();
+  for (LogicalId id = 0; id < n; ++id) {
+    uint64_t idx = heads_[id].load(std::memory_order_acquire);
+    // Newest version committed at or before the horizon: every snapshot
+    // with read_ts >= horizon resolves to it or something newer.
+    while (idx != kInvalidVersion) {
+      const Version& v = versions_[idx];
+      Timestamp begin = v.begin_ts.load(std::memory_order_acquire);
+      if (begin != kTsInfinity && begin <= horizon) break;
+      idx = v.older.load(std::memory_order_acquire);
+    }
+    if (idx == kInvalidVersion) continue;
+    Version& keep = versions_[idx];
+    uint64_t dead = keep.older.load(std::memory_order_relaxed);
+    if (dead == kInvalidVersion) continue;
+    keep.older.store(kInvalidVersion, std::memory_order_release);
+    while (dead != kInvalidVersion) {
+      dead = versions_[dead].older.load(std::memory_order_relaxed);
+      ++reclaimed;
+    }
   }
+  return reclaimed;
 }
 
 std::vector<Rid> MvccTable::SnapshotRids(Timestamp read_ts) const {
   std::vector<Rid> rids;
-  rids.reserve(heads_.size());
+  size_t n = heads_.size();
+  rids.reserve(n);
   Transaction snap;
   snap.id = 0;  // matches no writer
   snap.read_ts = read_ts;
-  for (LogicalId id = 0; id < heads_.size(); ++id) {
+  for (LogicalId id = 0; id < n; ++id) {
     auto rid = Read(snap, id);
     if (rid.has_value()) rids.push_back(*rid);
   }

@@ -8,10 +8,24 @@
 // commit timestamps; a snapshot at read-timestamp T sees the version whose
 // stamp interval contains T.
 //
-// Concurrency model: timestamps are allocated atomically, so concurrent
-// readers are safe against committed data. Writers to the *same logical
-// row* detect conflicts via first-updater-wins (write-write conflicts
-// abort). This mirrors classic MVCC as cited by the paper [3].
+// Concurrency model:
+//   - Mutators (Insert/Update/Delete/CommitTransaction/AbortTransaction/
+//     ReclaimBefore) must be externally serialized — the engine holds a
+//     coarse writer lock (§7's no-rebalancing property makes in-place
+//     index maintenance cheap enough that one writer suffices for now).
+//   - Readers (Read/SnapshotRids/RidVisibleAt) are lock-free and may run
+//     concurrently with the single writer: version storage has stable
+//     addresses (StableVector / RowTable stable mode) and all stamps are
+//     atomics published with release/acquire ordering.
+//   - Writers to the *same logical row* detect conflicts via
+//     first-updater-wins (write-write conflicts abort), mirroring classic
+//     MVCC as cited by the paper [3].
+//
+// Commit protocol (two-phase, fixing the visibility window where a reader
+// could begin with read_ts >= commit_ts yet still see pre-commit state):
+//   Timestamp ts = tm.BeginCommit();      // allocate, NOT yet visible
+//   table.CommitTransaction(txn, ts);     // stamp this txn's versions
+//   tm.FinishCommit(txn, ts);             // publish: new Begin()s see ts
 
 #ifndef QPPT_STORAGE_MVCC_H_
 #define QPPT_STORAGE_MVCC_H_
@@ -22,9 +36,11 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "storage/row_table.h"
+#include "util/stable_vector.h"
 #include "util/status.h"
 
 namespace qppt {
@@ -52,11 +68,24 @@ class TransactionManager {
     return txn;
   }
 
-  // Assigns a commit timestamp and marks the transaction committed.
-  Timestamp Commit(Transaction& txn) {
-    Timestamp ts = last_commit_ts_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  // Allocates a commit timestamp without publishing it. The caller stamps
+  // the transaction's versions (MvccTable::CommitTransaction), then calls
+  // FinishCommit to make the timestamp visible to new snapshots.
+  Timestamp BeginCommit() {
+    return next_commit_ts_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  // Publishes `commit_ts`. Commits publish in timestamp order (waits for
+  // ts-1), so last_commit_ts_ == T guarantees every commit <= T is fully
+  // stamped — a reader can never get read_ts >= commit_ts while the
+  // versions still carry pre-commit stamps.
+  void FinishCommit(Transaction& txn, Timestamp commit_ts) {
+    Timestamp expect = commit_ts - 1;
+    while (last_commit_ts_.load(std::memory_order_acquire) != expect) {
+      // another committer between BeginCommit and FinishCommit; rare
+    }
+    last_commit_ts_.store(commit_ts, std::memory_order_release);
     txn.committed = true;
-    return ts;
   }
 
   void Abort(Transaction& txn) { txn.aborted = true; }
@@ -67,21 +96,27 @@ class TransactionManager {
 
  private:
   std::atomic<uint64_t> next_txn_id_{1};
-  std::atomic<Timestamp> last_commit_ts_{0};
+  std::atomic<Timestamp> next_commit_ts_{1};  // next ts BeginCommit hands out
+  std::atomic<Timestamp> last_commit_ts_{0};  // highest fully-stamped ts
 };
 
 // A versioned table. Logical rows are identified by LogicalId; each version
-// is a physical row in the backing RowTable.
+// is a physical row in the backing RowTable. Physical rids and version
+// indexes coincide: version i describes physical row i, so visibility of a
+// rid surfaced by an index probe is an O(1) check (RidVisibleAt).
 class MvccTable {
  public:
   using LogicalId = uint64_t;
 
   explicit MvccTable(Schema schema, std::string name = "")
-      : storage_(std::move(schema), std::move(name)) {}
+      : storage_(std::move(schema), std::move(name),
+                 RowTable::Growth::kStable) {}
 
   const Schema& schema() const { return storage_.schema(); }
+  const std::string& name() const { return storage_.name(); }
   const RowTable& storage() const { return storage_; }
   size_t num_logical_rows() const { return heads_.size(); }
+  size_t num_versions() const { return versions_.size(); }
 
   // Inserts a new logical row; becomes visible once `commit_ts` is stamped
   // via CommitTransaction. Returns the logical id.
@@ -89,23 +124,56 @@ class MvccTable {
 
   // Installs a new version of `id`. Fails with AlreadyExists (write-write
   // conflict) if another in-flight transaction already updated `id`, or
-  // NotFound if `id` is deleted in this snapshot.
+  // NotFound if `id` is deleted in this snapshot (including by this
+  // transaction itself) or never committed (aborted insert).
   Status Update(Transaction& txn, LogicalId id,
                 std::span<const uint64_t> row);
 
-  // Marks `id` deleted as of this transaction.
+  // Marks `id` deleted as of this transaction. Same failure contract as
+  // Update; deleting an already-deleted row is NotFound.
   Status Delete(Transaction& txn, LogicalId id);
 
   // Returns the physical rid of the version of `id` visible at the
   // transaction's snapshot, or nullopt if invisible/deleted.
   std::optional<Rid> Read(const Transaction& txn, LogicalId id) const;
 
-  // Stamps all of `txn`'s writes with `commit_ts`. Must be called after
-  // TransactionManager::Commit.
+  // Stamps all of `txn`'s writes with `commit_ts` and releases the write
+  // set. Call between TransactionManager::BeginCommit and FinishCommit.
+  // Cost: O(txn's own writes).
   void CommitTransaction(const Transaction& txn, Timestamp commit_ts);
 
-  // Reverts all of `txn`'s writes.
+  // Reverts all of `txn`'s writes. Cost: O(txn's own writes).
   void AbortTransaction(const Transaction& txn);
+
+  // True if physical row `rid` is visible at snapshot `ts`: its version is
+  // committed with begin_ts <= ts < end_ts. Lock-free; O(1).
+  bool RidVisibleAt(Rid rid, Timestamp ts) const {
+    const Version& v = versions_[rid];
+    Timestamp begin = v.begin_ts.load(std::memory_order_acquire);
+    if (begin > ts) return false;  // also covers uncommitted (kTsInfinity)
+    return v.end_ts.load(std::memory_order_acquire) > ts;
+  }
+
+  // Invokes fn(Rid) for each new physical row `txn` created (inserts and
+  // update-successors). Used to publish pending rows into live indexes
+  // before commit stamps them visible. Must run before CommitTransaction
+  // (which releases the write set).
+  template <typename F>
+  void ForEachPendingWrite(const Transaction& txn, F&& fn) const {
+    auto it = write_sets_.find(txn.id);
+    if (it == write_sets_.end()) return;
+    for (const WriteOp& op : it->second) {
+      if (op.created != kInvalidVersion) fn(versions_[op.created].rid);
+    }
+  }
+
+  // Epoch-deferred reclamation: unlinks version-chain tails that no active
+  // or future snapshot with read_ts >= horizon can reach (everything older
+  // than the newest version committed at or before `horizon`). Unlinked
+  // versions stay allocated — rids are stable and a straggling reader may
+  // still be traversing them — but chains stop growing without bound.
+  // Returns the number of versions unlinked. Writer-serialized.
+  size_t ReclaimBefore(Timestamp horizon);
 
   // Scans all logical rows visible at `read_ts` (committed data only) and
   // returns their physical rids, in logical-id order.
@@ -113,21 +181,29 @@ class MvccTable {
 
  private:
   struct Version {
-    Timestamp begin_ts = kTsInfinity;  // kTsInfinity while uncommitted
-    Timestamp end_ts = kTsInfinity;
-    uint64_t writer_txn = 0;   // txn that created this version
-    uint64_t ender_txn = 0;    // in-flight txn that set end_ts (0 = none)
-    uint64_t older = kInvalidVersion;  // next-older version index
-    Rid rid = 0;               // physical row in storage_
+    std::atomic<Timestamp> begin_ts{kTsInfinity};  // kTsInfinity: uncommitted
+    std::atomic<Timestamp> end_ts{kTsInfinity};
+    uint64_t writer_txn = 0;  // txn that created this version (pre-publish)
+    std::atomic<uint64_t> ender_txn{0};  // in-flight txn that set end_ts
+    std::atomic<uint64_t> older{kInvalidVersion};  // next-older version idx
+    Rid rid = 0;              // physical row in storage_ (== version index)
     LogicalId logical = 0;
   };
 
-  // Returns version index visible at `ts`, following the chain from head.
-  uint64_t FindVisible(uint64_t head, Timestamp ts) const;
+  // One mutation by a transaction: the version it created (insert/update)
+  // and/or the prior head it terminated (update/delete).
+  struct WriteOp {
+    uint64_t created = kInvalidVersion;
+    uint64_t ended = kInvalidVersion;
+  };
 
   RowTable storage_;
-  std::vector<uint64_t> heads_;     // logical id -> newest version index
-  std::vector<Version> versions_;
+  // logical id -> newest version index; kInvalidVersion after an aborted
+  // insert. StableVector: readers chase heads while the writer appends.
+  StableVector<std::atomic<uint64_t>> heads_;
+  StableVector<Version> versions_;
+  // txn id -> its write ops, in execution order. Writer-serialized.
+  std::unordered_map<uint64_t, std::vector<WriteOp>> write_sets_;
 };
 
 }  // namespace qppt

@@ -2,15 +2,51 @@
 
 #include <cassert>
 #include <cstdint>
+#include <cstring>
 #include <string>
 
 namespace qppt {
 
+RowTable::~RowTable() {
+  if (dir_ == nullptr) return;
+  for (size_t c = 0; c < stable_chunks_; ++c) {
+    delete[] dir_[c].load(std::memory_order_relaxed);
+  }
+}
+
+uint64_t* RowTable::StableChunkFor(Rid rid) {
+  if (dir_ == nullptr) {
+    dir_ = std::make_unique<std::atomic<uint64_t*>[]>(kMaxChunks);
+  }
+  size_t c = rid >> kChunkRowsLog2;
+  uint64_t* chunk = dir_[c].load(std::memory_order_relaxed);
+  if (chunk == nullptr) {
+    chunk = new uint64_t[kChunkRows * schema_.num_columns()];
+    dir_[c].store(chunk, std::memory_order_release);
+    stable_chunks_ = c + 1;
+  }
+  return chunk;
+}
+
 Rid RowTable::AppendRow(std::span<const uint64_t> row) {
   assert(row.size() == schema_.num_columns());
-  Rid rid = num_rows();
-  slots_.insert(slots_.end(), row.begin(), row.end());
+  if (growth_ == Growth::kFlat) {
+    Rid rid = num_rows();
+    slots_.insert(slots_.end(), row.begin(), row.end());
+    return rid;
+  }
+  Rid rid = stable_rows_.load(std::memory_order_relaxed);
+  uint64_t* chunk = StableChunkFor(rid);
+  std::memcpy(chunk + (rid & kChunkRowsMask) * schema_.num_columns(),
+              row.data(), row.size() * sizeof(uint64_t));
+  stable_rows_.store(rid + 1, std::memory_order_release);
   return rid;
+}
+
+size_t RowTable::MemoryUsage() const {
+  if (growth_ == Growth::kFlat) return slots_.capacity() * sizeof(uint64_t);
+  return stable_chunks_ * kChunkRows * schema_.num_columns() *
+         sizeof(uint64_t);
 }
 
 Value RowTable::GetValue(Rid rid, size_t col) const {

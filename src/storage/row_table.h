@@ -3,11 +3,22 @@
 // This is DexterDB's storage substrate (§5): an in-memory row-store. Every
 // column occupies one 64-bit slot; a record of an N-column table is N
 // consecutive slots. The record identifier (rid) is the row's ordinal.
+//
+// Growth modes:
+//   - kFlat (default): one contiguous std::vector of slots. Fastest reads,
+//     but AppendRow may reallocate — only safe while no one else reads.
+//   - kStable: records live in fixed-size chunks behind a directory of
+//     atomic chunk pointers. A record's address never changes after
+//     AppendRow publishes it (release on num_rows, acquire on access), so
+//     a single writer can append while snapshot readers run lock-free.
+//     MVCC-backed tables use this mode; records never straddle a chunk.
 
 #ifndef QPPT_STORAGE_ROW_TABLE_H_
 #define QPPT_STORAGE_ROW_TABLE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -22,35 +33,49 @@ using Rid = uint64_t;
 
 class RowTable {
  public:
-  explicit RowTable(Schema schema, std::string name = "")
-      : schema_(std::move(schema)), name_(std::move(name)) {}
+  enum class Growth : uint8_t { kFlat, kStable };
+
+  explicit RowTable(Schema schema, std::string name = "",
+                    Growth growth = Growth::kFlat)
+      : schema_(std::move(schema)),
+        name_(std::move(name)),
+        growth_(growth) {}
+  ~RowTable();
+  RowTable(const RowTable&) = delete;
+  RowTable& operator=(const RowTable&) = delete;
 
   const Schema& schema() const { return schema_; }
   const std::string& name() const { return name_; }
+  bool stable() const { return growth_ == Growth::kStable; }
   size_t num_rows() const {
-    return schema_.num_columns() == 0
-               ? 0
-               : slots_.size() / schema_.num_columns();
+    if (growth_ == Growth::kStable) {
+      return stable_rows_.load(std::memory_order_acquire);
+    }
+    return schema_.num_columns() == 0 ? 0
+                                      : slots_.size() / schema_.num_columns();
   }
 
   void Reserve(size_t rows) {
-    slots_.reserve(rows * schema_.num_columns());
+    if (growth_ == Growth::kFlat) slots_.reserve(rows * schema_.num_columns());
   }
 
   // Appends a record; `row` must have exactly num_columns() slots.
-  // Returns the new row's rid.
+  // Returns the new row's rid. In stable mode, a single writer may append
+  // concurrently with readers.
   Rid AppendRow(std::span<const uint64_t> row);
 
   // Raw slot access (hot path for operators).
-  uint64_t GetSlot(Rid rid, size_t col) const {
-    return slots_[rid * schema_.num_columns() + col];
-  }
+  uint64_t GetSlot(Rid rid, size_t col) const { return Record(rid)[col]; }
   void SetSlot(Rid rid, size_t col, uint64_t slot) {
-    slots_[rid * schema_.num_columns() + col] = slot;
+    const_cast<uint64_t*>(Record(rid))[col] = slot;
   }
   // Pointer to the first slot of `rid`'s record.
   const uint64_t* Record(Rid rid) const {
-    return slots_.data() + rid * schema_.num_columns();
+    if (growth_ == Growth::kFlat) {
+      return slots_.data() + rid * schema_.num_columns();
+    }
+    return dir_[rid >> kChunkRowsLog2].load(std::memory_order_acquire) +
+           (rid & kChunkRowsMask) * schema_.num_columns();
   }
 
   // Typed access: decodes the slot per the column's declared type
@@ -59,12 +84,26 @@ class RowTable {
   Result<Value> GetValue(Rid rid, const std::string& column) const;
 
   // Approximate memory footprint in bytes.
-  size_t MemoryUsage() const { return slots_.capacity() * sizeof(uint64_t); }
+  size_t MemoryUsage() const;
 
  private:
+  // Stable mode: 2^14 rows per chunk, directory of 2^16 chunk pointers
+  // (capacity 2^30 rows). Whole records never straddle a chunk boundary.
+  static constexpr size_t kChunkRowsLog2 = 14;
+  static constexpr size_t kChunkRows = size_t{1} << kChunkRowsLog2;
+  static constexpr size_t kChunkRowsMask = kChunkRows - 1;
+  static constexpr size_t kMaxChunks = size_t{1} << 16;
+
+  uint64_t* StableChunkFor(Rid rid);
+
   Schema schema_;
   std::string name_;
-  std::vector<uint64_t> slots_;
+  Growth growth_ = Growth::kFlat;
+  std::vector<uint64_t> slots_;  // kFlat storage
+  // kStable storage: lazily allocated directory + chunks.
+  std::unique_ptr<std::atomic<uint64_t*>[]> dir_;
+  std::atomic<size_t> stable_rows_{0};
+  size_t stable_chunks_ = 0;
 };
 
 }  // namespace qppt

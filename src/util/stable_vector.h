@@ -1,0 +1,97 @@
+// Single-writer / multi-reader append-only vector with stable addresses.
+//
+// The MVCC write path appends row versions while lock-free snapshot
+// readers resolve earlier entries concurrently. std::vector cannot serve
+// that shape: push_back reallocates, invalidating every concurrent read.
+// StableVector stores elements in fixed-size chunks behind a fixed-size
+// directory of atomic chunk pointers, so an element's address never
+// changes after PushBack publishes it:
+//
+//   * exactly ONE writer thread may call PushBack/EmplaceBack at a time
+//     (the engine's coarse writer lock provides this),
+//   * any number of readers may call operator[] / size() concurrently
+//     with the writer, for indexes below a size() they observed —
+//     publication is release (size_) / acquire (readers), so the
+//     element's bytes are visible.
+//
+// The directory is allocated lazily on first append (an empty vector
+// costs two words) and never grows: capacity is kMaxChunks << kChunkLog2
+// elements, a compile-time bound chosen by the instantiation.
+
+#ifndef QPPT_UTIL_STABLE_VECTOR_H_
+#define QPPT_UTIL_STABLE_VECTOR_H_
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+namespace qppt {
+
+template <typename T, size_t kChunkLog2 = 12, size_t kMaxChunks = (1u << 16)>
+class StableVector {
+ public:
+  static constexpr size_t kChunkSize = size_t{1} << kChunkLog2;
+  static constexpr size_t kChunkMask = kChunkSize - 1;
+
+  StableVector() = default;
+  ~StableVector() {
+    if (dir_ == nullptr) return;
+    size_t n = size_.load(std::memory_order_relaxed);
+    size_t chunks = (n + kChunkSize - 1) >> kChunkLog2;
+    for (size_t c = 0; c < chunks; ++c) {
+      T* chunk = dir_[c].load(std::memory_order_relaxed);
+      size_t begin = c << kChunkLog2;
+      size_t used = (n - begin) < kChunkSize ? (n - begin) : kChunkSize;
+      for (size_t i = 0; i < used; ++i) chunk[i].~T();
+      ::operator delete[](chunk, std::align_val_t{alignof(T)});
+    }
+  }
+  StableVector(const StableVector&) = delete;
+  StableVector& operator=(const StableVector&) = delete;
+
+  size_t size() const { return size_.load(std::memory_order_acquire); }
+  bool empty() const { return size() == 0; }
+
+  T& operator[](size_t i) {
+    return dir_[i >> kChunkLog2].load(std::memory_order_acquire)
+        [i & kChunkMask];
+  }
+  const T& operator[](size_t i) const {
+    return dir_[i >> kChunkLog2].load(std::memory_order_acquire)
+        [i & kChunkMask];
+  }
+
+  // Appends and publishes one element. Single writer only.
+  template <typename... Args>
+  T& EmplaceBack(Args&&... args) {
+    size_t i = size_.load(std::memory_order_relaxed);
+    T* chunk = ChunkFor(i);
+    T* slot = new (&chunk[i & kChunkMask]) T(std::forward<Args>(args)...);
+    size_.store(i + 1, std::memory_order_release);
+    return *slot;
+  }
+  void PushBack(const T& v) { EmplaceBack(v); }
+
+ private:
+  T* ChunkFor(size_t i) {
+    if (dir_ == nullptr) {
+      dir_ = std::make_unique<std::atomic<T*>[]>(kMaxChunks);
+    }
+    size_t c = i >> kChunkLog2;
+    T* chunk = dir_[c].load(std::memory_order_relaxed);
+    if (chunk == nullptr) {
+      chunk = static_cast<T*>(::operator new[](
+          kChunkSize * sizeof(T), std::align_val_t{alignof(T)}));
+      dir_[c].store(chunk, std::memory_order_release);
+    }
+    return chunk;
+  }
+
+  std::unique_ptr<std::atomic<T*>[]> dir_;
+  std::atomic<size_t> size_{0};
+};
+
+}  // namespace qppt
+
+#endif  // QPPT_UTIL_STABLE_VECTOR_H_

@@ -131,8 +131,9 @@ TEST(BaseIndexTest, SnapshotIndexRespectsVisibility) {
   Transaction t1 = tm.Begin();
   uint64_t row[1] = {SlotFromInt64(1)};
   table.Insert(t1, row);
-  Timestamp ts1 = tm.Commit(t1);
+  Timestamp ts1 = tm.BeginCommit();
   table.CommitTransaction(t1, ts1);
+  tm.FinishCommit(t1, ts1);
 
   // Uncommitted second row must be invisible to the index snapshot.
   Transaction t2 = tm.Begin();
@@ -146,8 +147,9 @@ TEST(BaseIndexTest, SnapshotIndexRespectsVisibility) {
   ASSERT_TRUE(index.ok());
   EXPECT_EQ((*index)->num_rows(), 1u);
 
-  Timestamp ts2 = tm.Commit(t2);
+  Timestamp ts2 = tm.BeginCommit();
   table.CommitTransaction(t2, ts2);
+  tm.FinishCommit(t2, ts2);
   auto index2 =
       BaseIndex::BuildFromSnapshot(&table, tm.last_commit_ts(), {"k"}, {}, opt);
   ASSERT_TRUE(index2.ok());

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "storage/mvcc.h"
 
 namespace qppt {
@@ -16,18 +20,33 @@ class MvccTest : public ::testing::Test {
   TransactionManager tm_;
   MvccTable table_{OneCol(), "t"};
 
+  Timestamp Commit(Transaction& txn) {
+    Timestamp ts = tm_.BeginCommit();
+    table_.CommitTransaction(txn, ts);
+    tm_.FinishCommit(txn, ts);
+    return ts;
+  }
+
   MvccTable::LogicalId CommittedInsert(int64_t v) {
     Transaction txn = tm_.Begin();
     uint64_t row[1] = {RowOf(v)};
     auto id = table_.Insert(txn, row);
-    Timestamp ts = tm_.Commit(txn);
-    table_.CommitTransaction(txn, ts);
+    Commit(txn);
     return id;
+  }
+
+  Status CommittedUpdate(MvccTable::LogicalId id, int64_t v) {
+    Transaction txn = tm_.Begin();
+    uint64_t row[1] = {RowOf(v)};
+    Status st = table_.Update(txn, id, row);
+    if (st.ok()) Commit(txn);
+    return st;
   }
 
   int64_t ReadAt(const Transaction& txn, MvccTable::LogicalId id) {
     auto rid = table_.Read(txn, id);
     EXPECT_TRUE(rid.has_value());
+    if (!rid.has_value()) return -1;
     return Int64FromSlot(table_.storage().GetSlot(*rid, 0));
   }
 };
@@ -43,8 +62,7 @@ TEST_F(MvccTest, InsertInvisibleUntilCommit) {
   // The writer sees its own uncommitted insert.
   EXPECT_TRUE(table_.Read(writer, id).has_value());
 
-  Timestamp ts = tm_.Commit(writer);
-  table_.CommitTransaction(writer, ts);
+  Commit(writer);
 
   // The old snapshot still does not see it; a fresh one does.
   EXPECT_FALSE(table_.Read(reader, id).has_value());
@@ -56,11 +74,7 @@ TEST_F(MvccTest, SnapshotReadsOldVersionDuringUpdate) {
   auto id = CommittedInsert(10);
 
   Transaction reader = tm_.Begin();
-  Transaction writer = tm_.Begin();
-  uint64_t row[1] = {RowOf(20)};
-  ASSERT_TRUE(table_.Update(writer, id, row).ok());
-  Timestamp ts = tm_.Commit(writer);
-  table_.CommitTransaction(writer, ts);
+  ASSERT_TRUE(CommittedUpdate(id, 20).ok());
 
   // Reader began before the commit: sees 10.
   EXPECT_EQ(ReadAt(reader, id), 10);
@@ -84,11 +98,7 @@ TEST_F(MvccTest, UpdateAgainstNewerCommitFails) {
   auto id = CommittedInsert(10);
   Transaction stale = tm_.Begin();
   // Another transaction commits an update.
-  Transaction fresh = tm_.Begin();
-  uint64_t row[1] = {RowOf(30)};
-  ASSERT_TRUE(table_.Update(fresh, id, row).ok());
-  Timestamp ts = tm_.Commit(fresh);
-  table_.CommitTransaction(fresh, ts);
+  ASSERT_TRUE(CommittedUpdate(id, 30).ok());
   // The stale snapshot must not blind-write over it.
   uint64_t row2[1] = {RowOf(40)};
   EXPECT_FALSE(table_.Update(stale, id, row2).ok());
@@ -114,8 +124,7 @@ TEST_F(MvccTest, DeleteHidesRow) {
   auto id = CommittedInsert(10);
   Transaction deleter = tm_.Begin();
   ASSERT_TRUE(table_.Delete(deleter, id).ok());
-  Timestamp ts = tm_.Commit(deleter);
-  table_.CommitTransaction(deleter, ts);
+  Commit(deleter);
 
   Transaction reader = tm_.Begin();
   EXPECT_FALSE(table_.Read(reader, id).has_value());
@@ -126,11 +135,7 @@ TEST_F(MvccTest, VersionChainAcrossManyUpdates) {
   std::vector<Transaction> snapshots;
   for (int i = 1; i <= 5; ++i) {
     snapshots.push_back(tm_.Begin());
-    Transaction w = tm_.Begin();
-    uint64_t row[1] = {RowOf(i)};
-    ASSERT_TRUE(table_.Update(w, id, row).ok());
-    Timestamp ts = tm_.Commit(w);
-    table_.CommitTransaction(w, ts);
+    ASSERT_TRUE(CommittedUpdate(id, i).ok());
   }
   // snapshot[i] was taken when the value was i.
   for (int i = 0; i < 5; ++i) {
@@ -145,8 +150,7 @@ TEST_F(MvccTest, SnapshotRidsEnumeratesVisibleRows) {
   // Delete row 2.
   Transaction deleter = tm_.Begin();
   ASSERT_TRUE(table_.Delete(deleter, id2).ok());
-  Timestamp ts = tm_.Commit(deleter);
-  table_.CommitTransaction(deleter, ts);
+  Commit(deleter);
 
   auto rids = table_.SnapshotRids(tm_.last_commit_ts());
   ASSERT_EQ(rids.size(), 2u);
@@ -159,6 +163,212 @@ TEST_F(MvccTest, UpdateMissingRowIsNotFound) {
   uint64_t row[1] = {RowOf(1)};
   EXPECT_TRUE(table_.Update(t, 999, row).IsNotFound());
   EXPECT_TRUE(table_.Delete(t, 999).IsNotFound());
+}
+
+// --- regressions for the MVCC bug fixes ------------------------------------
+
+// heads_[id] == kInvalidVersion after an aborted insert used to index
+// versions_[kInvalidVersion] — out of bounds. Update/Delete/Read must all
+// report NotFound instead.
+TEST_F(MvccTest, AbortedInsertThenUpdateIsNotFound) {
+  Transaction ins = tm_.Begin();
+  uint64_t row[1] = {RowOf(7)};
+  auto id = table_.Insert(ins, row);
+  tm_.Abort(ins);
+  table_.AbortTransaction(ins);
+
+  Transaction t = tm_.Begin();
+  uint64_t row2[1] = {RowOf(8)};
+  EXPECT_TRUE(table_.Update(t, id, row2).IsNotFound());
+  EXPECT_TRUE(table_.Delete(t, id).IsNotFound());
+  EXPECT_FALSE(table_.Read(t, id).has_value());
+  // The dead logical id is skipped, not crashed on, by full scans too.
+  EXPECT_TRUE(table_.SnapshotRids(tm_.last_commit_ts()).empty());
+}
+
+// Delete used to skip the end_ts check Update has and happily "deleted" an
+// already-deleted row.
+TEST_F(MvccTest, DeleteOfDeletedRowIsNotFound) {
+  auto id = CommittedInsert(10);
+  Transaction d1 = tm_.Begin();
+  ASSERT_TRUE(table_.Delete(d1, id).ok());
+  Commit(d1);
+
+  Transaction d2 = tm_.Begin();
+  EXPECT_TRUE(table_.Delete(d2, id).IsNotFound());
+  uint64_t row[1] = {RowOf(11)};
+  EXPECT_TRUE(table_.Update(d2, id, row).IsNotFound());
+}
+
+TEST_F(MvccTest, DoubleDeleteWithinTransactionIsNotFound) {
+  auto id = CommittedInsert(10);
+  Transaction t = tm_.Begin();
+  ASSERT_TRUE(table_.Delete(t, id).ok());
+  EXPECT_TRUE(table_.Delete(t, id).IsNotFound());
+}
+
+TEST_F(MvccTest, UpdateAfterOwnDeleteDoesNotResurrect) {
+  auto id = CommittedInsert(10);
+  Transaction t = tm_.Begin();
+  ASSERT_TRUE(table_.Delete(t, id).ok());
+  uint64_t row[1] = {RowOf(11)};
+  EXPECT_TRUE(table_.Update(t, id, row).IsNotFound());
+  // The transaction's own reads agree the row is gone.
+  EXPECT_FALSE(table_.Read(t, id).has_value());
+  // Abort undoes the pending delete.
+  tm_.Abort(t);
+  table_.AbortTransaction(t);
+  Transaction r = tm_.Begin();
+  EXPECT_EQ(ReadAt(r, id), 10);
+}
+
+TEST_F(MvccTest, DeleteOfOwnInsertLeavesNoVisibleRow) {
+  Transaction t = tm_.Begin();
+  uint64_t row[1] = {RowOf(5)};
+  auto id = table_.Insert(t, row);
+  ASSERT_TRUE(table_.Delete(t, id).ok());
+  EXPECT_FALSE(table_.Read(t, id).has_value());
+  Commit(t);
+  Transaction r = tm_.Begin();
+  EXPECT_FALSE(table_.Read(r, id).has_value());
+}
+
+// The commit timestamp must not be observable by new snapshots until the
+// versions are stamped; with the old single-shot Commit a reader beginning
+// in between saw read_ts >= commit_ts but the pre-commit row state.
+TEST_F(MvccTest, CommitTimestampPublishedOnlyAfterStamping) {
+  auto id = CommittedInsert(10);
+  Transaction w = tm_.Begin();
+  uint64_t row[1] = {RowOf(20)};
+  ASSERT_TRUE(table_.Update(w, id, row).ok());
+
+  Timestamp ts = tm_.BeginCommit();
+  // Allocated but unpublished: a new snapshot stays below ts and reads the
+  // old version.
+  Transaction mid = tm_.Begin();
+  EXPECT_LT(mid.read_ts, ts);
+  EXPECT_EQ(ReadAt(mid, id), 10);
+
+  table_.CommitTransaction(w, ts);
+  tm_.FinishCommit(w, ts);
+  Transaction after = tm_.Begin();
+  EXPECT_GE(after.read_ts, ts);
+  EXPECT_EQ(ReadAt(after, id), 20);
+}
+
+// Commit stamps only the committing transaction's write set; a concurrent
+// transaction's pending writes stay uncommitted and commit independently.
+TEST_F(MvccTest, CommitTouchesOnlyOwnWrites) {
+  auto id1 = CommittedInsert(1);
+  auto id2 = CommittedInsert(2);
+  Transaction a = tm_.Begin();
+  Transaction b = tm_.Begin();
+  uint64_t row_a[1] = {RowOf(11)};
+  uint64_t row_b[1] = {RowOf(22)};
+  ASSERT_TRUE(table_.Update(a, id1, row_a).ok());
+  ASSERT_TRUE(table_.Update(b, id2, row_b).ok());
+
+  Commit(a);
+  Transaction r = tm_.Begin();
+  EXPECT_EQ(ReadAt(r, id1), 11);
+  EXPECT_EQ(ReadAt(r, id2), 2);  // b's write still invisible
+
+  Commit(b);
+  Transaction r2 = tm_.Begin();
+  EXPECT_EQ(ReadAt(r2, id2), 22);
+}
+
+TEST_F(MvccTest, RidVisibleAtTracksVersionLifetime) {
+  Transaction w = tm_.Begin();
+  uint64_t row[1] = {RowOf(1)};
+  auto id = table_.Insert(w, row);
+  Rid rid0 = *table_.Read(w, id);
+  EXPECT_FALSE(table_.RidVisibleAt(rid0, tm_.last_commit_ts()));
+  Timestamp ts1 = Commit(w);
+  EXPECT_TRUE(table_.RidVisibleAt(rid0, ts1));
+
+  Transaction u = tm_.Begin();
+  uint64_t row2[1] = {RowOf(2)};
+  ASSERT_TRUE(table_.Update(u, id, row2).ok());
+  Rid rid1 = *table_.Read(u, id);
+  EXPECT_FALSE(table_.RidVisibleAt(rid1, ts1));  // uncommitted
+  Timestamp ts2 = Commit(u);
+  EXPECT_TRUE(table_.RidVisibleAt(rid0, ts1));   // old snapshot keeps rid0
+  EXPECT_FALSE(table_.RidVisibleAt(rid0, ts2));  // superseded
+  EXPECT_TRUE(table_.RidVisibleAt(rid1, ts2));
+}
+
+TEST_F(MvccTest, ForEachPendingWriteListsCreatedRows) {
+  auto id0 = CommittedInsert(1);
+  Transaction w = tm_.Begin();
+  uint64_t row[1] = {RowOf(2)};
+  auto id1 = table_.Insert(w, row);
+  uint64_t row2[1] = {RowOf(3)};
+  ASSERT_TRUE(table_.Update(w, id0, row2).ok());
+  ASSERT_TRUE(table_.Delete(w, id1).ok());
+
+  std::vector<Rid> rids;
+  table_.ForEachPendingWrite(w, [&](Rid r) { rids.push_back(r); });
+  // Insert and update each created one physical row; delete created none.
+  EXPECT_EQ(rids.size(), 2u);
+}
+
+TEST_F(MvccTest, ReclaimBeforeUnlinksSupersededVersions) {
+  auto id = CommittedInsert(0);
+  for (int i = 1; i <= 4; ++i) {
+    ASSERT_TRUE(CommittedUpdate(id, i).ok());
+  }
+  // Horizon at the latest commit: only the newest version stays reachable.
+  EXPECT_EQ(table_.ReclaimBefore(tm_.last_commit_ts()), 4u);
+  Transaction r = tm_.Begin();
+  EXPECT_EQ(ReadAt(r, id), 4);
+  EXPECT_EQ(table_.ReclaimBefore(tm_.last_commit_ts()), 0u);
+}
+
+TEST_F(MvccTest, ReclaimRespectsHorizonOfActiveSnapshot) {
+  auto id = CommittedInsert(0);
+  Transaction old_snap = tm_.Begin();
+  for (int i = 1; i <= 3; ++i) {
+    ASSERT_TRUE(CommittedUpdate(id, i).ok());
+  }
+  // With the horizon pinned at the old snapshot, its version must survive.
+  size_t n = table_.ReclaimBefore(old_snap.read_ts);
+  EXPECT_EQ(n, 0u);
+  EXPECT_EQ(ReadAt(old_snap, id), 0);
+}
+
+// A reader starting at an arbitrary point during a commit stream must see a
+// state consistent with its snapshot timestamp: after N commits (commit i
+// sets the value to i at timestamp ts0+i), a snapshot at T sees exactly
+// T - ts0. Run with TSan to check the publication ordering.
+TEST_F(MvccTest, ReaderRacingCommitsSeesConsistentSnapshot) {
+  auto id = CommittedInsert(0);
+  Timestamp ts0 = tm_.last_commit_ts();
+  std::atomic<bool> done{false};
+
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      Transaction r = tm_.Begin();
+      auto rid = table_.Read(r, id);
+      ASSERT_TRUE(rid.has_value());
+      int64_t v = Int64FromSlot(table_.storage().GetSlot(*rid, 0));
+      EXPECT_EQ(v, static_cast<int64_t>(r.read_ts - ts0));
+    }
+  });
+
+  for (int i = 1; i <= 500; ++i) {
+    Transaction w = tm_.Begin();
+    uint64_t row[1] = {RowOf(i)};
+    ASSERT_TRUE(table_.Update(w, id, row).ok());
+    Timestamp ts = tm_.BeginCommit();
+    table_.CommitTransaction(w, ts);
+    tm_.FinishCommit(w, ts);
+  }
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  Transaction final_r = tm_.Begin();
+  EXPECT_EQ(ReadAt(final_r, id), 500);
 }
 
 }  // namespace

@@ -1,13 +1,16 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "core/operators/selection.h"
 #include "core/plan.h"
 
 namespace qppt {
 namespace {
 
-Database MakeDb() {
-  Database db;
+std::unique_ptr<Database> MakeDb() {
+  auto db_ptr = std::make_unique<Database>();
+  Database& db = *db_ptr;
   auto dict = std::make_shared<Dictionary>();
   dict->Add("red");
   dict->Add("green");
@@ -28,11 +31,12 @@ Database MakeDb() {
   EXPECT_TRUE(
       db.BuildIndex("items_by_id", "items", {"id"}, {"color", "score"}, opt)
           .ok());
-  return db;
+  return db_ptr;
 }
 
 TEST(ExecContextTest, SlotLifecycle) {
-  Database db = MakeDb();
+  auto db_ptr = MakeDb();
+  Database& db = *db_ptr;
   ExecContext ctx(&db);
   EXPECT_TRUE(ctx.Get("nope").status().IsNotFound());
   auto table = IndexedTable::Create(
@@ -47,7 +51,8 @@ TEST(ExecContextTest, SlotLifecycle) {
 }
 
 TEST(ExtractResultTest, DecodesDictionariesAndDoubles) {
-  Database db = MakeDb();
+  auto db_ptr = MakeDb();
+  Database& db = *db_ptr;
   ExecContext ctx(&db);
   SelectionSpec sel;
   sel.input_index = "items_by_id";
@@ -80,7 +85,8 @@ TEST(QueryResultTest, ToStringTruncates) {
 }
 
 TEST(PlanTest, EmptyPlanNeedsResultSlot) {
-  Database db = MakeDb();
+  auto db_ptr = MakeDb();
+  Database& db = *db_ptr;
   ExecContext ctx(&db);
   Plan plan;
   EXPECT_TRUE(plan.Run(&ctx).ok());  // running zero operators is fine
@@ -88,7 +94,8 @@ TEST(PlanTest, EmptyPlanNeedsResultSlot) {
 }
 
 TEST(PlanTest, MissingResultSlotSurfaces) {
-  Database db = MakeDb();
+  auto db_ptr = MakeDb();
+  Database& db = *db_ptr;
   ExecContext ctx(&db);
   Plan plan;
   plan.set_result_slot("never_written");
@@ -96,7 +103,8 @@ TEST(PlanTest, MissingResultSlotSurfaces) {
 }
 
 TEST(PlanTest, OperatorCountAndStats) {
-  Database db = MakeDb();
+  auto db_ptr = MakeDb();
+  Database& db = *db_ptr;
   ExecContext ctx(&db);
   Plan plan;
   SelectionSpec sel;
