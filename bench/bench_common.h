@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <ctime>
 #include <memory>
 #include <string>
 #include <thread>
@@ -132,6 +133,10 @@ inline size_t EngineThreads() {
 // so the perf trajectory stays machine-diffable across PRs (CI uploads
 // the file as an artifact). Field values are controlled identifiers and
 // numbers — no JSON string escaping is needed or performed.
+//
+// The first array element is a `_meta` row identifying the run
+// (hardware threads, build type, git describe, UTC timestamp), so an
+// artifact downloaded months later still says which build produced it.
 class JsonReport {
  public:
   struct Row {
@@ -176,6 +181,25 @@ class JsonReport {
       return;
     }
     std::fprintf(f, "[\n");
+    unsigned hw = std::thread::hardware_concurrency();
+    char stamp[32] = "unknown";
+    std::time_t now = std::time(nullptr);
+    std::tm utc{};
+    if (gmtime_r(&now, &utc) != nullptr) {
+      std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", &utc);
+    }
+#ifndef QPPT_GIT_DESCRIBE
+#define QPPT_GIT_DESCRIBE "unknown"
+#endif
+#ifndef QPPT_BUILD_TYPE
+#define QPPT_BUILD_TYPE "unknown"
+#endif
+    std::fprintf(f,
+                 "  {\"_meta\": true, \"hardware_threads\": %u, "
+                 "\"build_type\": \"%s\", \"git\": \"%s\", "
+                 "\"timestamp\": \"%s\"}%s\n",
+                 hw, QPPT_BUILD_TYPE, QPPT_GIT_DESCRIBE, stamp,
+                 rows_.empty() ? "" : ",");
     for (size_t i = 0; i < rows_.size(); ++i) {
       const Row& r = rows_[i];
       std::fprintf(

@@ -31,6 +31,11 @@
 //        QPPT_BENCH_REPS (default 3), QPPT_PREFER_KISS (default 1; 0
 //        builds prefix-tree base indexes and intermediates, exercising
 //        the prefix/mixed star-join paths).
+//
+// Tracing: QPPT_TRACE_QUERY=4.1 additionally runs that one query with
+// PlanKnobs::trace enabled on the parallel runner and writes its
+// chrome://tracing timeline to QPPT_TRACE_PATH (default
+// TRACE_Q<id>.json) — CI uploads it as an artifact.
 
 #include <cstdint>
 #include <cstdio>
@@ -42,6 +47,7 @@
 #include "bench_common.h"
 #include "core/parallel.h"
 #include "engine/session.h"
+#include "obs/trace.h"
 #include "ssb/queries_qppt.h"
 
 namespace qppt {
@@ -258,6 +264,42 @@ void Run(bench::JsonReport& json) {
     std::printf("(prepared/replanned flight: %.3fx, %llu plan-cache hits)\n",
                 prepared_ms / replanned_ms,
                 static_cast<unsigned long long>(hits));
+  }
+
+  // ---- optional: one traced query, dumped as chrome://tracing JSON -------
+  std::string trace_query = GetEnvString("QPPT_TRACE_QUERY", "");
+  if (!trace_query.empty()) {
+    engine::EngineConfig cfg;
+    cfg.threads = threads;
+    engine::EngineRunner runner(cfg);
+    PlanKnobs traced = knobs;
+    traced.trace = true;
+    PlanStats stats;
+    auto result = ssb::RunQppt(runner, *data, trace_query, traced, &stats);
+    if (!result.ok()) {
+      std::fprintf(stderr, "trace run Q%s failed: %s\n", trace_query.c_str(),
+                   result.status().ToString().c_str());
+      std::exit(1);
+    }
+    std::string path = GetEnvString("QPPT_TRACE_PATH",
+                                    ("TRACE_Q" + trace_query + ".json"));
+    if (stats.trace == nullptr) {
+      std::fprintf(stderr, "trace run Q%s produced no trace\n",
+                   trace_query.c_str());
+      std::exit(1);
+    }
+    std::string body = obs::TraceToJson(*stats.trace);
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::perror(("cannot open " + path).c_str());
+      std::exit(1);
+    }
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+    std::printf("(wrote Q%s trace: %zu spans across %zu worker lanes to "
+                "%s)\n",
+                trace_query.c_str(), stats.trace->num_spans(),
+                stats.trace->num_worker_lanes(), path.c_str());
   }
 }
 

@@ -27,6 +27,7 @@
 #include "core/query/planner.h"
 #include "core/query/query_spec.h"
 #include "engine/session.h"
+#include "obs/metrics.h"
 #include "ssb/dbgen.h"
 #include "ssb/queries_qppt.h"
 
@@ -151,6 +152,13 @@ int main(int argc, char** argv) {
               rs.shared_scans > 0 ? static_cast<double>(rs.batched_keys) /
                                         static_cast<double>(rs.shared_scans)
                                   : 0.0);
+
+  // The same numbers (and much more: steal counts, admission waits,
+  // per-worker busy time) are in the global metrics registry — dump the
+  // Prometheus-text view a scrape endpoint would serve.
+  std::printf("\nmetrics snapshot:\n%s",
+              obs::MetricsRegistry::Global().Snapshot()
+                  .ToPrometheusText().c_str());
 
   // by_date is about to go out of scope with mat_ctx: evict its read
   // batcher so the runner holds no dangling table reference.

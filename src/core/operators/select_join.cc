@@ -80,9 +80,11 @@ Status SelectJoinOp::Execute(ExecContext* ctx) {
           assists, width, partials.worker(w), key_positions,
           ctx->knobs().join_buffer_size));
     }
+    const std::string label = display_name();
+    auto tuner = pool->TunerFor(label);
+    engine::MorselSite site{pool, tuner.get(), ctx->trace(), label};
     stats.morsels = engine::RunKissValueMorsels(
-        pool, pool->TunerFor(display_name()), *kiss, lo, hi,
-        [&](size_t w, uint64_t value) {
+        site, *kiss, lo, hi, [&](size_t w, uint64_t value) {
           if (!left.Visible(value)) return;  // MVCC snapshot filter
           for (const auto& r : residuals) {
             if (!r.Eval(value)) return;
@@ -101,7 +103,7 @@ Status SelectJoinOp::Execute(ExecContext* ctx) {
       stats.index_ms = std::max(stats.index_ms, pipelines[w]->index_ms());
     }
     Timer merge;
-    stats.merge_morsels = partials.MergeInto(pool, output.get());
+    stats.merge_morsels = partials.MergeInto(site, output.get());
     stats.merge_ms = merge.ElapsedMs();
   } else {
     CandidatePipeline pipeline(std::move(assists), width, output.get(),

@@ -83,15 +83,18 @@ Status SelectionOp::Execute(ExecContext* ctx) {
     std::vector<std::vector<uint64_t>> keys(
         workers, std::vector<uint64_t>(key_positions.size() + 1));
     // Adaptive split feedback is keyed per operator site (the planner
-    // stage label), so interleaved queries tune independently.
+    // stage label), so interleaved queries tune independently. The label
+    // and tuner handle must outlive the driver calls.
+    const std::string label = display_name();
+    auto tuner = pool->TunerFor(label);
+    engine::MorselSite site{pool, tuner.get(), ctx->trace(), label};
     stats.morsels = engine::RunKissValueMorsels(
-        pool, pool->TunerFor(display_name()), *kiss, lo, hi,
-        [&](size_t w, uint64_t value) {
+        site, *kiss, lo, hi, [&](size_t w, uint64_t value) {
           process(value, rows[w].data(), keys[w].data(),
                   partials.worker(w));
         });
     Timer merge;
-    stats.merge_morsels = partials.MergeInto(pool, output.get());
+    stats.merge_morsels = partials.MergeInto(site, output.get());
     stats.merge_ms = merge.ElapsedMs();
   } else {
     std::vector<uint64_t> row(width);

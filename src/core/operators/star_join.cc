@@ -66,9 +66,12 @@ Status StarJoinOp::Execute(ExecContext* ctx) {
 
   engine::WorkerPool* pool = ctx->worker_pool();
   // Adaptive split feedback is keyed per operator site (the planner
-  // stage label), so interleaved queries tune independently.
-  engine::MorselTuner* tuner =
-      pool != nullptr ? pool->TunerFor(display_name()) : nullptr;
+  // stage label), so interleaved queries tune independently. The label
+  // and tuner handle must outlive the driver calls below.
+  const std::string site_label = display_name();
+  std::shared_ptr<engine::MorselTuner> tuner =
+      pool != nullptr ? pool->TunerFor(site_label) : nullptr;
+  engine::MorselSite site{pool, tuner.get(), ctx->trace(), site_label};
   // Forking pays off when the side driving the scan is big enough; the
   // mixed branch overrides this with the KISS (scanned) side's size.
   auto worth_forking = [&](uint64_t scanned_tuples) {
@@ -101,7 +104,7 @@ Status StarJoinOp::Execute(ExecContext* ctx) {
       stats.index_ms = std::max(stats.index_ms, pipelines[w]->index_ms());
     }
     Timer merge;
-    stats.merge_morsels = partials.MergeInto(pool, output.get());
+    stats.merge_morsels = partials.MergeInto(site, output.get());
     stats.merge_ms = merge.ElapsedMs();
   };
 
@@ -129,7 +132,7 @@ Status StarJoinOp::Execute(ExecContext* ctx) {
     if (parallel) {
       run_parallel([&](auto& pipelines) {
         return engine::RunPrefixPairMorsels(
-            pool, tuner, lp, rp,
+            site, lp, rp,
             [&](size_t w, const PairScanLevel& level, size_t begin,
                 size_t end) {
               CandidatePipeline* pipeline = pipelines[w].get();
@@ -164,7 +167,7 @@ Status StarJoinOp::Execute(ExecContext* ctx) {
       uint32_t hi = std::min(lk.max_key(), rk.max_key());
       run_parallel([&](auto& pipelines) {
         return engine::RunKissRangeMorsels(
-            pool, tuner, lk, lo, hi, [&](size_t w, uint32_t mlo, uint32_t mhi) {
+            site, lk, lo, hi, [&](size_t w, uint32_t mlo, uint32_t mhi) {
               CandidatePipeline* pipeline = pipelines[w].get();
               SynchronousScanRange(
                   lk, rk, mlo, mhi,
@@ -251,7 +254,7 @@ Status StarJoinOp::Execute(ExecContext* ctx) {
                                right.num_input_tuples()))) {
       run_parallel([&](auto& pipelines) {
         return engine::RunPrefixPairMorsels(
-            pool, tuner, ptree, ptree,  // self-pair: every populated subtree
+            site, ptree, ptree,  // self-pair: every populated subtree
             [&](size_t w, const PairScanLevel& level, size_t begin,
                 size_t end) {
               scan_mixed(pipelines[w].get(), [&](auto&& sink) {

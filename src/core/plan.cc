@@ -1,12 +1,21 @@
 #include "core/plan.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "obs/trace.h"
+
 namespace qppt {
+
+void ExecContext::EnsureTrace(size_t workers) {
+  if (!knobs_.trace || trace_ != nullptr) return;
+  trace_ = std::make_shared<obs::QueryTrace>(workers == 0 ? 1 : workers);
+  stats_.trace = trace_;
+}
 
 Status ExecContext::Put(const std::string& name,
                         std::unique_ptr<IndexedTable> table) {
@@ -27,8 +36,16 @@ Result<const IndexedTable*> ExecContext::Get(const std::string& name) const {
 }
 
 Status Plan::Run(ExecContext* ctx) const {
+  // Guard against PlanStats reuse without Clear(): the operator list
+  // accumulates while total_ms is assigned, so a second Run on the same
+  // stats would double-report (see the PlanStats contract, core/stats.h).
+  assert(ctx->stats()->total_ms == 0 &&
+         "PlanStats reused across Run() without Clear()");
+  ctx->EnsureTrace(ctx->knobs().threads);
+  obs::QueryTrace* trace = ctx->trace();
   Timer total;
   for (const auto& op : operators_) {
+    double t0 = trace != nullptr ? trace->NowUs() : 0.0;
     Timer op_timer;
     size_t before = ctx->stats()->operators.size();
     QPPT_RETURN_NOT_OK(op->Execute(ctx));
@@ -38,6 +55,12 @@ Status Plan::Run(ExecContext* ctx) const {
       OperatorStats& st = ctx->stats()->operators.back();
       if (st.total_ms == 0) st.total_ms = op_timer.ElapsedMs();
       st.name = op->display_name();
+    }
+    if (trace != nullptr) {
+      // Whole-operator span on the driver lane: these sum to ~total_ms
+      // (morsel spans overlap in time and cannot).
+      trace->Record(trace->driver_lane(), op->display_name(),
+                    obs::SpanKind::kOperator, t0, trace->NowUs());
     }
   }
   ctx->stats()->total_ms = total.ElapsedMs();

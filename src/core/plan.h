@@ -46,6 +46,10 @@ struct PlanKnobs {
   // ExecContext is constructed" — the engine session pins earlier, at
   // query admission, so every operator of one flight sees one snapshot.
   Timestamp read_ts = kTsInfinity;
+  // Record a per-query span timeline (every morsel, merge shard, and
+  // operator) into PlanStats::trace — obs/trace.h. Off by default: spans
+  // are cheap but not free, and most queries only need aggregates.
+  bool trace = false;
   // Index construction parameters for intermediate tables.
   IndexedTable::Options table_options;
 };
@@ -78,6 +82,14 @@ class ExecContext {
   engine::WorkerPool* worker_pool() const { return pool_; }
   void set_worker_pool(engine::WorkerPool* pool) { pool_ = pool; }
 
+  // The query's span timeline, or nullptr when knobs().trace is off.
+  // Created by EnsureTrace — the engine runner calls it with the pool's
+  // true worker count before execution; Plan::Run falls back to
+  // knobs().threads for serial/core callers. Idempotent; the handle is
+  // also stored in stats()->trace so it survives this context.
+  obs::QueryTrace* trace() const { return trace_.get(); }
+  void EnsureTrace(size_t workers);
+
   // Registers an operator's output under `name`.
   Status Put(const std::string& name, std::unique_ptr<IndexedTable> table);
   // Fetches an intermediate by slot name.
@@ -90,6 +102,7 @@ class ExecContext {
   engine::WorkerPool* pool_ = nullptr;
   std::map<std::string, std::unique_ptr<IndexedTable>> slots_;
   PlanStats stats_;
+  std::shared_ptr<obs::QueryTrace> trace_;
 };
 
 class Operator {

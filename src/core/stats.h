@@ -10,10 +10,15 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 namespace qppt {
+
+namespace obs {
+class QueryTrace;  // obs/trace.h — per-query span timeline
+}  // namespace obs
 
 class Timer {
  public:
@@ -57,13 +62,24 @@ struct PlanStats {
   size_t threads = 1;    // morsel workers the query was admitted with
   uint64_t read_ts = 0;  // MVCC snapshot the query ran at (0 = no
                          // versioned tables in scope)
+  // Span timeline of the execution that produced these stats, present
+  // only when PlanKnobs::trace was set (obs/trace.h; export with
+  // obs::TraceToJson). Shared so the handle survives the ExecContext.
+  std::shared_ptr<obs::QueryTrace> trace;
 
+  // Contract: PlanStats accumulates — Plan::Run appends operator rows
+  // and the drivers *assign* total_ms/wall_ms. A caller that reuses one
+  // PlanStats across executions must Clear() in between, or the operator
+  // list grows while the totals cover only the last run (double
+  // reporting). The engine runner and the SSB drivers Clear() caller
+  // stats defensively at entry.
   void Clear() {
     operators.clear();
     total_ms = 0;
     wall_ms = 0;
     threads = 1;
     read_ts = 0;
+    trace.reset();
   }
 
   // Total engine morsels across all operators (0 = fully serial plan).

@@ -16,29 +16,30 @@
 namespace qppt::engine {
 
 size_t RunKissRangeMorsels(
-    WorkerPool* pool, MorselTuner* tuner, const KissTree& tree, uint32_t lo,
-    uint32_t hi, const std::function<void(size_t, uint32_t, uint32_t)>& fn) {
-  if (tuner == nullptr) tuner = pool->tuner();
-  auto ranges = PartitionKissRange(tree, lo, hi,
-                                   tuner->MorselTarget(pool->num_workers()));
+    const MorselSite& site, const KissTree& tree, uint32_t lo, uint32_t hi,
+    const std::function<void(size_t, uint32_t, uint32_t)>& fn) {
+  MorselTuner* tuner =
+      site.tuner != nullptr ? site.tuner : site.pool->tuner();
+  auto ranges = PartitionKissRange(
+      tree, lo, hi, tuner->MorselTarget(site.pool->num_workers()));
   if (ranges.empty()) return 0;
-  RunTimedMorsels(pool, tuner, ranges.size(), [&](size_t worker, size_t m) {
+  RunTimedMorsels(site, ranges.size(), [&](size_t worker, size_t m) {
     fn(worker, ranges[m].first, ranges[m].second);
   });
   return ranges.size();
 }
 
 size_t RunPrefixPairMorsels(
-    WorkerPool* pool, MorselTuner* tuner, const PrefixTree& left,
-    const PrefixTree& right,
+    const MorselSite& site, const PrefixTree& left, const PrefixTree& right,
     const std::function<void(size_t, const PairScanLevel&, size_t, size_t)>&
         fn) {
-  if (tuner == nullptr) tuner = pool->tuner();
+  MorselTuner* tuner =
+      site.tuner != nullptr ? site.tuner : site.pool->tuner();
   PairScanLevel level = FindPairScanLevel(left, right);
   if (level.slots.empty()) return 0;
   auto slices = SplitEvenly(level.slots.size(),
-                            tuner->MorselTarget(pool->num_workers()));
-  RunTimedMorsels(pool, tuner, slices.size(), [&](size_t worker, size_t m) {
+                            tuner->MorselTarget(site.pool->num_workers()));
+  RunTimedMorsels(site, slices.size(), [&](size_t worker, size_t m) {
     fn(worker, level, slices[m].first, slices[m].second);
   });
   return slices.size();
@@ -291,18 +292,19 @@ void PartialOutputs::SetPlanMutatorForTest(PlanMutator mutator) {
   g_plan_mutator_for_test = std::move(mutator);
 }
 
-size_t PartialOutputs::MergeInto(WorkerPool* pool,
+size_t PartialOutputs::MergeInto(const MorselSite& site,
                                  IndexedTable* final_table) {
-  if (pool == nullptr || pool->num_workers() <= 1) {
+  if (site.pool == nullptr || site.pool->num_workers() <= 1) {
     MergeInto(final_table);
     return 0;
   }
-  return final_table->aggregated() ? MergeAggInto(pool, final_table)
-                                   : MergePlainInto(pool, final_table);
+  return final_table->aggregated() ? MergeAggInto(site, final_table)
+                                   : MergePlainInto(site, final_table);
 }
 
-size_t PartialOutputs::MergePlainInto(WorkerPool* pool,
+size_t PartialOutputs::MergePlainInto(const MorselSite& site,
                                       IndexedTable* final_table) {
+  WorkerPool* pool = site.pool;
   size_t total = 0;
   for (const auto& p : partials_) total += p->num_tuples();
   if (total < kMinParallelInputTuples) {
@@ -339,10 +341,16 @@ size_t PartialOutputs::MergePlainInto(WorkerPool* pool,
   // writes are disjoint because (partial, source id) determines the
   // destination id; shard statistics are summed and applied once.
   std::vector<IndexedTable::MergeShardStats> shard_stats(ranges.size());
-  pool->Run(ranges.size(), [&](size_t, size_t m) {
+  obs::QueryTrace* trace = site.trace;
+  pool->Run(ranges.size(), [&](size_t worker, size_t m) {
+    double t0 = trace != nullptr ? trace->NowUs() : 0.0;
     for (size_t p = 0; p < partials_.size(); ++p) {
       final_table->MergeRangeFrom(*partials_[p], ranges[m], base[p],
                                   &shard_stats[m]);
+    }
+    if (trace != nullptr) {
+      trace->Record(worker, site.label, obs::SpanKind::kMerge, t0,
+                    trace->NowUs());
     }
   });
 
@@ -358,8 +366,9 @@ size_t PartialOutputs::MergePlainInto(WorkerPool* pool,
   return ranges.size();
 }
 
-size_t PartialOutputs::MergeAggInto(WorkerPool* pool,
+size_t PartialOutputs::MergeAggInto(const MorselSite& site,
                                     IndexedTable* final_table) {
+  WorkerPool* pool = site.pool;
   size_t folded_tuples = 0;
   size_t group_entries = 0;
   for (const auto& p : partials_) {
@@ -387,8 +396,14 @@ size_t PartialOutputs::MergeAggInto(WorkerPool* pool,
 
   final_table->BeginParallelAggMerge();
   std::vector<IndexedTable::MergeShardStats> shard_stats(ranges.size());
-  pool->Run(ranges.size(), [&](size_t, size_t m) {
+  obs::QueryTrace* trace = site.trace;
+  pool->Run(ranges.size(), [&](size_t worker, size_t m) {
+    double t0 = trace != nullptr ? trace->NowUs() : 0.0;
     final_table->MergeAggRangeFrom(views, ranges[m], &shard_stats[m]);
+    if (trace != nullptr) {
+      trace->Record(worker, site.label, obs::SpanKind::kMerge, t0,
+                    trace->NowUs());
+    }
   });
 
   IndexedTable::MergeShardStats summed;

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -33,6 +34,7 @@
 #include "core/stats.h"
 #include "core/sync_scan.h"
 #include "engine/scheduler.h"
+#include "obs/trace.h"
 
 namespace qppt::engine {
 
@@ -45,19 +47,46 @@ inline constexpr size_t kMinParallelInputTuples = 4096;
 // per-group work, so a handful of groups cannot amortize the fork-join.
 inline constexpr size_t kMinParallelAggGroups = 64;
 
+// Everything a parallel driver needs to know about its call site: which
+// pool to fork on, which operator-site tuner to feed morsel times to
+// (nullptr = pool default), and — when the query is traced — where and
+// under what stage label to record the spans. The label must outlive the
+// driver call (operators hold it as a local; the trace arena-copies it
+// per span).
+struct MorselSite {
+  WorkerPool* pool = nullptr;
+  MorselTuner* tuner = nullptr;
+  obs::QueryTrace* trace = nullptr;  // nullptr = tracing off
+  std::string_view label;            // stage label for trace spans
+};
+
 // Runs fn(worker, morsel) for every morsel, recording per-morsel wall
-// times and feeding them to `tuner` (the caller's operator-site tuner;
-// nullptr uses the pool's default).
+// times and feeding them to the site's tuner; when the site carries a
+// trace, every morsel also records a kMorsel span on its worker's lane.
 template <typename Fn>
-void RunTimedMorsels(WorkerPool* pool, MorselTuner* tuner, size_t count,
-                     Fn&& fn) {
+void RunTimedMorsels(const MorselSite& site, size_t count, Fn&& fn) {
   std::vector<double> times(count, 0.0);
-  pool->Run(count, [&](size_t worker, size_t m) {
+  obs::QueryTrace* trace = site.trace;
+  site.pool->Run(count, [&](size_t worker, size_t m) {
+    double t0 = trace != nullptr ? trace->NowUs() : 0.0;
     Timer t;
     fn(worker, m);
     times[m] = t.ElapsedMs();
+    if (trace != nullptr) {
+      trace->Record(worker, site.label, obs::SpanKind::kMorsel, t0,
+                    trace->NowUs());
+    }
   });
-  (tuner != nullptr ? tuner : pool->tuner())->RecordBatch(&times);
+  (site.tuner != nullptr ? site.tuner : site.pool->tuner())
+      ->RecordBatch(&times);
+}
+
+// Back-compat shim for callers without a trace (tests, utilities).
+template <typename Fn>
+void RunTimedMorsels(WorkerPool* pool, MorselTuner* tuner, size_t count,
+                     Fn&& fn) {
+  RunTimedMorsels(MorselSite{pool, tuner, nullptr, {}}, count,
+                  std::forward<Fn>(fn));
 }
 
 // Validators for the merge-range plans below (exposed for tests): true
@@ -106,8 +135,13 @@ class PartialOutputs {
   // by its build) pre-assigns it a contiguous row-id block, so no
   // separate counting scan runs. A range plan that fails the coverage
   // validation (merge_detail) also falls back to the serial path.
-  // Returns the number of merge morsels executed (0 = serial merge).
-  size_t MergeInto(WorkerPool* pool, IndexedTable* final_table);
+  // When the site carries a trace, every merge shard records a kMerge
+  // span under the site's label. Returns the number of merge morsels
+  // executed (0 = serial merge).
+  size_t MergeInto(const MorselSite& site, IndexedTable* final_table);
+  size_t MergeInto(WorkerPool* pool, IndexedTable* final_table) {
+    return MergeInto(MorselSite{pool, nullptr, nullptr, {}}, final_table);
+  }
 
   // Test hook: mutates every planned range list before validation, so
   // tests can inject non-covering plans and exercise the runtime
@@ -117,19 +151,24 @@ class PartialOutputs {
   static void SetPlanMutatorForTest(PlanMutator mutator);
 
  private:
-  size_t MergePlainInto(WorkerPool* pool, IndexedTable* final_table);
-  size_t MergeAggInto(WorkerPool* pool, IndexedTable* final_table);
+  size_t MergePlainInto(const MorselSite& site, IndexedTable* final_table);
+  size_t MergeAggInto(const MorselSite& site, IndexedTable* final_table);
 
   std::vector<std::unique_ptr<IndexedTable>> partials_;
 };
 
 // Partitions `tree` ∩ [lo, hi] into morsel key ranges and runs
-// fn(worker, morsel_lo, morsel_hi) for each on the pool. Returns the
-// number of morsels executed (0 = empty intersection). `tuner` is the
-// caller's operator-site tuner (nullptr = pool default), here and below.
+// fn(worker, morsel_lo, morsel_hi) for each on the site's pool. Returns
+// the number of morsels executed (0 = empty intersection).
 size_t RunKissRangeMorsels(
+    const MorselSite& site, const KissTree& tree, uint32_t lo, uint32_t hi,
+    const std::function<void(size_t, uint32_t, uint32_t)>& fn);
+inline size_t RunKissRangeMorsels(
     WorkerPool* pool, MorselTuner* tuner, const KissTree& tree, uint32_t lo,
-    uint32_t hi, const std::function<void(size_t, uint32_t, uint32_t)>& fn);
+    uint32_t hi, const std::function<void(size_t, uint32_t, uint32_t)>& fn) {
+  return RunKissRangeMorsels(MorselSite{pool, tuner, nullptr, {}}, tree, lo,
+                             hi, fn);
+}
 
 // Pair-partitions two prefix trees at their branching level
 // (FindPairScanLevel, core/sync_scan.h) and runs
@@ -138,8 +177,7 @@ size_t RunKissRangeMorsels(
 // its slice with SynchronousScanPairSlots. Returns the number of
 // morsels executed (0 = the trees share no subtree).
 size_t RunPrefixPairMorsels(
-    WorkerPool* pool, MorselTuner* tuner, const PrefixTree& left,
-    const PrefixTree& right,
+    const MorselSite& site, const PrefixTree& left, const PrefixTree& right,
     const std::function<void(size_t, const PairScanLevel&, size_t, size_t)>&
         fn);
 
@@ -154,15 +192,16 @@ inline constexpr size_t kMinSliceValues = 1024;
 // and morsels over slices of the gathered vector instead. Returns the
 // morsel count (0 = nothing qualified).
 template <typename ProcessFn>
-size_t RunKissValueMorsels(WorkerPool* pool, MorselTuner* tuner,
-                           const KissTree& tree, uint32_t lo, uint32_t hi,
-                           ProcessFn&& process) {
-  if (tuner == nullptr) tuner = pool->tuner();
+size_t RunKissValueMorsels(const MorselSite& site, const KissTree& tree,
+                           uint32_t lo, uint32_t hi, ProcessFn&& process) {
+  WorkerPool* pool = site.pool;
+  MorselTuner* tuner =
+      site.tuner != nullptr ? site.tuner : pool->tuner();
   const size_t target = tuner->MorselTarget(pool->num_workers());
   auto ranges = PartitionKissRange(tree, lo, hi, target);
   if (ranges.empty()) return 0;
   if (ranges.size() >= pool->num_workers()) {
-    RunTimedMorsels(pool, tuner, ranges.size(),
+    RunTimedMorsels(site, ranges.size(),
                     [&](size_t worker, size_t m) {
                       tree.ScanRange(
                           ranges[m].first, ranges[m].second,
@@ -182,12 +221,20 @@ size_t RunKissValueMorsels(WorkerPool* pool, MorselTuner* tuner,
       values.size(),
       std::min(target,
                (values.size() + kMinSliceValues - 1) / kMinSliceValues));
-  RunTimedMorsels(pool, tuner, slices.size(), [&](size_t worker, size_t m) {
+  RunTimedMorsels(site, slices.size(), [&](size_t worker, size_t m) {
     for (size_t i = slices[m].first; i < slices[m].second; ++i) {
       process(worker, values[i]);
     }
   });
   return slices.size();
+}
+
+template <typename ProcessFn>
+size_t RunKissValueMorsels(WorkerPool* pool, MorselTuner* tuner,
+                           const KissTree& tree, uint32_t lo, uint32_t hi,
+                           ProcessFn&& process) {
+  return RunKissValueMorsels(MorselSite{pool, tuner, nullptr, {}}, tree, lo,
+                             hi, std::forward<ProcessFn>(process));
 }
 
 }  // namespace qppt::engine

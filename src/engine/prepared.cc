@@ -5,10 +5,34 @@
 #include <utility>
 
 #include "core/query/planner.h"
+#include "obs/metrics.h"
 
 namespace qppt::engine {
 
 namespace {
+
+// Plan-cache metrics across all PreparedQuery instances.
+struct PlanCacheMetrics {
+  obs::Counter* hits;
+  obs::Counter* misses;
+  obs::Counter* evictions;
+
+  static PlanCacheMetrics& Get() {
+    static PlanCacheMetrics m = [] {
+      auto& reg = obs::MetricsRegistry::Global();
+      PlanCacheMetrics p;
+      p.hits = reg.GetCounter("engine_plan_cache_hits_total",
+                              "Prepared executions served a cached plan.");
+      p.misses = reg.GetCounter("engine_plan_cache_misses_total",
+                                "Prepared executions that had to replan.");
+      p.evictions = reg.GetCounter(
+          "engine_plan_cache_evictions_total",
+          "Cached plans FIFO-evicted at the per-query cache cap.");
+      return p;
+    }();
+    return m;
+  }
+};
 
 // Only the plan-shaping knobs key the cache; buffer sizes and thread
 // counts are runtime parameters read from the ExecContext at execution.
@@ -37,6 +61,7 @@ Result<std::shared_ptr<const Plan>> PreparedQuery::GetPlan(
     auto it = state_->plans.find(key);
     if (it != state_->plans.end()) {
       state_->hits.fetch_add(1, std::memory_order_relaxed);
+      PlanCacheMetrics::Get().hits->Add();
       return it->second;
     }
   }
@@ -53,6 +78,7 @@ Result<std::shared_ptr<const Plan>> PreparedQuery::GetPlan(
   auto shared = std::make_shared<const Plan>(std::move(plan));
   std::lock_guard<std::mutex> lock(state_->mu);
   state_->misses.fetch_add(1, std::memory_order_relaxed);
+  PlanCacheMetrics::Get().misses->Add();
   auto [it, inserted] = state_->plans.emplace(key, std::move(shared));
   if (inserted) {
     state_->insertion_order.push_back(key);
@@ -61,6 +87,7 @@ Result<std::shared_ptr<const Plan>> PreparedQuery::GetPlan(
       // finish unaffected.
       state_->plans.erase(state_->insertion_order.front());
       state_->insertion_order.erase(state_->insertion_order.begin());
+      PlanCacheMetrics::Get().evictions->Add();
     }
   }
   return it->second;

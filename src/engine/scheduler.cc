@@ -1,11 +1,24 @@
 #include "engine/scheduler.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstddef>
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace qppt::engine {
+
+namespace {
+
+uint64_t ElapsedNs(std::chrono::steady_clock::time_point t0,
+                   std::chrono::steady_clock::time_point t1) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+}
+
+}  // namespace
 
 void MorselTuner::RecordBatch(std::vector<double>* morsel_ms) {
   // A 1-morsel batch carries no skew signal, and a batch that was capped
@@ -13,6 +26,16 @@ void MorselTuner::RecordBatch(std::vector<double>* morsel_ms) {
   // "coarse enough" — both still feed the overhead check below, so only
   // the degenerate sizes are skipped.
   if (morsel_ms->size() < 2) return;
+  // Resolved once: tuner decisions are engine-wide signals regardless of
+  // which site's feedback loop fired.
+  static obs::Counter* refines_total = obs::MetricsRegistry::Global().GetCounter(
+      "engine_tuner_refines_total",
+      "Morsel-tuner decisions that doubled a site's split count (skew).");
+  static obs::Counter* coarsens_total =
+      obs::MetricsRegistry::Global().GetCounter(
+          "engine_tuner_coarsens_total",
+          "Morsel-tuner decisions that halved a site's split count "
+          "(scheduling overhead).");
   std::sort(morsel_ms->begin(), morsel_ms->end());
   double median = (*morsel_ms)[morsel_ms->size() / 2];
   double max = morsel_ms->back();
@@ -23,21 +46,39 @@ void MorselTuner::RecordBatch(std::vector<double>* morsel_ms) {
     if (per_worker_ < kMaxPerWorker) {
       per_worker_ *= 2;
       ++refines_;
+      refines_total->Add();
     }
   } else if (median < kMinMorselMs && per_worker_ > kMinPerWorker) {
     // Uniform but tiny morsels: scheduling overhead dominates, coarsen.
     per_worker_ /= 2;
     ++coarsens_;
+    coarsens_total->Add();
   }
 }
 
-MorselTuner* WorkerPool::TunerFor(std::string_view site) {
+std::shared_ptr<MorselTuner> WorkerPool::TunerFor(std::string_view site) {
   std::lock_guard<std::mutex> lock(tuners_mu_);
   auto it = site_tuners_.find(site);
   if (it == site_tuners_.end()) {
-    it = site_tuners_.try_emplace(std::string(site)).first;
+    if (site_tuners_.size() >= kMaxTunerSites) {
+      // Evict the least-recently-used site. O(sites) scan, but the map is
+      // capped at kMaxTunerSites and eviction only fires on cold misses.
+      auto victim = site_tuners_.begin();
+      for (auto cand = site_tuners_.begin(); cand != site_tuners_.end();
+           ++cand) {
+        if (cand->second.last_used < victim->second.last_used) victim = cand;
+      }
+      site_tuners_.erase(victim);
+      tuner_evictions_->Add();
+    }
+    it = site_tuners_
+             .try_emplace(std::string(site),
+                          SiteEntry{std::make_shared<MorselTuner>(), 0})
+             .first;
+    tuner_sites_->Set(static_cast<int64_t>(site_tuners_.size()));
   }
-  return &it->second;
+  it->second.last_used = ++tuner_use_clock_;
+  return it->second.tuner;
 }
 
 size_t WorkerPool::num_tuner_sites() const {
@@ -46,6 +87,30 @@ size_t WorkerPool::num_tuner_sites() const {
 }
 
 WorkerPool::WorkerPool(size_t threads) {
+  auto& reg = obs::MetricsRegistry::Global();
+  tasks_executed_ = reg.GetCounter(
+      "engine_tasks_executed_total",
+      "Morsels executed by the worker pool (sharded by worker id).");
+  tasks_stolen_ = reg.GetCounter(
+      "engine_tasks_stolen_total",
+      "Morsels taken from another worker's deque (sharded by thief id).");
+  steal_failures_ = reg.GetCounter(
+      "engine_steal_failures_total",
+      "Times a worker found every deque empty and went to sleep.");
+  worker_busy_ns_ = reg.GetCounter(
+      "engine_worker_busy_ns_total",
+      "Nanoseconds workers spent executing morsels (sharded by worker id).");
+  worker_idle_ns_ = reg.GetCounter(
+      "engine_worker_idle_ns_total",
+      "Nanoseconds workers spent parked waiting for work (sharded by "
+      "worker id).");
+  queue_depth_ = reg.GetGauge(
+      "engine_queue_depth", "Morsels queued in worker deques, not yet begun.");
+  tuner_sites_ = reg.GetGauge(
+      "engine_tuner_sites", "Per-operator-site morsel tuners resident.");
+  tuner_evictions_ = reg.GetCounter(
+      "engine_tuner_evictions_total",
+      "Cold tuner sites evicted from the bounded per-site tuner map.");
   if (threads == 0) return;
   deques_.resize(threads);
   workers_.reserve(threads);
@@ -63,7 +128,8 @@ WorkerPool::~WorkerPool() {
   for (auto& w : workers_) w.join();
 }
 
-bool WorkerPool::PopOrStealLocked(size_t worker, Item* item) {
+bool WorkerPool::PopOrStealLocked(size_t worker, Item* item, bool* stolen) {
+  *stolen = false;
   std::deque<Item>& own = deques_[worker];
   if (!own.empty()) {
     *item = own.back();  // own work LIFO: best cache locality
@@ -76,6 +142,7 @@ bool WorkerPool::PopOrStealLocked(size_t worker, Item* item) {
     if (!victim.empty()) {
       *item = victim.front();  // steal FIFO: take the coldest morsel
       victim.pop_front();
+      *stolen = true;
       return true;
     }
   }
@@ -83,20 +150,27 @@ bool WorkerPool::PopOrStealLocked(size_t worker, Item* item) {
 }
 
 void WorkerPool::WorkerLoop(size_t worker) {
+  using SteadyClock = std::chrono::steady_clock;
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     Item item;
-    if (PopOrStealLocked(worker, &item)) {
+    bool stolen = false;
+    if (PopOrStealLocked(worker, &item, &stolen)) {
+      queue_depth_->Add(-1);
       Batch* batch = item.batch;
       bool skip = batch->failed;
       std::exception_ptr error;
       if (!skip) {
         lock.unlock();
+        if (stolen) tasks_stolen_->AddShard(worker);
+        SteadyClock::time_point t0 = SteadyClock::now();
         try {
           (*batch->fn)(worker, item.index);
         } catch (...) {
           error = std::current_exception();
         }
+        tasks_executed_->AddShard(worker);
+        worker_busy_ns_->AddShard(worker, ElapsedNs(t0, SteadyClock::now()));
         lock.lock();
       }
       if (error) {
@@ -107,7 +181,10 @@ void WorkerPool::WorkerLoop(size_t worker) {
       continue;
     }
     if (stop_) return;
+    steal_failures_->AddShard(worker);
+    SteadyClock::time_point idle0 = SteadyClock::now();
     work_cv_.wait(lock);
+    worker_idle_ns_->AddShard(worker, ElapsedNs(idle0, SteadyClock::now()));
   }
 }
 
@@ -116,6 +193,7 @@ void WorkerPool::Run(size_t num_morsels, const MorselFn& fn) {
   if (deques_.empty()) {
     // No workers: inline serial execution, worker id 0.
     for (size_t m = 0; m < num_morsels; ++m) fn(0, m);
+    tasks_executed_->AddShard(0, num_morsels);
     return;
   }
   Batch batch;
@@ -123,6 +201,9 @@ void WorkerPool::Run(size_t num_morsels, const MorselFn& fn) {
   batch.outstanding = num_morsels;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    // Incremented before the pushes so a racing pop never reads the
+    // gauge below zero.
+    queue_depth_->Add(static_cast<int64_t>(num_morsels));
     for (size_t m = 0; m < num_morsels; ++m) {
       deques_[next_deque_].push_back(Item{&batch, m});
       next_deque_ = (next_deque_ + 1) % deques_.size();

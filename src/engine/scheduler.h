@@ -20,15 +20,22 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
+
+namespace qppt::obs {
+class Counter;
+class Gauge;
+}  // namespace qppt::obs
 
 namespace qppt::engine {
 
@@ -112,10 +119,18 @@ class WorkerPool {
   // The adaptive tuner of one operator site (keyed by the operator's
   // planner stage label / display name). Each site carries its own
   // feedback loop, so two interleaved queries with different per-morsel
-  // cost profiles cannot pollute each other's split counts. The returned
-  // pointer is stable for the pool's lifetime.
-  MorselTuner* TunerFor(std::string_view site);
-  // Distinct operator sites seen so far (excludes the default tuner).
+  // cost profiles cannot pollute each other's split counts.
+  //
+  // Sites are held in a bounded LRU map (kMaxTunerSites): a workload that
+  // cycles through many distinct plan labels (ad-hoc queries, tests)
+  // evicts its coldest site instead of growing the map forever. The
+  // shared_ptr keeps an evicted tuner alive for any operator still
+  // mid-batch with it; a later request for the same site starts a fresh
+  // feedback loop.
+  static constexpr size_t kMaxTunerSites = 64;
+  std::shared_ptr<MorselTuner> TunerFor(std::string_view site);
+  // Distinct operator sites currently resident (excludes the default
+  // tuner; never exceeds kMaxTunerSites).
   size_t num_tuner_sites() const;
 
   // Executes fn for every morsel index in [0, num_morsels) and blocks
@@ -140,8 +155,9 @@ class WorkerPool {
 
   void WorkerLoop(size_t worker);
   // Pops from the worker's own deque (back) or steals from another
-  // worker's deque (front). Caller holds mu_.
-  bool PopOrStealLocked(size_t worker, Item* item);
+  // worker's deque (front). Caller holds mu_. Sets *stolen when the item
+  // came from a victim's deque.
+  bool PopOrStealLocked(size_t worker, Item* item, bool* stolen);
 
   std::mutex mu_;
   std::condition_variable work_cv_;   // workers: items available / stop
@@ -151,10 +167,25 @@ class WorkerPool {
   size_t next_deque_ = 0;  // round-robin distribution cursor (guarded by mu_)
   bool stop_ = false;
   MorselTuner tuner_;
-  // Per-site tuners. std::map node stability keeps returned pointers
-  // valid across later insertions (MorselTuner is not movable).
+  // Per-site tuners, LRU-bounded at kMaxTunerSites (see TunerFor).
+  struct SiteEntry {
+    std::shared_ptr<MorselTuner> tuner;
+    uint64_t last_used = 0;
+  };
   mutable std::mutex tuners_mu_;
-  std::map<std::string, MorselTuner, std::less<>> site_tuners_;
+  std::map<std::string, SiteEntry, std::less<>> site_tuners_;
+  uint64_t tuner_use_clock_ = 0;  // guarded by tuners_mu_
+
+  // Global-registry metrics, resolved once at construction (pointers are
+  // stable for the registry's lifetime).
+  obs::Counter* tasks_executed_;   // engine_tasks_executed_total, per worker
+  obs::Counter* tasks_stolen_;     // engine_tasks_stolen_total, per worker
+  obs::Counter* steal_failures_;   // engine_steal_failures_total
+  obs::Counter* worker_busy_ns_;   // engine_worker_busy_ns_total, per worker
+  obs::Counter* worker_idle_ns_;   // engine_worker_idle_ns_total, per worker
+  obs::Gauge* queue_depth_;        // engine_queue_depth (queued, unstarted)
+  obs::Gauge* tuner_sites_;        // engine_tuner_sites (resident sites)
+  obs::Counter* tuner_evictions_;  // engine_tuner_evictions_total
 };
 
 }  // namespace qppt::engine

@@ -18,8 +18,66 @@
 #include "engine/scheduler.h"
 #include "engine/write_session.h"
 #include "index/key_encoder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace qppt::engine {
+
+namespace {
+
+// Session-layer metrics, resolved once (registry pointers are stable).
+// Function-local statics rather than runner members: the counters are
+// engine-wide totals even when tests spin up several runners.
+struct SessionMetrics {
+  obs::Counter* queries_total;
+  obs::Gauge* queries_running;
+  obs::Gauge* queries_waiting;
+  obs::Histogram* admission_wait_ms;
+  obs::Counter* read_leader_total;
+  obs::Counter* read_follower_total;
+  obs::Counter* versions_reclaimed_total;
+  obs::Gauge* reclaim_horizon_lag;
+  obs::Histogram* version_chain_length;
+
+  static SessionMetrics& Get() {
+    static SessionMetrics m = [] {
+      auto& reg = obs::MetricsRegistry::Global();
+      SessionMetrics s;
+      s.queries_total = reg.GetCounter(
+          "engine_queries_total", "Queries admitted and executed.");
+      s.queries_running = reg.GetGauge(
+          "engine_queries_running", "Queries currently executing.");
+      s.queries_waiting = reg.GetGauge(
+          "engine_queries_waiting",
+          "Execute callers blocked on the admission semaphore.");
+      s.admission_wait_ms = reg.GetHistogram(
+          "engine_admission_wait_ms",
+          obs::ExponentialBuckets(0.01, 4.0, 10),
+          "Time queries waited for an admission slot, in ms.");
+      s.read_leader_total = reg.GetCounter(
+          "engine_read_leader_total",
+          "Shared-read batches led (one index pass per leader).");
+      s.read_follower_total = reg.GetCounter(
+          "engine_read_follower_total",
+          "Reads answered by another caller's shared scan.");
+      s.versions_reclaimed_total = reg.GetCounter(
+          "engine_versions_reclaimed_total",
+          "MVCC versions unlinked by reclamation sweeps.");
+      s.reclaim_horizon_lag = reg.GetGauge(
+          "engine_reclaim_horizon_lag",
+          "Commit timestamps between the newest commit and the oldest "
+          "pinned snapshot at the last reclamation sweep.");
+      s.version_chain_length = reg.GetHistogram(
+          "engine_version_chain_length",
+          {1, 2, 4, 8, 16, 32, 64, 128},
+          "Version-chain lengths observed by reclamation sweeps.");
+      return s;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 // ---- shared-read batching ----------------------------------------------------
 
@@ -208,10 +266,12 @@ std::vector<uint64_t> EngineRunner::RangeRead(const IndexedTable& table,
   b->cv.notify_all();  // a gathering leader may now be at its batch cap
   if (b->leader_active) {
     // Follower: the leader (or a successor) answers this request.
+    SessionMetrics::Get().read_follower_total->Add();
     b->cv.wait(lock, [&] { return req.done; });
     return std::move(req.out);
   }
   b->leader_active = true;
+  SessionMetrics::Get().read_leader_total->Add();
   // Gather co-arriving requests: flush at the batch cap or after the
   // window, whichever comes first.
   b->cv.wait_for(lock, std::chrono::microseconds(config_.read_batch_window_us),
@@ -268,21 +328,33 @@ EngineRunner::ReadStats EngineRunner::read_stats() const {
 // path, including error returns).
 struct EngineRunner::AdmitSlot {
   explicit AdmitSlot(EngineRunner* runner) : runner_(runner) {
-    if (runner_->config_.max_concurrent_queries == 0) return;
+    SessionMetrics& m = SessionMetrics::Get();
+    if (runner_->config_.max_concurrent_queries == 0) {
+      m.queries_running->Add(1);
+      gauge_held_ = true;
+      return;
+    }
+    Timer wait;
     std::unique_lock<std::mutex> lock(runner_->admit_mu_);
     if (runner_->queries_running_ >=
         runner_->config_.max_concurrent_queries) {
       runner_->queries_waiting_.fetch_add(1, std::memory_order_relaxed);
+      m.queries_waiting->Add(1);
       runner_->admit_cv_.wait(lock, [&] {
         return runner_->queries_running_ <
                runner_->config_.max_concurrent_queries;
       });
+      m.queries_waiting->Add(-1);
       runner_->queries_waiting_.fetch_sub(1, std::memory_order_relaxed);
     }
     ++runner_->queries_running_;
     held_ = true;
+    m.queries_running->Add(1);
+    gauge_held_ = true;
+    m.admission_wait_ms->Observe(wait.ElapsedMs());
   }
   ~AdmitSlot() {
+    if (gauge_held_) SessionMetrics::Get().queries_running->Add(-1);
     if (!held_) return;
     {
       std::lock_guard<std::mutex> lock(runner_->admit_mu_);
@@ -294,7 +366,8 @@ struct EngineRunner::AdmitSlot {
   AdmitSlot& operator=(const AdmitSlot&) = delete;
 
   EngineRunner* runner_;
-  bool held_ = false;
+  bool held_ = false;        // semaphore slot taken (admission control on)
+  bool gauge_held_ = false;  // queries_running gauge incremented
 };
 
 // Pins one query's MVCC snapshot for its whole flight: resolves the
@@ -324,14 +397,22 @@ struct EngineRunner::ReadPin {
 Result<QueryResult> EngineRunner::Execute(const Database& db,
                                           const Plan& plan, PlanKnobs knobs,
                                           PlanStats* stats) {
+  // Caller stats are overwritten wholesale below; Clear() here makes a
+  // reused PlanStats safe even if the execution errors out before the
+  // assignment (PlanStats contract, core/stats.h).
+  if (stats != nullptr) stats->Clear();
   Timer wall;
   AdmitSlot slot(this);
   queries_admitted_.fetch_add(1, std::memory_order_relaxed);
+  SessionMetrics::Get().queries_total->Add();
   knobs.threads = config_.threads;
   ReadPin pin(this, db, &knobs);
   ExecContext ctx(&db, knobs);
   if (pool_ != nullptr && config_.threads > 1) {
     ctx.set_worker_pool(pool_.get());
+    // Create the trace (knobs.trace) with the pool's true worker count so
+    // every worker id maps to its own span lane.
+    ctx.EnsureTrace(pool_->num_workers());
   }
   QPPT_ASSIGN_OR_RETURN(QueryResult result, plan.Execute(&ctx));
   if (stats != nullptr) {
@@ -387,13 +468,77 @@ Timestamp EngineRunner::OldestActiveReadTs(const Database& db) const {
 }
 
 size_t EngineRunner::ReclaimVersions(Database* db) {
+  SessionMetrics& m = SessionMetrics::Get();
   Timestamp horizon = OldestActiveReadTs(*db);
+  // How far pinned snapshots hold reclamation behind the newest commit.
+  m.reclaim_horizon_lag->Set(static_cast<int64_t>(
+      db->txn_manager().last_commit_ts() - horizon));
   std::lock_guard<std::mutex> lock(db->write_mutex());
   size_t unlinked = 0;
   for (const auto& name : db->versioned_table_names()) {
-    unlinked += (*db->versioned_table(name))->ReclaimBefore(horizon);
+    MvccTable* table = *db->versioned_table(name);
+    // Chain lengths BEFORE the sweep: the distribution reclamation is up
+    // against, not the one it just produced.
+    table->ForEachChainLength([&](size_t len) {
+      m.version_chain_length->Observe(static_cast<double>(len));
+    });
+    unlinked += table->ReclaimBefore(horizon);
   }
+  m.versions_reclaimed_total->Add(unlinked);
   return unlinked;
+}
+
+Result<std::string> EngineRunner::ExplainAnalyze(const Database& db,
+                                                 const query::QuerySpec& spec,
+                                                 PlanKnobs knobs,
+                                                 PlanStats* stats) {
+  QPPT_ASSIGN_OR_RETURN(std::string explain,
+                        query::ExplainPlan(db, spec, knobs));
+  PlanStats executed;
+  QPPT_RETURN_NOT_OK(Execute(db, spec, knobs, &executed).status());
+
+  // Interleave: ExplainPlan emits one "  <label> <op> <detail>" line per
+  // planned stage, in plan order, and every operator appends exactly one
+  // PlanStats row — so stage line i pairs with operators[i]. The
+  // "  order-by:" trailer and the header are passed through.
+  std::string out;
+  size_t row = 0;
+  size_t pos = 0;
+  char buf[192];
+  while (pos < explain.size()) {
+    size_t eol = explain.find('\n', pos);
+    if (eol == std::string::npos) eol = explain.size();
+    std::string line = explain.substr(pos, eol - pos);
+    pos = eol + 1;
+    out += line + "\n";
+    bool is_stage = line.size() > 2 && line[0] == ' ' && line[1] == ' ' &&
+                    line[2] != ' ' && line.rfind("  order-by:", 0) != 0;
+    if (!is_stage || row >= executed.operators.size()) continue;
+    const OperatorStats& op = executed.operators[row++];
+    std::snprintf(buf, sizeof(buf),
+                  "    -> %.3f ms (materialize %.3f, index %.3f, merge "
+                  "%.3f) | in %llu out %llu tuples, %llu keys",
+                  op.total_ms, op.materialize_ms, op.index_ms, op.merge_ms,
+                  static_cast<unsigned long long>(op.input_tuples),
+                  static_cast<unsigned long long>(op.output_tuples),
+                  static_cast<unsigned long long>(op.output_keys));
+    out += buf;
+    if (op.morsels > 0) {
+      std::snprintf(buf, sizeof(buf), " | morsels %llu (merge %llu)",
+                    static_cast<unsigned long long>(op.morsels),
+                    static_cast<unsigned long long>(op.merge_morsels));
+      out += buf;
+    }
+    out += "\n";
+  }
+  std::snprintf(buf, sizeof(buf),
+                "executed: total %.3f ms, wall %.3f ms, threads %zu, "
+                "read_ts %llu\n",
+                executed.total_ms, executed.wall_ms, executed.threads,
+                static_cast<unsigned long long>(executed.read_ts));
+  out += buf;
+  if (stats != nullptr) *stats = std::move(executed);
+  return out;
 }
 
 Result<QueryResult> QuerySession::Execute(const Database& db,

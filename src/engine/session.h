@@ -89,6 +89,19 @@ class EngineRunner {
                               const query::QuerySpec& spec, PlanKnobs knobs,
                               PlanStats* stats = nullptr);
 
+  // EXPLAIN ANALYZE: plans `spec`, executes it through the normal
+  // admission path, and returns the ExplainPlan rendering with each
+  // stage line followed by that stage's executed statistics (wall time,
+  // cardinalities, morsel/merge counts) plus a trailing execution
+  // summary. The planner's stage labels guarantee the explain lines and
+  // the PlanStats rows align line-for-line. `stats`, when given,
+  // receives the same executed statistics (including the trace handle
+  // when knobs.trace is set).
+  Result<std::string> ExplainAnalyze(const Database& db,
+                                     const query::QuerySpec& spec,
+                                     PlanKnobs knobs = PlanKnobs{},
+                                     PlanStats* stats = nullptr);
+
   // Compiles `spec` once against `db` and returns a cached-plan handle;
   // fails fast on a spec the planner rejects. `db` must outlive every
   // execution of the prepared query.

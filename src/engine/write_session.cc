@@ -4,13 +4,58 @@
 #include <mutex>
 #include <utility>
 
+#include "core/stats.h"
 #include "engine/session.h"
+#include "obs/metrics.h"
 
 namespace qppt::engine {
 
+namespace {
+
+// Write-path metrics, resolved once. first_updater_conflicts counts the
+// AlreadyExists statuses Update/Delete return — the MVCC conflict signal
+// clients retry on.
+struct WriteMetrics {
+  obs::Counter* txns_begun;
+  obs::Counter* txns_committed;
+  obs::Counter* txns_aborted;
+  obs::Counter* first_updater_conflicts;
+  obs::Counter* live_index_upserts;
+  obs::Histogram* commit_publish_ms;
+
+  static WriteMetrics& Get() {
+    static WriteMetrics m = [] {
+      auto& reg = obs::MetricsRegistry::Global();
+      WriteMetrics w;
+      w.txns_begun = reg.GetCounter("engine_txns_begun_total",
+                                    "Write transactions opened.");
+      w.txns_committed = reg.GetCounter("engine_txns_committed_total",
+                                        "Write transactions committed.");
+      w.txns_aborted = reg.GetCounter("engine_txns_aborted_total",
+                                      "Write transactions aborted.");
+      w.first_updater_conflicts = reg.GetCounter(
+          "engine_first_updater_conflicts_total",
+          "Update/Delete calls rejected by first-updater-wins.");
+      w.live_index_upserts = reg.GetCounter(
+          "engine_live_index_upserts_total",
+          "Pending rows published into live base indexes at commit.");
+      w.commit_publish_ms = reg.GetHistogram(
+          "engine_commit_publish_ms",
+          obs::ExponentialBuckets(0.001, 4.0, 10),
+          "Commit-timestamp allocate-stamp-publish latency, in ms.");
+      return w;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
+
 WriteSession::WriteSession(EngineRunner* runner, Database* db)
     : runner_(runner), db_(db), txn_(db->txn_manager().Begin()),
-      active_(true) {}
+      active_(true) {
+  WriteMetrics::Get().txns_begun->Add();
+}
 
 WriteSession::WriteSession(WriteSession&& other) noexcept
     : runner_(other.runner_),
@@ -49,7 +94,11 @@ Status WriteSession::Update(const std::string& table, MvccTable::LogicalId id,
   if (!active_) return Status::InvalidArgument("write session is finished");
   QPPT_ASSIGN_OR_RETURN(MvccTable * t, Table(table));
   std::lock_guard<std::mutex> lock(db_->write_mutex());
-  return t->Update(txn_, id, row);
+  Status s = t->Update(txn_, id, row);
+  if (s.code() == StatusCode::kAlreadyExists) {
+    WriteMetrics::Get().first_updater_conflicts->Add();
+  }
+  return s;
 }
 
 Status WriteSession::Delete(const std::string& table,
@@ -57,7 +106,11 @@ Status WriteSession::Delete(const std::string& table,
   if (!active_) return Status::InvalidArgument("write session is finished");
   QPPT_ASSIGN_OR_RETURN(MvccTable * t, Table(table));
   std::lock_guard<std::mutex> lock(db_->write_mutex());
-  return t->Delete(txn_, id);
+  Status s = t->Delete(txn_, id);
+  if (s.code() == StatusCode::kAlreadyExists) {
+    WriteMetrics::Get().first_updater_conflicts->Add();
+  }
+  return s;
 }
 
 Result<std::optional<Rid>> WriteSession::Read(
@@ -74,21 +127,28 @@ Result<Timestamp> WriteSession::Commit() {
   // 1. Feed the transaction's new physical rows to the live indexes.
   // They are not yet visible (begin_ts == infinity), so concurrent
   // snapshot scans filter them out via RidVisibleAt.
+  WriteMetrics& m = WriteMetrics::Get();
+  uint64_t upserts = 0;
   for (MvccTable* table : touched_) {
     const auto& live = db_->live_indexes(table->name());
     if (live.empty()) continue;
     table->ForEachPendingWrite(txn_, [&](Rid rid) {
       for (BaseIndex* index : live) index->InsertLive(rid);
+      upserts += live.size();
     });
   }
+  if (upserts > 0) m.live_index_upserts->Add(upserts);
   // 2–4. Allocate, stamp, publish — in that order. Publication happens
   // in timestamp order (FinishCommit), so a snapshot that includes this
   // timestamp is guaranteed to find the versions fully stamped AND the
   // live indexes already populated (the inserts above happened-before
   // the release store FinishCommit makes).
+  Timer publish;
   Timestamp ts = tm.BeginCommit();
   for (MvccTable* table : touched_) table->CommitTransaction(txn_, ts);
   tm.FinishCommit(txn_, ts);
+  m.commit_publish_ms->Observe(publish.ElapsedMs());
+  m.txns_committed->Add();
   if (runner_ != nullptr) runner_->NoteCommit();
   return ts;
 }
@@ -99,6 +159,7 @@ Status WriteSession::Abort() {
   std::lock_guard<std::mutex> lock(db_->write_mutex());
   for (MvccTable* table : touched_) table->AbortTransaction(txn_);
   db_->txn_manager().Abort(txn_);
+  WriteMetrics::Get().txns_aborted->Add();
   if (runner_ != nullptr) runner_->NoteAbort();
   return Status::OK();
 }

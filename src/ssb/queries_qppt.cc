@@ -334,6 +334,9 @@ void ApplyOrderBy(const std::string& query_id, QueryResult* result) {
 
 Result<QueryResult> RunQppt(const SsbData& data, const std::string& query_id,
                             const PlanKnobs& knobs, PlanStats* stats) {
+  // Clear defensively: a stats object reused across runs would otherwise
+  // accumulate operator rows (PlanStats contract, core/stats.h).
+  if (stats != nullptr) stats->Clear();
   Timer wall;
   QPPT_ASSIGN_OR_RETURN(Plan plan, BuildQpptPlan(data, query_id, knobs));
   ExecContext ctx(&data.db, knobs);

@@ -179,6 +179,25 @@ class MvccTable {
   // returns their physical rids, in logical-id order.
   std::vector<Rid> SnapshotRids(Timestamp read_ts) const;
 
+  // Invokes fn(length) with every logical row's current version-chain
+  // length (versions reachable from the head via `older` links; 0 for a
+  // row whose insert aborted). Observability hook — the engine's
+  // reclamation sweep feeds these into a histogram so chain growth under
+  // update-heavy workloads stays visible. Writer-serialized: walks the
+  // same links ReclaimBefore unlinks.
+  template <typename F>
+  void ForEachChainLength(F&& fn) const {
+    for (size_t id = 0; id < heads_.size(); ++id) {
+      uint64_t v = heads_[id].load(std::memory_order_acquire);
+      size_t len = 0;
+      while (v != kInvalidVersion) {
+        ++len;
+        v = versions_[v].older.load(std::memory_order_acquire);
+      }
+      fn(len);
+    }
+  }
+
  private:
   struct Version {
     std::atomic<Timestamp> begin_ts{kTsInfinity};  // kTsInfinity: uncommitted

@@ -648,8 +648,9 @@ TEST(MorselTunerTest, BalancedBatchesLeaveTheSplitAlone) {
 // and neither site converges.
 TEST(MorselTunerTest, InterleavedSitesTuneIndependently) {
   engine::WorkerPool pool(2);
-  engine::MorselTuner* heavy = pool.TunerFor("join:heavy_query");
-  engine::MorselTuner* tiny = pool.TunerFor("sel:tiny_query");
+  std::shared_ptr<engine::MorselTuner> heavy =
+      pool.TunerFor("join:heavy_query");
+  std::shared_ptr<engine::MorselTuner> tiny = pool.TunerFor("sel:tiny_query");
   ASSERT_NE(heavy, tiny);
   // Same site name resolves to the same feedback loop.
   EXPECT_EQ(heavy, pool.TunerFor("join:heavy_query"));

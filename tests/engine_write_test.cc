@@ -15,6 +15,7 @@
 #include "core/plan.h"
 #include "engine/session.h"
 #include "engine/write_session.h"
+#include "obs/metrics.h"
 
 namespace qppt {
 namespace {
@@ -222,6 +223,61 @@ TEST(WriteSessionTest, ReclaimRespectsInFlightSnapshots) {
   ASSERT_TRUE(result.ok());
   ASSERT_EQ(result->rows.size(), 1u);
   EXPECT_EQ(result->rows[0][1], Value::Int(109));
+}
+
+// The write path reports into the global metrics registry (ISSUE 7):
+// commit/abort/conflict counters, live-index upserts, version
+// reclamation, and the version-chain-length histogram must all move
+// when the corresponding MVCC events happen. Deltas, not absolutes —
+// the registry is process-wide and other tests also write to it.
+TEST(WriteSessionTest, HtapMetricsCountTheWorkload) {
+  auto& reg = obs::MetricsRegistry::Global();
+  obs::MetricsSnapshot before = reg.Snapshot();
+
+  auto db = MakeDb();
+  EngineRunner engine(EngineConfig{.threads = 1});
+  {
+    WriteSession ws = engine.OpenWriteSession(db.get());
+    uint64_t row[2] = {SlotFromInt64(9000), SlotFromInt64(1)};
+    ASSERT_TRUE(ws.Insert("items", row).ok());
+    ASSERT_TRUE(ws.Commit().ok());
+  }
+  {
+    WriteSession first = engine.OpenWriteSession(db.get());
+    WriteSession second = engine.OpenWriteSession(db.get());
+    uint64_t row[2] = {SlotFromInt64(2), SlotFromInt64(222)};
+    ASSERT_TRUE(first.Update("items", /*id=*/2, row).ok());
+    EXPECT_EQ(second.Update("items", /*id=*/2, row).code(),
+              StatusCode::kAlreadyExists);
+    ASSERT_TRUE(first.Commit().ok());
+    ASSERT_TRUE(second.Abort().ok());
+  }
+  size_t reclaimed = engine.ReclaimVersions(db.get());
+  EXPECT_EQ(reclaimed, 1u);  // the superseded version of row 2
+
+  obs::MetricsSnapshot after = reg.Snapshot();
+  auto delta = [&](std::string_view name) {
+    return after.CounterValue(name) - before.CounterValue(name);
+  };
+  EXPECT_EQ(delta("engine_txns_begun_total"), 3u);
+  EXPECT_EQ(delta("engine_txns_committed_total"), 2u);
+  EXPECT_EQ(delta("engine_txns_aborted_total"), 1u);
+  EXPECT_EQ(delta("engine_first_updater_conflicts_total"), 1u);
+  // Insert + update each published one row into the one live index.
+  EXPECT_EQ(delta("engine_live_index_upserts_total"), 2u);
+  EXPECT_EQ(delta("engine_versions_reclaimed_total"), 1u);
+
+  const obs::MetricValue* publish = after.Find("engine_commit_publish_ms");
+  ASSERT_NE(publish, nullptr);
+  EXPECT_GE(publish->count, 2u);
+  // The reclaim sweep walked every logical row's chain into the
+  // histogram (ReclaimVersions observes chain lengths before unlinking).
+  const obs::MetricValue* chains_b = before.Find("engine_version_chain_length");
+  const obs::MetricValue* chains_a = after.Find("engine_version_chain_length");
+  ASSERT_NE(chains_a, nullptr);
+  uint64_t chains_before = chains_b != nullptr ? chains_b->count : 0;
+  EXPECT_GE(chains_a->count - chains_before,
+            static_cast<uint64_t>(kInitialRows));
 }
 
 // The HTAP race, end to end: one writer thread committing transactions
