@@ -1,0 +1,315 @@
+#!/usr/bin/env python3
+"""QPPT concurrency-discipline lint.
+
+Repo-specific checks that generic tooling cannot express:
+
+  raw-slot-read      Published tree slot arrays (PrefixTree node slots,
+                     KissTree root directory) may only be read through the
+                     atomic accessors (LoadSlot/LoadRootSlot/LoadEntry and
+                     the Store* counterparts). Raw indexing is allowed only
+                     in the tree implementation files, where nodes are
+                     still private to the building thread or the access
+                     runs on the single-writer path under the database
+                     write lock.
+
+  relaxed-justify    Every memory_order_relaxed / __ATOMIC_RELAXED
+                     operation must carry a "// relaxed: <why>"
+                     justification on the same line or within the three
+                     preceding lines.
+
+  release-pair       Every release store must name its paired acquire
+                     site with a "pairs-with: <tag>" comment (same line or
+                     within the three preceding lines); tags must exist in
+                     scripts/analyze/atomics_pairs.txt, and in full-tree
+                     runs every catalogue entry must be referenced.
+
+  hot-path-alloc     No non-placement new, malloc/calloc, or node-based
+                     std containers (map/set/list/unordered_*) in the
+                     hot-path directories src/index and src/core/operators.
+                     Arena placement-new ("new (arena...) T") is fine.
+
+  planstats-clear    A function taking a caller-supplied "PlanStats*" that
+                     uses it must Clear() it, overwrite it wholesale
+                     ("*stats = ..."), or forward it to a callee that does
+                     (the accumulation contract in src/core/stats.h).
+
+Usage:
+  qppt_lint.py                    # lint src/ under the repo root
+  qppt_lint.py FILE...            # lint specific files
+  --root DIR                      # repo root (default: two dirs up)
+  --pairs FILE                    # pairing catalogue override
+  --treat-as-hot                  # apply hot-path-alloc to given FILEs
+                                  # (fixture tests)
+
+Exit status: 0 clean, 1 violations, 2 usage/config error.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# Files allowed to index slot arrays raw: node construction before
+# publication, and the single-writer upsert path under the database write
+# lock. Everything else goes through the acquire accessors.
+RAW_SLOT_ALLOWLIST = {
+    "src/index/kiss_tree.cc",
+    "src/index/prefix_tree.cc",
+}
+
+# Hot-path directories where allocation must come from arenas.
+HOT_PATH_DIRS = ("src/index/", "src/core/operators/")
+# Hot-path files granted an explicit exemption (none today; add with a
+# reason).
+HOT_ALLOC_ALLOWLIST = set()
+
+# How many lines above an atomic op a justification/pairing comment may
+# sit (accessor doc comment + signature + TSan annotation).
+COMMENT_LOOKBACK = 3
+
+RELAXED_RE = re.compile(r"memory_order_relaxed|__ATOMIC_RELAXED")
+RELEASE_RE = re.compile(r"memory_order_release|__ATOMIC_RELEASE")
+RELAXED_COMMENT_RE = re.compile(r"//.*\brelaxed\b", re.IGNORECASE)
+PAIRS_TAG_RE = re.compile(r"pairs-with:\s*([A-Za-z0-9_-]+)")
+SLOT_ACCESS_RE = re.compile(r"->slots\[|\broot_\[")
+NODE_CONTAINER_RE = re.compile(
+    r"std::(?:multi)?(?:map|set)\s*<"
+    r"|std::(?:forward_)?list\s*<"
+    r"|std::unordered_(?:multi)?(?:map|set)\s*<")
+RAW_NEW_RE = re.compile(r"\bnew\b(?!\s*\()")
+RAW_MALLOC_RE = re.compile(r"\b(?:malloc|calloc)\s*\(")
+PLANSTATS_PARAM_RE = re.compile(r"PlanStats\s*\*\s*(\w+)")
+
+
+def strip_comment(line):
+    """Drops a // comment (good enough: the tree has no // inside strings
+    on lines these checks look at)."""
+    idx = line.find("//")
+    return line if idx < 0 else line[:idx]
+
+
+def load_pairs(path):
+    tags = {}
+    with open(path, encoding="utf-8") as f:
+        for ln, line in enumerate(f, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            tags[line.split()[0]] = ln
+    return tags
+
+
+def has_nearby_comment(lines, i, pattern):
+    lo = max(0, i - COMMENT_LOOKBACK)
+    return any(pattern.search(lines[j]) for j in range(lo, i + 1))
+
+
+def nearby_pair_tag(lines, i):
+    lo = max(0, i - COMMENT_LOOKBACK)
+    for j in range(i, lo - 1, -1):
+        m = PAIRS_TAG_RE.search(lines[j])
+        if m:
+            return m.group(1)
+    return None
+
+
+def is_address_taken(line, start):
+    """True when the slot expression starting inside `line` at `start`
+    has its address taken (passed to an accessor or a prefetch)."""
+    j = start - 1
+    while j >= 0 and (line[j].isalnum() or line[j] in "_.>-()"):
+        j -= 1
+    return j >= 0 and line[j] == "&"
+
+
+class Linter:
+    def __init__(self, pairs_path):
+        self.errors = []
+        self.pair_tags = load_pairs(pairs_path)
+        self.pairs_path = pairs_path
+        self.used_tags = set()
+
+    def error(self, path, line_no, check, msg):
+        self.errors.append(f"{path}:{line_no}: [{check}] {msg}")
+
+    def lint_file(self, path, rel, hot_override=False):
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        lines = text.splitlines()
+        self.check_slots(rel, lines)
+        self.check_relaxed(rel, lines)
+        self.check_release(rel, lines)
+        is_hot = hot_override or any(rel.startswith(d) for d in HOT_PATH_DIRS)
+        if is_hot and rel not in HOT_ALLOC_ALLOWLIST:
+            self.check_hot_alloc(rel, lines)
+        self.check_planstats(rel, text, lines)
+
+    def check_slots(self, rel, lines):
+        if rel in RAW_SLOT_ALLOWLIST:
+            return
+        for i, raw in enumerate(lines):
+            line = strip_comment(raw)
+            for m in SLOT_ACCESS_RE.finditer(line):
+                if is_address_taken(line, m.start()):
+                    continue  # &node->slots[i] fed to an accessor/prefetch
+                self.error(
+                    rel, i + 1, "raw-slot-read",
+                    "raw access to a published tree slot array; use the "
+                    "atomic accessors (LoadSlot/LoadRootSlot/LoadEntry / "
+                    "Store*) or move the code into a tree implementation "
+                    "file")
+
+    def check_relaxed(self, rel, lines):
+        for i, raw in enumerate(lines):
+            if not RELAXED_RE.search(strip_comment(raw)):
+                continue
+            if has_nearby_comment(lines, i, RELAXED_COMMENT_RE):
+                continue
+            self.error(
+                rel, i + 1, "relaxed-justify",
+                "memory_order_relaxed without a \"// relaxed: <why>\" "
+                "justification on the line or just above it")
+
+    def check_release(self, rel, lines):
+        for i, raw in enumerate(lines):
+            if not RELEASE_RE.search(strip_comment(raw)):
+                continue
+            tag = nearby_pair_tag(lines, i)
+            if tag is None:
+                self.error(
+                    rel, i + 1, "release-pair",
+                    "release store without a \"pairs-with: <tag>\" comment "
+                    "naming its acquire site (catalogue: "
+                    "scripts/analyze/atomics_pairs.txt)")
+            elif tag not in self.pair_tags:
+                self.error(
+                    rel, i + 1, "release-pair",
+                    f"pairs-with tag '{tag}' is not in the catalogue "
+                    f"({self.pairs_path})")
+            else:
+                self.used_tags.add(tag)
+
+    def check_hot_alloc(self, rel, lines):
+        for i, raw in enumerate(lines):
+            if raw.lstrip().startswith("#"):
+                continue  # includes (<new>, <list>) are not allocations
+            line = strip_comment(raw)
+            if NODE_CONTAINER_RE.search(line):
+                self.error(
+                    rel, i + 1, "hot-path-alloc",
+                    "node-based std container in a hot-path directory; use "
+                    "a flat structure or an arena-backed one")
+            if RAW_NEW_RE.search(line) or RAW_MALLOC_RE.search(line):
+                self.error(
+                    rel, i + 1, "hot-path-alloc",
+                    "raw heap allocation in a hot-path directory; allocate "
+                    "from an arena (placement new into arena memory is "
+                    "allowed)")
+
+    def check_planstats(self, rel, text, lines):
+        for m in PLANSTATS_PARAM_RE.finditer(text):
+            name = m.group(1)
+            # Find the end of the parameter list, then a body or a ';'.
+            depth = 0
+            j = m.end()
+            while j < len(text):
+                c = text[j]
+                if c == "(":
+                    depth += 1
+                elif c == ")":
+                    if depth == 0:
+                        break
+                    depth -= 1
+                j += 1
+            k = j
+            while k < len(text) and text[k] not in "{;":
+                k += 1
+            if k >= len(text) or text[k] == ";":
+                continue  # declaration only
+            body_start = k
+            depth = 0
+            k2 = body_start
+            while k2 < len(text):
+                if text[k2] == "{":
+                    depth += 1
+                elif text[k2] == "}":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                k2 += 1
+            body = text[body_start:k2 + 1]
+            if not re.search(rf"\b{name}\b\s*(?:->|\.)", body) and \
+               not re.search(rf"\*\s*{name}\b", body):
+                continue  # parameter unused beyond forwarding/ignoring
+            cleared = re.search(rf"\b{name}\s*->\s*Clear\s*\(", body)
+            assigned = re.search(rf"\*\s*{name}\s*=[^=]", body)
+            forwarded = re.search(rf"[(,]\s*{name}\s*[),]", body)
+            if cleared or assigned or forwarded:
+                continue
+            line_no = text.count("\n", 0, m.start()) + 1
+            self.error(
+                rel, line_no, "planstats-clear",
+                f"caller-supplied PlanStats* {name} is mutated without "
+                "Clear(), wholesale assignment, or forwarding — it would "
+                "accumulate across runs (contract: src/core/stats.h)")
+
+    def finish(self, full_tree):
+        if full_tree:
+            for tag in sorted(set(self.pair_tags) - self.used_tags):
+                self.error(
+                    self.pairs_path, self.pair_tags[tag], "release-pair",
+                    f"catalogue tag '{tag}' is referenced by no release "
+                    "store; delete the entry or restore the tag")
+        return self.errors
+
+
+def collect_default_files(root):
+    out = []
+    for dirpath, _, names in os.walk(os.path.join(root, "src")):
+        for name in sorted(names):
+            if name.endswith((".h", ".cc")):
+                out.append(os.path.join(dirpath, name))
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("files", nargs="*")
+    ap.add_argument("--root", default=None)
+    ap.add_argument("--pairs", default=None)
+    ap.add_argument("--treat-as-hot", action="store_true",
+                    help="apply hot-path-alloc to the given files")
+    args = ap.parse_args()
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    pairs = args.pairs or os.path.join(
+        root, "scripts", "analyze", "atomics_pairs.txt")
+    if not os.path.exists(pairs):
+        print(f"qppt_lint: pairing catalogue not found: {pairs}",
+              file=sys.stderr)
+        return 2
+
+    full_tree = not args.files
+    files = args.files or collect_default_files(root)
+    if not files:
+        print("qppt_lint: nothing to lint", file=sys.stderr)
+        return 2
+
+    linter = Linter(pairs)
+    for path in files:
+        rel = os.path.relpath(os.path.abspath(path), root).replace(
+            os.sep, "/")
+        linter.lint_file(path, rel, hot_override=args.treat_as_hot)
+    errors = linter.finish(full_tree)
+    for e in errors:
+        print(e)
+    if errors:
+        print(f"qppt_lint: {len(errors)} violation(s)", file=sys.stderr)
+        return 1
+    print(f"qppt_lint: {len(files)} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

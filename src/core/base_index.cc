@@ -67,6 +67,7 @@ void BaseIndex::InsertLive(Rid rid) {
     EncodeKey(slots, &key);
     prefix_->Insert(key.data(), rid);
   }
+  // relaxed: advisory counter; the tree publish carries the data.
   num_rows_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -137,6 +138,7 @@ Status BaseIndex::Init(const RowTable* table, const std::vector<Rid>* rids,
   } else {
     for (Rid rid = 0; rid < table->num_rows(); ++rid) index_row(rid);
   }
+  // relaxed: bulk build completes before the index is shared.
   num_rows_.store(indexed, std::memory_order_relaxed);
   return Status::OK();
 }

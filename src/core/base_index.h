@@ -99,6 +99,7 @@ class BaseIndex {
   const KissTree* kiss() const { return kiss_.get(); }
   const PrefixTree* prefix() const { return prefix_.get(); }
   size_t num_rows() const {
+    // relaxed: advisory row count for planning; no data read through it.
     return num_rows_.load(std::memory_order_relaxed);
   }
   size_t num_keys() const {

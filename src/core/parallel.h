@@ -162,7 +162,7 @@ inline std::vector<std::pair<size_t, size_t>> PartitionPrefixRange(
   size_t fanout = PrefixRootFanout(tree);
   std::vector<size_t> used;
   for (size_t i = 0; i < fanout; ++i) {
-    if (tree.root()->slots[i] != 0) used.push_back(i);
+    if (PrefixTree::LoadSlot(&tree.root()->slots[i]) != 0) used.push_back(i);
   }
   return SpansOverUsedSlots(used, shards);
 }

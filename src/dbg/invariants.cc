@@ -1,0 +1,120 @@
+#include "dbg/invariants.h"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/env.h"
+
+namespace qppt::dbg {
+
+namespace {
+
+std::atomic<bool> g_enabled{[] {
+#ifdef QPPT_DBG_INVARIANTS
+  int64_t def = 1;
+#else
+  int64_t def = 0;
+#endif
+  return GetEnvInt64("QPPT_DBG_INVARIANTS", def) != 0;
+}()};
+
+void Report(std::string* report, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (report != nullptr) {
+    report->append(buf);
+    report->push_back('\n');
+  } else {
+    std::fprintf(stderr, "qppt invariant violation: %s\n", buf);
+  }
+}
+
+}  // namespace
+
+bool InvariantsEnabled() {
+  return g_enabled.load(std::memory_order_relaxed);  // relaxed: flag read,
+  // no data is published through it
+}
+
+bool SetInvariantsEnabled(bool on) {
+  return g_enabled.exchange(on, std::memory_order_relaxed);  // relaxed:
+  // test-only toggle, callers synchronize externally
+}
+
+size_t AuditVersionChains(const MvccTable& table, std::string* report) {
+  size_t violations = 0;
+  // Per-chain walk state, reset at every view.newest.
+  bool have_prev = false;
+  Timestamp prev_begin = 0;  // newer neighbor's stamps (committed only)
+  table.ForEachChainVersion([&](const MvccTable::VersionView& v) {
+    if (v.newest) have_prev = false;
+    bool committed = v.begin_ts != kTsInfinity;
+    if (!committed) {
+      if (!v.newest) {
+        ++violations;
+        Report(report,
+               "row %llu rid %llu: uncommitted version below the chain head",
+               (unsigned long long)v.logical, (unsigned long long)v.rid);
+      }
+      return;  // uncommitted stamps carry no ordering information yet
+    }
+    if (v.end_ts < v.begin_ts) {
+      ++violations;
+      Report(report,
+             "row %llu rid %llu: end_ts %llu < begin_ts %llu",
+             (unsigned long long)v.logical, (unsigned long long)v.rid,
+             (unsigned long long)v.end_ts, (unsigned long long)v.begin_ts);
+    }
+    if (have_prev) {
+      if (v.begin_ts > prev_begin) {
+        ++violations;
+        Report(report,
+               "row %llu rid %llu: begin_ts %llu newer than its newer "
+               "neighbor's %llu (chain not time-ordered)",
+               (unsigned long long)v.logical, (unsigned long long)v.rid,
+               (unsigned long long)v.begin_ts,
+               (unsigned long long)prev_begin);
+      }
+      if (v.end_ts != kTsInfinity && v.end_ts != prev_begin) {
+        ++violations;
+        Report(report,
+               "row %llu rid %llu: end_ts %llu does not seam with its "
+               "newer neighbor's begin_ts %llu",
+               (unsigned long long)v.logical, (unsigned long long)v.rid,
+               (unsigned long long)v.end_ts,
+               (unsigned long long)prev_begin);
+      }
+    }
+    have_prev = true;
+    prev_begin = v.begin_ts;
+  });
+  return violations;
+}
+
+size_t AuditReclaimHorizon(Timestamp horizon_used, Timestamp oldest_pinned,
+                           std::string* report) {
+  if (horizon_used <= oldest_pinned) return 0;
+  Report(report,
+         "reclamation horizon %llu passed the oldest pinned snapshot %llu",
+         (unsigned long long)horizon_used, (unsigned long long)oldest_pinned);
+  return 1;
+}
+
+void CheckVersionChains(const MvccTable& table) {
+  if (!InvariantsEnabled()) return;
+  if (AuditVersionChains(table, nullptr) > 0) std::abort();
+}
+
+void CheckReclaimHorizon(Timestamp horizon_used, Timestamp oldest_pinned) {
+  if (!InvariantsEnabled()) return;
+  if (AuditReclaimHorizon(horizon_used, oldest_pinned, nullptr) > 0) {
+    std::abort();
+  }
+}
+
+}  // namespace qppt::dbg

@@ -1,0 +1,63 @@
+// Runtime invariant audits for debug/sanitizer builds.
+//
+// QPPT's MVCC correctness rests on properties no single call site can
+// assert: version-chain timestamp monotonicity (a chain walked
+// newest-first never shows time running forwards again) and the
+// reclamation horizon never passing a pinned snapshot. This module
+// checks them at the natural chokepoints — the engine calls
+// CheckVersionChains / CheckReclaimHorizon from the write-commit and
+// reclamation paths when invariants are enabled.
+//
+// Enablement mirrors dbg/lock_rank.h: compiled-in default ON under the
+// QPPT_DBG_INVARIANTS build define (Debug / sanitizer CMake builds),
+// OFF otherwise; the QPPT_DBG_INVARIANTS environment variable (0/1)
+// overrides, and tests can toggle programmatically. The Audit*
+// functions always run when called and report violations instead of
+// aborting, so tests can exercise them in any build; the Check*
+// wrappers are the abort-on-violation hooks the engine embeds.
+
+#ifndef QPPT_DBG_INVARIANTS_H_
+#define QPPT_DBG_INVARIANTS_H_
+
+#include <cstddef>
+#include <string>
+
+#include "storage/mvcc.h"
+
+namespace qppt::dbg {
+
+// Process-wide enforcement flag shared by every dbg check (lock ranks
+// and invariant audits).
+bool InvariantsEnabled();
+// Toggles enforcement at runtime (tests). Returns the previous value.
+bool SetInvariantsEnabled(bool on);
+
+// Audits every version chain of `table`:
+//   - at most one uncommitted version (begin_ts == kTsInfinity) per
+//     chain, and only at the head;
+//   - committed begin_ts non-increasing walking newest -> older (equal
+//     only for versions stamped by the same commit);
+//   - end_ts >= begin_ts for every committed version;
+//   - adjacent committed versions seam exactly: older.end_ts ==
+//     newer.begin_ts (supersession stamps both sides with one ts).
+// Returns the number of violations; appends one line per violation to
+// *report when given. Writer-serialized (walks the chains reclamation
+// unlinks).
+size_t AuditVersionChains(const MvccTable& table,
+                          std::string* report = nullptr);
+
+// Audits one reclamation decision: the horizon the sweep used must not
+// exceed the oldest snapshot still pinned at sweep time (versions a
+// pinned reader can reach must survive). Returns 0 or 1 violations.
+size_t AuditReclaimHorizon(Timestamp horizon_used, Timestamp oldest_pinned,
+                           std::string* report = nullptr);
+
+// Abort-on-violation wrappers, no-ops unless InvariantsEnabled(). The
+// engine calls these from WriteSession::Commit and
+// EngineRunner::ReclaimVersions.
+void CheckVersionChains(const MvccTable& table);
+void CheckReclaimHorizon(Timestamp horizon_used, Timestamp oldest_pinned);
+
+}  // namespace qppt::dbg
+
+#endif  // QPPT_DBG_INVARIANTS_H_

@@ -1,0 +1,42 @@
+// ThreadSanitizer happens-before annotations for the engine's
+// release-store publish points.
+//
+// The trees publish slots with real atomics (__atomic builtins), which
+// TSan instruments natively, so in today's code these annotations add
+// no edges TSan does not already infer. They exist to make every
+// publish point *explicit and greppable* — the qppt_lint.py atomics
+// catalogue names these sites — and to keep the happens-before graph
+// intact if a publish point is ever rewritten in a form TSan cannot see
+// through (fences, inline asm, non-instrumented helpers). Outside TSan
+// builds they compile to nothing.
+//
+// Usage: QPPT_TSAN_RELEASE(addr) immediately before the release store
+// that publishes through `addr`; QPPT_TSAN_ACQUIRE(addr) immediately
+// after the paired acquire load.
+
+#ifndef QPPT_DBG_TSAN_H_
+#define QPPT_DBG_TSAN_H_
+
+#if defined(__SANITIZE_THREAD__)
+#define QPPT_TSAN_ENABLED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define QPPT_TSAN_ENABLED 1
+#endif
+#endif
+
+#ifdef QPPT_TSAN_ENABLED
+extern "C" {
+void __tsan_acquire(void* addr);
+void __tsan_release(void* addr);
+}
+#define QPPT_TSAN_RELEASE(addr) \
+  __tsan_release(const_cast<void*>(static_cast<const void*>(addr)))
+#define QPPT_TSAN_ACQUIRE(addr) \
+  __tsan_acquire(const_cast<void*>(static_cast<const void*>(addr)))
+#else
+#define QPPT_TSAN_RELEASE(addr) ((void)0)
+#define QPPT_TSAN_ACQUIRE(addr) ((void)0)
+#endif
+
+#endif  // QPPT_DBG_TSAN_H_

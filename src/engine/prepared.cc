@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/query/planner.h"
+#include "dbg/lock_rank.h"
 #include "obs/metrics.h"
 
 namespace qppt::engine {
@@ -49,7 +50,7 @@ Result<std::string> CacheKey(const PlanKnobs& knobs,
 }  // namespace
 
 size_t PreparedQuery::plans_cached() const {
-  std::lock_guard<std::mutex> lock(state_->mu);
+  dbg::RankedLockGuard lock(dbg::LockRank::kPlanCache, state_->mu);
   return state_->plans.size();
 }
 
@@ -57,9 +58,10 @@ Result<std::shared_ptr<const Plan>> PreparedQuery::GetPlan(
     const PlanKnobs& knobs, const query::QueryParams& params) const {
   QPPT_ASSIGN_OR_RETURN(const std::string key, CacheKey(knobs, params));
   {
-    std::lock_guard<std::mutex> lock(state_->mu);
+    dbg::RankedLockGuard lock(dbg::LockRank::kPlanCache, state_->mu);
     auto it = state_->plans.find(key);
     if (it != state_->plans.end()) {
+      // relaxed: statistics counter; no ordering needed.
       state_->hits.fetch_add(1, std::memory_order_relaxed);
       PlanCacheMetrics::Get().hits->Add();
       return it->second;
@@ -76,7 +78,8 @@ Result<std::shared_ptr<const Plan>> PreparedQuery::GetPlan(
   QPPT_ASSIGN_OR_RETURN(Plan plan,
                         query::PlanQuery(*state_->db, *spec, knobs));
   auto shared = std::make_shared<const Plan>(std::move(plan));
-  std::lock_guard<std::mutex> lock(state_->mu);
+  dbg::RankedLockGuard lock(dbg::LockRank::kPlanCache, state_->mu);
+  // relaxed: statistics counter; no ordering needed.
   state_->misses.fetch_add(1, std::memory_order_relaxed);
   PlanCacheMetrics::Get().misses->Add();
   auto [it, inserted] = state_->plans.emplace(key, std::move(shared));

@@ -41,9 +41,11 @@ class PreparedQuery {
 
   // Plan-cache observability (for tests and the throughput bench).
   uint64_t plan_cache_hits() const {
+    // relaxed: statistics counter; no ordering needed.
     return state_->hits.load(std::memory_order_relaxed);
   }
   uint64_t plan_cache_misses() const {
+    // relaxed: statistics counter; no ordering needed.
     return state_->misses.load(std::memory_order_relaxed);
   }
   size_t plans_cached() const;

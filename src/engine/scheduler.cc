@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "dbg/lock_rank.h"
 #include "obs/metrics.h"
 
 namespace qppt::engine {
@@ -39,7 +40,7 @@ void MorselTuner::RecordBatch(std::vector<double>* morsel_ms) {
   std::sort(morsel_ms->begin(), morsel_ms->end());
   double median = (*morsel_ms)[morsel_ms->size() / 2];
   double max = morsel_ms->back();
-  std::lock_guard<std::mutex> lock(mu_);
+  dbg::RankedLockGuard lock(dbg::LockRank::kMorselTuner, mu_);
   if (max > kSkewFactor * median && max > kMinMorselMs) {
     // One shard dominated the fork-join: split finer so the straggler's
     // key range lands in several steal-able morsels next batch.
@@ -57,7 +58,7 @@ void MorselTuner::RecordBatch(std::vector<double>* morsel_ms) {
 }
 
 std::shared_ptr<MorselTuner> WorkerPool::TunerFor(std::string_view site) {
-  std::lock_guard<std::mutex> lock(tuners_mu_);
+  dbg::RankedLockGuard lock(dbg::LockRank::kTunerMap, tuners_mu_);
   auto it = site_tuners_.find(site);
   if (it == site_tuners_.end()) {
     if (site_tuners_.size() >= kMaxTunerSites) {
@@ -82,7 +83,7 @@ std::shared_ptr<MorselTuner> WorkerPool::TunerFor(std::string_view site) {
 }
 
 size_t WorkerPool::num_tuner_sites() const {
-  std::lock_guard<std::mutex> lock(tuners_mu_);
+  dbg::RankedLockGuard lock(dbg::LockRank::kTunerMap, tuners_mu_);
   return site_tuners_.size();
 }
 
@@ -121,7 +122,7 @@ WorkerPool::WorkerPool(size_t threads) {
 
 WorkerPool::~WorkerPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    dbg::RankedLockGuard lock(dbg::LockRank::kScheduler, mu_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -151,6 +152,7 @@ bool WorkerPool::PopOrStealLocked(size_t worker, Item* item, bool* stolen) {
 
 void WorkerPool::WorkerLoop(size_t worker) {
   using SteadyClock = std::chrono::steady_clock;
+  dbg::NoteLockAcquired(dbg::LockRank::kScheduler);
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     Item item;
@@ -162,6 +164,7 @@ void WorkerPool::WorkerLoop(size_t worker) {
       std::exception_ptr error;
       if (!skip) {
         lock.unlock();
+        dbg::NoteLockReleased(dbg::LockRank::kScheduler);
         if (stolen) tasks_stolen_->AddShard(worker);
         SteadyClock::time_point t0 = SteadyClock::now();
         try {
@@ -171,6 +174,7 @@ void WorkerPool::WorkerLoop(size_t worker) {
         }
         tasks_executed_->AddShard(worker);
         worker_busy_ns_->AddShard(worker, ElapsedNs(t0, SteadyClock::now()));
+        dbg::NoteLockAcquired(dbg::LockRank::kScheduler);
         lock.lock();
       }
       if (error) {
@@ -200,7 +204,7 @@ void WorkerPool::Run(size_t num_morsels, const MorselFn& fn) {
   batch.fn = &fn;
   batch.outstanding = num_morsels;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    dbg::RankedLockGuard lock(dbg::LockRank::kScheduler, mu_);
     // Incremented before the pushes so a racing pop never reads the
     // gauge below zero.
     queue_depth_->Add(static_cast<int64_t>(num_morsels));
@@ -210,6 +214,7 @@ void WorkerPool::Run(size_t num_morsels, const MorselFn& fn) {
     }
   }
   work_cv_.notify_all();
+  dbg::LockRankToken rank(dbg::LockRank::kScheduler);
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [&] { return batch.outstanding == 0; });
   if (batch.error) std::rethrow_exception(batch.error);

@@ -20,6 +20,8 @@
 
 #include <condition_variable>
 #include <cstddef>
+
+#include "dbg/lock_rank.h"
 #include <cstdint>
 #include <deque>
 #include <exception>
@@ -65,20 +67,20 @@ class MorselTuner {
 
   // Current split target for a pool with `workers` workers.
   size_t MorselTarget(size_t workers) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    dbg::RankedLockGuard lock(dbg::LockRank::kMorselTuner, mu_);
     return workers * per_worker_;
   }
 
   size_t per_worker() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    dbg::RankedLockGuard lock(dbg::LockRank::kMorselTuner, mu_);
     return per_worker_;
   }
   size_t refines() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    dbg::RankedLockGuard lock(dbg::LockRank::kMorselTuner, mu_);
     return refines_;
   }
   size_t coarsens() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    dbg::RankedLockGuard lock(dbg::LockRank::kMorselTuner, mu_);
     return coarsens_;
   }
 

@@ -16,6 +16,8 @@
 #include "core/query/planner.h"
 #include "core/sync_scan.h"
 #include "engine/scheduler.h"
+#include "dbg/invariants.h"
+#include "dbg/lock_rank.h"
 #include "engine/write_session.h"
 #include "index/key_encoder.h"
 #include "obs/metrics.h"
@@ -224,7 +226,7 @@ EngineRunner::~EngineRunner() = default;
 
 std::shared_ptr<EngineRunner::Batcher> EngineRunner::BatcherFor(
     const IndexedTable& table) {
-  std::lock_guard<std::mutex> lock(batchers_mu_);
+  dbg::RankedLockGuard lock(dbg::LockRank::kReadBatcherMap, batchers_mu_);
   auto& slot = batchers_[&table];
   if (slot == nullptr) slot = std::make_shared<Batcher>(&table);
   return slot;
@@ -233,7 +235,8 @@ std::shared_ptr<EngineRunner::Batcher> EngineRunner::BatcherFor(
 void EngineRunner::ReleaseReads(const IndexedTable& table) {
   std::shared_ptr<Batcher> victim;
   {
-    std::lock_guard<std::mutex> lock(batchers_mu_);
+    dbg::RankedLockGuard lock(dbg::LockRank::kReadBatcherMap,
+                              batchers_mu_);
     auto it = batchers_.find(&table);
     if (it == batchers_.end()) return;
     victim = std::move(it->second);
@@ -251,6 +254,7 @@ std::vector<uint64_t> EngineRunner::PointRead(const IndexedTable& table,
 
 std::vector<uint64_t> EngineRunner::RangeRead(const IndexedTable& table,
                                               int64_t lo, int64_t hi) {
+  // relaxed: statistics counter; no ordering needed.
   reads_.fetch_add(1, std::memory_order_relaxed);
   if (table.aggregated() || lo > hi) return {};
   // Hold a reference for the whole read: a concurrent ReleaseReads(table)
@@ -261,6 +265,7 @@ std::vector<uint64_t> EngineRunner::RangeRead(const IndexedTable& table,
   req.hi = hi;
   req.is_point = lo == hi;
 
+  dbg::LockRankToken rank(dbg::LockRank::kReadBatcher);
   std::unique_lock<std::mutex> lock(b->mu);
   b->pending.push_back(&req);
   b->cv.notify_all();  // a gathering leader may now be at its batch cap
@@ -281,6 +286,7 @@ std::vector<uint64_t> EngineRunner::RangeRead(const IndexedTable& table,
   b->leader_active = false;
   lock.unlock();
 
+  // relaxed: statistics counter; no ordering needed.
   batched_keys_.fetch_add(batch.size(), std::memory_order_relaxed);
   uint64_t scans = 0;
   std::exception_ptr error;
@@ -301,6 +307,7 @@ std::vector<uint64_t> EngineRunner::RangeRead(const IndexedTable& table,
     // them blocked on stack-local requests the leader is unwinding past.
     error = std::current_exception();
   }
+  // relaxed: statistics counter; no ordering needed.
   shared_scans_.fetch_add(scans, std::memory_order_relaxed);
 
   lock.lock();
@@ -315,6 +322,7 @@ std::vector<uint64_t> EngineRunner::RangeRead(const IndexedTable& table,
 
 EngineRunner::ReadStats EngineRunner::read_stats() const {
   ReadStats s;
+  // relaxed (all three): statistics snapshot; staleness is fine.
   s.reads = reads_.load(std::memory_order_relaxed);
   s.shared_scans = shared_scans_.load(std::memory_order_relaxed);
   s.batched_keys = batched_keys_.load(std::memory_order_relaxed);
@@ -335,9 +343,11 @@ struct EngineRunner::AdmitSlot {
       return;
     }
     Timer wait;
+    dbg::LockRankToken rank(dbg::LockRank::kAdmission);
     std::unique_lock<std::mutex> lock(runner_->admit_mu_);
     if (runner_->queries_running_ >=
         runner_->config_.max_concurrent_queries) {
+      // relaxed: statistics counter; no ordering needed.
       runner_->queries_waiting_.fetch_add(1, std::memory_order_relaxed);
       m.queries_waiting->Add(1);
       runner_->admit_cv_.wait(lock, [&] {
@@ -345,6 +355,7 @@ struct EngineRunner::AdmitSlot {
                runner_->config_.max_concurrent_queries;
       });
       m.queries_waiting->Add(-1);
+      // relaxed: statistics counter; no ordering needed.
       runner_->queries_waiting_.fetch_sub(1, std::memory_order_relaxed);
     }
     ++runner_->queries_running_;
@@ -357,7 +368,8 @@ struct EngineRunner::AdmitSlot {
     if (gauge_held_) SessionMetrics::Get().queries_running->Add(-1);
     if (!held_) return;
     {
-      std::lock_guard<std::mutex> lock(runner_->admit_mu_);
+      dbg::RankedLockGuard lock(dbg::LockRank::kAdmission,
+                                runner_->admit_mu_);
       --runner_->queries_running_;
     }
     runner_->admit_cv_.notify_one();
@@ -380,11 +392,13 @@ struct EngineRunner::ReadPin {
     ts_ = knobs->read_ts != kTsInfinity ? knobs->read_ts
                                         : db.txn_manager().last_commit_ts();
     knobs->read_ts = ts_;
-    std::lock_guard<std::mutex> lock(runner_->pins_mu_);
+    dbg::RankedLockGuard lock(dbg::LockRank::kReadPins,
+                              runner_->pins_mu_);
     runner_->pinned_read_ts_.insert(ts_);
   }
   ~ReadPin() {
-    std::lock_guard<std::mutex> lock(runner_->pins_mu_);
+    dbg::RankedLockGuard lock(dbg::LockRank::kReadPins,
+                              runner_->pins_mu_);
     runner_->pinned_read_ts_.erase(runner_->pinned_read_ts_.find(ts_));
   }
   ReadPin(const ReadPin&) = delete;
@@ -403,6 +417,7 @@ Result<QueryResult> EngineRunner::Execute(const Database& db,
   if (stats != nullptr) stats->Clear();
   Timer wall;
   AdmitSlot slot(this);
+  // relaxed: statistics counter; no ordering needed.
   queries_admitted_.fetch_add(1, std::memory_order_relaxed);
   SessionMetrics::Get().queries_total->Add();
   knobs.threads = config_.threads;
@@ -452,6 +467,7 @@ Result<QueryResult> EngineRunner::Execute(const PreparedQuery& prepared,
 QuerySession EngineRunner::OpenSession() {
   return QuerySession(
       this, static_cast<size_t>(
+                // relaxed: id allocation needs uniqueness only.
                 next_session_id_.fetch_add(1, std::memory_order_relaxed)));
 }
 
@@ -462,7 +478,7 @@ WriteSession EngineRunner::OpenWriteSession(Database* db) {
 }
 
 Timestamp EngineRunner::OldestActiveReadTs(const Database& db) const {
-  std::lock_guard<std::mutex> lock(pins_mu_);
+  dbg::RankedLockGuard lock(dbg::LockRank::kReadPins, pins_mu_);
   if (pinned_read_ts_.empty()) return db.txn_manager().last_commit_ts();
   return *pinned_read_ts_.begin();
 }
@@ -473,7 +489,14 @@ size_t EngineRunner::ReclaimVersions(Database* db) {
   // How far pinned snapshots hold reclamation behind the newest commit.
   m.reclaim_horizon_lag->Set(static_cast<int64_t>(
       db->txn_manager().last_commit_ts() - horizon));
-  std::lock_guard<std::mutex> lock(db->write_mutex());
+  dbg::RankedLockGuard lock(dbg::LockRank::kDatabaseWrite,
+                            db->write_mutex());
+  // kReadPins ranks inside kDatabaseWrite, so re-reading the pin
+  // registry here is rank-legal: with the write lock held no new commit
+  // can advance the no-pins fallback, and an explicit time-travel pin
+  // taken after the horizon was computed is exactly the bug this check
+  // is for.
+  dbg::CheckReclaimHorizon(horizon, OldestActiveReadTs(*db));
   size_t unlinked = 0;
   for (const auto& name : db->versioned_table_names()) {
     MvccTable* table = *db->versioned_table(name);
@@ -483,6 +506,7 @@ size_t EngineRunner::ReclaimVersions(Database* db) {
       m.version_chain_length->Observe(static_cast<double>(len));
     });
     unlinked += table->ReclaimBefore(horizon);
+    dbg::CheckVersionChains(*table);
   }
   m.versions_reclaimed_total->Add(unlinked);
   return unlinked;

@@ -141,6 +141,7 @@ class EngineRunner {
     uint64_t aborted = 0;
   };
   WriteStats write_stats() const {
+    // relaxed (both): statistics snapshot; staleness is fine.
     return {txns_committed_.load(std::memory_order_relaxed),
             txns_aborted_.load(std::memory_order_relaxed)};
   }
@@ -172,10 +173,12 @@ class EngineRunner {
   ReadStats read_stats() const;
 
   uint64_t queries_admitted() const {
+    // relaxed: statistics counter; no ordering needed.
     return queries_admitted_.load(std::memory_order_relaxed);
   }
   // Execute callers currently blocked on the admission semaphore.
   uint64_t queries_waiting() const {
+    // relaxed: statistics counter; no ordering needed.
     return queries_waiting_.load(std::memory_order_relaxed);
   }
 
@@ -190,9 +193,13 @@ class EngineRunner {
   std::shared_ptr<Batcher> BatcherFor(const IndexedTable& table);
 
   void NoteCommit() {
+    // relaxed: statistics counter; no ordering needed.
     txns_committed_.fetch_add(1, std::memory_order_relaxed);
   }
-  void NoteAbort() { txns_aborted_.fetch_add(1, std::memory_order_relaxed); }
+  void NoteAbort() {
+    // relaxed: statistics counter; no ordering needed.
+    txns_aborted_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   EngineConfig config_;
   std::unique_ptr<WorkerPool> pool_;

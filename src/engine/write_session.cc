@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "core/stats.h"
+#include "dbg/invariants.h"
+#include "dbg/lock_rank.h"
 #include "engine/session.h"
 #include "obs/metrics.h"
 
@@ -85,7 +87,8 @@ Result<MvccTable::LogicalId> WriteSession::Insert(
     const std::string& table, std::span<const uint64_t> row) {
   if (!active_) return Status::InvalidArgument("write session is finished");
   QPPT_ASSIGN_OR_RETURN(MvccTable * t, Table(table));
-  std::lock_guard<std::mutex> lock(db_->write_mutex());
+  dbg::RankedLockGuard lock(dbg::LockRank::kDatabaseWrite,
+                            db_->write_mutex());
   return t->Insert(txn_, row);
 }
 
@@ -93,7 +96,8 @@ Status WriteSession::Update(const std::string& table, MvccTable::LogicalId id,
                             std::span<const uint64_t> row) {
   if (!active_) return Status::InvalidArgument("write session is finished");
   QPPT_ASSIGN_OR_RETURN(MvccTable * t, Table(table));
-  std::lock_guard<std::mutex> lock(db_->write_mutex());
+  dbg::RankedLockGuard lock(dbg::LockRank::kDatabaseWrite,
+                            db_->write_mutex());
   Status s = t->Update(txn_, id, row);
   if (s.code() == StatusCode::kAlreadyExists) {
     WriteMetrics::Get().first_updater_conflicts->Add();
@@ -105,7 +109,8 @@ Status WriteSession::Delete(const std::string& table,
                             MvccTable::LogicalId id) {
   if (!active_) return Status::InvalidArgument("write session is finished");
   QPPT_ASSIGN_OR_RETURN(MvccTable * t, Table(table));
-  std::lock_guard<std::mutex> lock(db_->write_mutex());
+  dbg::RankedLockGuard lock(dbg::LockRank::kDatabaseWrite,
+                            db_->write_mutex());
   Status s = t->Delete(txn_, id);
   if (s.code() == StatusCode::kAlreadyExists) {
     WriteMetrics::Get().first_updater_conflicts->Add();
@@ -123,7 +128,8 @@ Result<Timestamp> WriteSession::Commit() {
   if (!active_) return Status::InvalidArgument("write session is finished");
   active_ = false;
   TransactionManager& tm = db_->txn_manager();
-  std::lock_guard<std::mutex> lock(db_->write_mutex());
+  dbg::RankedLockGuard lock(dbg::LockRank::kDatabaseWrite,
+                            db_->write_mutex());
   // 1. Feed the transaction's new physical rows to the live indexes.
   // They are not yet visible (begin_ts == infinity), so concurrent
   // snapshot scans filter them out via RidVisibleAt.
@@ -148,6 +154,9 @@ Result<Timestamp> WriteSession::Commit() {
   for (MvccTable* table : touched_) table->CommitTransaction(txn_, ts);
   tm.FinishCommit(txn_, ts);
   m.commit_publish_ms->Observe(publish.ElapsedMs());
+  // Debug-build MVCC audit: the chains this commit touched must still
+  // be timestamp-monotone and seamed (dbg/invariants.h).
+  for (MvccTable* table : touched_) dbg::CheckVersionChains(*table);
   m.txns_committed->Add();
   if (runner_ != nullptr) runner_->NoteCommit();
   return ts;
@@ -156,7 +165,8 @@ Result<Timestamp> WriteSession::Commit() {
 Status WriteSession::Abort() {
   if (!active_) return Status::InvalidArgument("write session is finished");
   active_ = false;
-  std::lock_guard<std::mutex> lock(db_->write_mutex());
+  dbg::RankedLockGuard lock(dbg::LockRank::kDatabaseWrite,
+                            db_->write_mutex());
   for (MvccTable* table : touched_) table->AbortTransaction(txn_);
   db_->txn_manager().Abort(txn_);
   WriteMetrics::Get().txns_aborted->Add();

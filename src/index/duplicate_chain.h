@@ -54,7 +54,9 @@ class ValueList {
   // the Fig. 3 insert/update workload). Single-threaded use only.
   void ReplaceWith(uint64_t value) {
     first_ = value;
-    head_.store(nullptr, std::memory_order_relaxed);
+    head_.store(nullptr, std::memory_order_relaxed);  // relaxed: single-
+    // threaded use only (see above); the count release publishes it anyway.
+    // pairs-with: dup-count
     count_.store(1, std::memory_order_release);
   }
 

@@ -1,5 +1,7 @@
 #include "index/kiss_tree.h"
 
+#include "dbg/lock_rank.h"
+
 #include <bit>
 #include <cassert>
 #include <cstdint>
@@ -46,7 +48,7 @@ CompactSlab::CompactSlab(CompactSlab&& other) noexcept
 
 uint32_t CompactSlab::Allocate(size_t bytes) {
   if (concurrent_) {
-    std::lock_guard<std::mutex> lock(*mu_);
+    dbg::RankedLockGuard lock(dbg::LockRank::kAllocator, *mu_);
     return AllocateLocked(bytes);
   }
   return AllocateLocked(bytes);
@@ -131,11 +133,13 @@ KissTree::KissTree(KissTree&& other) noexcept
       slab_(std::move(other.slab_)),
       value_arena_(std::move(other.value_arena_)),
       dup_arena_(std::move(other.dup_arena_)),
+      // relaxed: move construction has exclusive access to both objects.
       num_keys_(other.num_keys_.load(std::memory_order_relaxed)),
       min_key_(other.min_key_.load(std::memory_order_relaxed)),
       max_key_(other.max_key_.load(std::memory_order_relaxed)) {
   other.root_ = nullptr;
   other.root_map_bytes_ = 0;
+  // relaxed: move construction has exclusive access to both objects.
   other.num_keys_.store(0, std::memory_order_relaxed);
 }
 

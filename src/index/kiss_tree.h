@@ -36,6 +36,7 @@
 #include <span>
 #include <vector>
 
+#include "dbg/tsan.h"
 #include "index/duplicate_chain.h"
 #include "util/arena.h"
 #include "util/prefetch.h"
@@ -122,15 +123,23 @@ class KissTree {
   // argument) publishes with release stores, readers load with acquire.
   // On x86 both compile to plain moves.
   static uint32_t LoadRootSlot(const uint32_t* p) {
-    return __atomic_load_n(p, __ATOMIC_ACQUIRE);
+    uint32_t v = __atomic_load_n(p, __ATOMIC_ACQUIRE);
+    QPPT_TSAN_ACQUIRE(p);
+    return v;
   }
+  // pairs-with: kiss-root-slot (scripts/analyze/atomics_pairs.txt)
   static void StoreRootSlot(uint32_t* p, uint32_t v) {
+    QPPT_TSAN_RELEASE(p);
     __atomic_store_n(p, v, __ATOMIC_RELEASE);
   }
   static uint64_t LoadEntry(const uint64_t* p) {
-    return __atomic_load_n(p, __ATOMIC_ACQUIRE);
+    uint64_t v = __atomic_load_n(p, __ATOMIC_ACQUIRE);
+    QPPT_TSAN_ACQUIRE(p);
+    return v;
   }
+  // pairs-with: kiss-l2-entry (scripts/analyze/atomics_pairs.txt)
   static void StoreEntry(uint64_t* p, uint64_t v) {
+    QPPT_TSAN_RELEASE(p);
     __atomic_store_n(p, v, __ATOMIC_RELEASE);
   }
 
@@ -154,12 +163,15 @@ class KissTree {
 
   const Config& config() const { return config_; }
   size_t num_keys() const {
+    // relaxed: advisory statistic; staleness only widens a scan bound.
     return num_keys_.load(std::memory_order_relaxed);
   }
   uint32_t min_key() const {
+    // relaxed: advisory scan bound (see num_keys).
     return min_key_.load(std::memory_order_relaxed);
   }
   uint32_t max_key() const {
+    // relaxed: advisory scan bound (see num_keys).
     return max_key_.load(std::memory_order_relaxed);
   }
   bool empty() const { return num_keys() == 0; }
@@ -340,12 +352,14 @@ class KissTree {
   // Key stats are advisory scan bounds; single writer, relaxed readers.
   void NoteKey(uint32_t key, bool created) {
     if (created) {
+      // relaxed (all five): advisory stats, single writer; readers tolerate
+      // staleness (a too-wide scan bound, never a wrong result).
       num_keys_.fetch_add(1, std::memory_order_relaxed);
       if (key < min_key_.load(std::memory_order_relaxed)) {
-        min_key_.store(key, std::memory_order_relaxed);
+        min_key_.store(key, std::memory_order_relaxed);  // relaxed: ditto
       }
-      if (key > max_key_.load(std::memory_order_relaxed)) {
-        max_key_.store(key, std::memory_order_relaxed);
+      if (key > max_key_.load(std::memory_order_relaxed)) {  // relaxed: ditto
+        max_key_.store(key, std::memory_order_relaxed);  // relaxed: ditto
       }
     }
   }

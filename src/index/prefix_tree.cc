@@ -20,6 +20,7 @@ PrefixTree::PrefixTree(Config config)
   assert(config.kprime >= 1 && config.kprime <= 16);
   MergeStats stats;
   root_ = NewNode(&stats);
+  // relaxed: advisory stat; construction is single-threaded anyway.
   num_inner_nodes_.fetch_add(stats.new_inner_nodes,
                              std::memory_order_relaxed);
 }
@@ -33,10 +34,12 @@ PrefixTree::PrefixTree(PrefixTree&& other) noexcept
       node_arena_(std::move(other.node_arena_)),
       dup_arena_(std::move(other.dup_arena_)),
       root_(other.root_),
+      // relaxed: move construction has exclusive access to both objects.
       num_keys_(other.num_keys_.load(std::memory_order_relaxed)),
       num_inner_nodes_(
           other.num_inner_nodes_.load(std::memory_order_relaxed)) {
   other.root_ = nullptr;
+  // relaxed: move construction has exclusive access to both objects.
   other.num_keys_.store(0, std::memory_order_relaxed);
   other.num_inner_nodes_.store(0, std::memory_order_relaxed);
 }

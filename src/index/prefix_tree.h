@@ -36,6 +36,7 @@
 #include <cstring>
 #include <span>
 
+#include "dbg/tsan.h"
 #include "index/duplicate_chain.h"
 #include "index/key_encoder.h"
 #include "util/arena.h"
@@ -82,9 +83,13 @@ class PrefixTree {
   // Slot accessors shared between the single writer and lock-free
   // readers. On x86 both compile to plain moves.
   static Slot LoadSlot(const Slot* p) {
-    return __atomic_load_n(p, __ATOMIC_ACQUIRE);
+    Slot v = __atomic_load_n(p, __ATOMIC_ACQUIRE);
+    QPPT_TSAN_ACQUIRE(p);
+    return v;
   }
+  // pairs-with: prefix-slot (scripts/analyze/atomics_pairs.txt)
   static void StoreSlot(Slot* p, Slot v) {
+    QPPT_TSAN_RELEASE(p);
     __atomic_store_n(p, v, __ATOMIC_RELEASE);
   }
 
@@ -101,9 +106,11 @@ class PrefixTree {
   size_t key_len() const { return config_.key_len; }
   size_t fanout() const { return fanout_; }
   size_t num_keys() const {
+    // relaxed: advisory statistic; staleness only misguides planning.
     return num_keys_.load(std::memory_order_relaxed);
   }
   size_t num_inner_nodes() const {
+    // relaxed: advisory statistic (see num_keys).
     return num_inner_nodes_.load(std::memory_order_relaxed);
   }
   const Node* root() const { return root_; }
@@ -250,6 +257,7 @@ class PrefixTree {
   std::byte* FindOrCreatePayloadForMerge(const uint8_t* key, bool* created,
                                          MergeStats* stats);
   void AddMergedKeyStats(const MergeStats& stats) {
+    // relaxed (both): advisory stats; counter totals need no ordering.
     num_keys_.fetch_add(stats.new_keys, std::memory_order_relaxed);
     num_inner_nodes_.fetch_add(stats.new_inner_nodes,
                                std::memory_order_relaxed);

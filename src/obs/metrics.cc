@@ -1,5 +1,7 @@
 #include "obs/metrics.h"
 
+#include "dbg/lock_rank.h"
+
 #include <algorithm>
 #include <atomic>
 #include <cmath>
@@ -38,15 +40,17 @@ void Histogram::ObserveShard(size_t shard, double value) {
   size_t b = static_cast<size_t>(
       std::upper_bound(bounds_.begin(), bounds_.end(), value) -
       bounds_.begin());
+  // relaxed (all three): metric increments; totals need no ordering.
   s.buckets[b].fetch_add(1, std::memory_order_relaxed);
   s.count.fetch_add(1, std::memory_order_relaxed);
   s.sum_micros.fetch_add(static_cast<int64_t>(std::llround(value * 1e6)),
-                         std::memory_order_relaxed);
+                         std::memory_order_relaxed);  // relaxed: ditto
 }
 
 uint64_t Histogram::Count() const {
   uint64_t total = 0;
   for (const auto& s : shards_) {
+    // relaxed: metric snapshot; staleness is fine.
     total += s.count.load(std::memory_order_relaxed);
   }
   return total;
@@ -55,6 +59,7 @@ uint64_t Histogram::Count() const {
 double Histogram::Sum() const {
   int64_t micros = 0;
   for (const auto& s : shards_) {
+    // relaxed: metric snapshot; staleness is fine.
     micros += s.sum_micros.load(std::memory_order_relaxed);
   }
   return static_cast<double>(micros) / 1e6;
@@ -64,6 +69,7 @@ std::vector<uint64_t> Histogram::BucketCounts() const {
   std::vector<uint64_t> counts(bounds_.size() + 1, 0);
   for (const auto& s : shards_) {
     for (size_t b = 0; b < counts.size(); ++b) {
+      // relaxed: metric snapshot; staleness is fine.
       counts[b] += s.buckets[b].load(std::memory_order_relaxed);
     }
   }
@@ -84,7 +90,7 @@ std::vector<double> ExponentialBuckets(double start, double factor,
 
 Counter* MetricsRegistry::GetCounter(std::string_view name,
                                      std::string_view help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  dbg::RankedLockGuard lock(dbg::LockRank::kMetrics, mu_);
   auto it = entries_.find(name);
   if (it == entries_.end()) {
     Entry e;
@@ -98,7 +104,7 @@ Counter* MetricsRegistry::GetCounter(std::string_view name,
 
 Gauge* MetricsRegistry::GetGauge(std::string_view name,
                                  std::string_view help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  dbg::RankedLockGuard lock(dbg::LockRank::kMetrics, mu_);
   auto it = entries_.find(name);
   if (it == entries_.end()) {
     Entry e;
@@ -113,7 +119,7 @@ Gauge* MetricsRegistry::GetGauge(std::string_view name,
 Histogram* MetricsRegistry::GetHistogram(std::string_view name,
                                          std::vector<double> bounds,
                                          std::string_view help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  dbg::RankedLockGuard lock(dbg::LockRank::kMetrics, mu_);
   auto it = entries_.find(name);
   if (it == entries_.end()) {
     Entry e;
@@ -127,7 +133,7 @@ Histogram* MetricsRegistry::GetHistogram(std::string_view name,
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snap;
-  std::lock_guard<std::mutex> lock(mu_);
+  dbg::RankedLockGuard lock(dbg::LockRank::kMetrics, mu_);
   snap.metrics.reserve(entries_.size());
   for (const auto& [name, entry] : entries_) {  // std::map: sorted by name
     MetricValue v;
@@ -154,7 +160,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 }
 
 size_t MetricsRegistry::num_metrics() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  dbg::RankedLockGuard lock(dbg::LockRank::kMetrics, mu_);
   return entries_.size();
 }
 

@@ -60,6 +60,7 @@ class Counter {
  public:
   void Add(uint64_t n = 1) { AddShard(detail::ThreadShard(), n); }
   void AddShard(size_t shard, uint64_t n = 1) {
+    // relaxed: metric increment; totals need no ordering.
     shards_[shard % kMetricShards].value.fetch_add(
         n, std::memory_order_relaxed);
   }
@@ -67,6 +68,7 @@ class Counter {
   uint64_t Value() const {
     uint64_t total = 0;
     for (const auto& s : shards_) {
+      // relaxed: metric snapshot; per-shard staleness is fine.
       total += s.value.load(std::memory_order_relaxed);
     }
     return total;
@@ -75,6 +77,7 @@ class Counter {
   // Per-shard read-back (the per-worker split of a worker-sharded
   // counter, e.g. engine_worker_busy_ns_total).
   uint64_t ShardValue(size_t shard) const {
+    // relaxed: metric snapshot; staleness is fine.
     return shards_[shard % kMetricShards].value.load(
         std::memory_order_relaxed);
   }
@@ -87,6 +90,7 @@ class Counter {
 // any thread; last write wins, which is the right semantics for a gauge.
 class Gauge {
  public:
+  // relaxed (all three): gauge value; last-write-wins, no ordering.
   void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
   void Add(int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
   int64_t Value() const { return value_.load(std::memory_order_relaxed); }

@@ -30,6 +30,8 @@ Status MvccTable::Update(Transaction& txn, LogicalId id,
     return Status::NotFound("logical row does not exist");
   }
   Version& current = versions_[head];
+  // relaxed: writers are serialized by the database write lock, so a rival
+  // stamp cannot race us; no data is read through this flag.
   uint64_t ender = current.ender_txn.load(std::memory_order_relaxed);
   Timestamp begin = current.begin_ts.load(std::memory_order_acquire);
   // First-updater-wins: someone else already terminated this version, or
@@ -60,9 +62,11 @@ Status MvccTable::Update(Transaction& txn, LogicalId id,
   v.writer_txn = txn.id;
   v.rid = rid;
   v.logical = id;
+  // relaxed: both stores are made visible by the head release store below.
   v.older.store(head, std::memory_order_relaxed);
-  current.ender_txn.store(txn.id, std::memory_order_relaxed);
+  current.ender_txn.store(txn.id, std::memory_order_relaxed);  // relaxed: ditto
   // Fields above are visible to readers via this release store.
+  // pairs-with: mvcc-head
   heads_[id].store(rid, std::memory_order_release);
   write_sets_[txn.id].push_back(WriteOp{rid, head});
   return Status::OK();
@@ -77,6 +81,8 @@ Status MvccTable::Delete(Transaction& txn, LogicalId id) {
     return Status::NotFound("logical row does not exist");
   }
   Version& current = versions_[head];
+  // relaxed: writers are serialized by the database write lock, so a rival
+  // stamp cannot race us; no data is read through this flag.
   uint64_t ender = current.ender_txn.load(std::memory_order_relaxed);
   Timestamp begin = current.begin_ts.load(std::memory_order_acquire);
   if (ender != 0 && ender != txn.id) {
@@ -100,6 +106,8 @@ Status MvccTable::Delete(Transaction& txn, LogicalId id) {
       current.end_ts.load(std::memory_order_acquire) <= txn.read_ts) {
     return Status::NotFound("logical row deleted in this snapshot");
   }
+  // relaxed: write-lock flag only; readers confirm deletion through the
+  // end_ts stamp CommitTransaction publishes with release.
   current.ender_txn.store(txn.id, std::memory_order_relaxed);
   write_sets_[txn.id].push_back(WriteOp{kInvalidVersion, head});
   return Status::OK();
@@ -116,6 +124,7 @@ std::optional<Rid> MvccTable::Read(const Transaction& txn,
       // Own uncommitted writes are visible to the writing transaction —
       // unless it deleted its own version again.
       if (v.writer_txn == txn.id) {
+        // relaxed: reading back this transaction's own store (same thread).
         if (v.ender_txn.load(std::memory_order_relaxed) == txn.id) {
           return std::nullopt;
         }
@@ -127,6 +136,8 @@ std::optional<Rid> MvccTable::Read(const Transaction& txn,
     if (begin <= txn.read_ts) {
       // Committed at or before our snapshot; check termination.
       Timestamp end = v.end_ts.load(std::memory_order_acquire);
+      // relaxed: only compared against our own txn id; foreign deletes are
+      // observed through the end_ts acquire load above.
       uint64_t ender = v.ender_txn.load(std::memory_order_relaxed);
       bool ended_for_us =
           (end <= txn.read_ts) ||
@@ -146,10 +157,13 @@ void MvccTable::CommitTransaction(const Transaction& txn,
   for (const WriteOp& op : it->second) {
     if (op.ended != kInvalidVersion) {
       Version& old = versions_[op.ended];
+      // pairs-with: mvcc-end-ts
       old.end_ts.store(commit_ts, std::memory_order_release);
+      // pairs-with: mvcc-ender-clear
       old.ender_txn.store(0, std::memory_order_release);
     }
     if (op.created != kInvalidVersion) {
+      // pairs-with: mvcc-begin-ts
       versions_[op.created].begin_ts.store(commit_ts,
                                            std::memory_order_release);
     }
@@ -167,10 +181,13 @@ void MvccTable::AbortTransaction(const Transaction& txn) {
       Version& v = versions_[op->created];
       // First-updater-wins guarantees no other txn stacked on top of our
       // uncommitted version, so the head is still ours.
+      // relaxed inner load: reading back our own displaced-head store.
+      // pairs-with: mvcc-head
       heads_[v.logical].store(v.older.load(std::memory_order_relaxed),
                               std::memory_order_release);
     }
     if (op->ended != kInvalidVersion) {
+      // pairs-with: mvcc-ender-clear
       versions_[op->ended].ender_txn.store(0, std::memory_order_release);
     }
   }
@@ -192,10 +209,14 @@ size_t MvccTable::ReclaimBefore(Timestamp horizon) {
     }
     if (idx == kInvalidVersion) continue;
     Version& keep = versions_[idx];
+    // relaxed: reclamation runs under the database write lock, and older
+    // links below the horizon are no longer written by anyone.
     uint64_t dead = keep.older.load(std::memory_order_relaxed);
     if (dead == kInvalidVersion) continue;
+    // pairs-with: mvcc-older-unlink
     keep.older.store(kInvalidVersion, std::memory_order_release);
     while (dead != kInvalidVersion) {
+      // relaxed: the unlink above made this sub-chain private to the sweep.
       dead = versions_[dead].older.load(std::memory_order_relaxed);
       ++reclaimed;
     }

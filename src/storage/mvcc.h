@@ -63,6 +63,7 @@ class TransactionManager {
 
   Transaction Begin() {
     Transaction txn;
+    // relaxed: id allocation needs uniqueness only, no ordering.
     txn.id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
     txn.read_ts = last_commit_ts_.load(std::memory_order_acquire);
     return txn;
@@ -84,6 +85,7 @@ class TransactionManager {
     while (last_commit_ts_.load(std::memory_order_acquire) != expect) {
       // another committer between BeginCommit and FinishCommit; rare
     }
+    // pairs-with: mvcc-last-commit
     last_commit_ts_.store(commit_ts, std::memory_order_release);
     txn.committed = true;
   }
@@ -195,6 +197,35 @@ class MvccTable {
         v = versions_[v].older.load(std::memory_order_acquire);
       }
       fn(len);
+    }
+  }
+
+  // One version as seen by a chain walk — the dbg invariant audits
+  // (dbg/invariants.h) consume these.
+  struct VersionView {
+    LogicalId logical = 0;
+    Rid rid = 0;
+    Timestamp begin_ts = 0;
+    Timestamp end_ts = 0;
+    bool newest = false;  // first version of its logical row's chain
+  };
+
+  // Invokes fn(VersionView) for every reachable version, newest-first
+  // within each logical row's chain (view.newest marks chain starts).
+  // Writer-serialized, like ForEachChainLength.
+  template <typename F>
+  void ForEachChainVersion(F&& fn) const {
+    for (size_t id = 0; id < heads_.size(); ++id) {
+      bool newest = true;
+      for (uint64_t v = heads_[id].load(std::memory_order_acquire);
+           v != kInvalidVersion;
+           v = versions_[v].older.load(std::memory_order_acquire)) {
+        const Version& ver = versions_[v];
+        fn(VersionView{id, ver.rid,
+                       ver.begin_ts.load(std::memory_order_acquire),
+                       ver.end_ts.load(std::memory_order_acquire), newest});
+        newest = false;
+      }
     }
   }
 

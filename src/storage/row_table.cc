@@ -10,6 +10,7 @@ namespace qppt {
 RowTable::~RowTable() {
   if (dir_ == nullptr) return;
   for (size_t c = 0; c < stable_chunks_; ++c) {
+    // relaxed: destructor runs with exclusive access.
     delete[] dir_[c].load(std::memory_order_relaxed);
   }
 }
@@ -19,9 +20,12 @@ uint64_t* RowTable::StableChunkFor(Rid rid) {
     dir_ = std::make_unique<std::atomic<uint64_t*>[]>(kMaxChunks);
   }
   size_t c = rid >> kChunkRowsLog2;
+  // relaxed: single writer — only this thread ever installs chunks, so it
+  // reads back its own stores; readers use the acquire accessor.
   uint64_t* chunk = dir_[c].load(std::memory_order_relaxed);
   if (chunk == nullptr) {
     chunk = new uint64_t[kChunkRows * schema_.num_columns()];
+    // pairs-with: row-dir-chunk
     dir_[c].store(chunk, std::memory_order_release);
     stable_chunks_ = c + 1;
   }
@@ -35,10 +39,12 @@ Rid RowTable::AppendRow(std::span<const uint64_t> row) {
     slots_.insert(slots_.end(), row.begin(), row.end());
     return rid;
   }
+  // relaxed: single writer reading back its own counter.
   Rid rid = stable_rows_.load(std::memory_order_relaxed);
   uint64_t* chunk = StableChunkFor(rid);
   std::memcpy(chunk + (rid & kChunkRowsMask) * schema_.num_columns(),
               row.data(), row.size() * sizeof(uint64_t));
+  // pairs-with: row-stable-rows
   stable_rows_.store(rid + 1, std::memory_order_release);
   return rid;
 }

@@ -33,7 +33,7 @@ class Schema {
   // Returns the index of column `name`, or an error.
   Result<size_t> ColumnIndex(const std::string& name) const;
   bool HasColumn(const std::string& name) const {
-    return by_name_.count(name) > 0;
+    return by_name_.contains(name);
   }
 
   // Builds a schema containing the named subset of this schema's columns,

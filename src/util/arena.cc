@@ -1,5 +1,7 @@
 #include "util/arena.h"
 
+#include "dbg/lock_rank.h"
+
 #include <mutex>
 
 namespace qppt {
@@ -14,7 +16,7 @@ uintptr_t AlignUp(uintptr_t v, size_t align) {
 
 void* Arena::Allocate(size_t size, size_t align) {
   if (concurrent_) {
-    std::lock_guard<std::mutex> lock(*mu_);
+    dbg::RankedLockGuard lock(dbg::LockRank::kAllocator, *mu_);
     return AllocateLocked(size, align);
   }
   return AllocateLocked(size, align);
@@ -61,7 +63,7 @@ void Arena::Reset() {
 
 void* PageArena::Allocate(size_t size) {
   if (concurrent_) {
-    std::lock_guard<std::mutex> lock(*mu_);
+    dbg::RankedLockGuard lock(dbg::LockRank::kAllocator, *mu_);
     return AllocateLocked(size);
   }
   return AllocateLocked(size);

@@ -37,9 +37,11 @@ class StableVector {
   StableVector() = default;
   ~StableVector() {
     if (dir_ == nullptr) return;
+    // relaxed: destructor runs with exclusive access.
     size_t n = size_.load(std::memory_order_relaxed);
     size_t chunks = (n + kChunkSize - 1) >> kChunkLog2;
     for (size_t c = 0; c < chunks; ++c) {
+      // relaxed: destructor runs with exclusive access.
       T* chunk = dir_[c].load(std::memory_order_relaxed);
       size_t begin = c << kChunkLog2;
       size_t used = (n - begin) < kChunkSize ? (n - begin) : kChunkSize;
@@ -65,9 +67,11 @@ class StableVector {
   // Appends and publishes one element. Single writer only.
   template <typename... Args>
   T& EmplaceBack(Args&&... args) {
+    // relaxed: single writer reading back its own counter.
     size_t i = size_.load(std::memory_order_relaxed);
     T* chunk = ChunkFor(i);
     T* slot = new (&chunk[i & kChunkMask]) T(std::forward<Args>(args)...);
+    // pairs-with: sv-size
     size_.store(i + 1, std::memory_order_release);
     return *slot;
   }
@@ -79,10 +83,12 @@ class StableVector {
       dir_ = std::make_unique<std::atomic<T*>[]>(kMaxChunks);
     }
     size_t c = i >> kChunkLog2;
+    // relaxed: single writer — reads back its own chunk installs.
     T* chunk = dir_[c].load(std::memory_order_relaxed);
     if (chunk == nullptr) {
       chunk = static_cast<T*>(::operator new[](
           kChunkSize * sizeof(T), std::align_val_t{alignof(T)}));
+      // pairs-with: sv-dir-chunk
       dir_[c].store(chunk, std::memory_order_release);
     }
     return chunk;

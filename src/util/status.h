@@ -46,7 +46,10 @@ class Status {
       : state_(other.state_ ? std::make_unique<State>(*other.state_)
                             : nullptr) {}
   Status& operator=(const Status& other) {
-    state_ = other.state_ ? std::make_unique<State>(*other.state_) : nullptr;
+    if (this != &other) {
+      state_ =
+          other.state_ ? std::make_unique<State>(*other.state_) : nullptr;
+    }
     return *this;
   }
   Status(Status&&) = default;
@@ -164,6 +167,9 @@ class Result {
 
 // Evaluates a Result expression; assigns its value to `lhs` or propagates
 // the error. Usage: QPPT_ASSIGN_OR_RETURN(auto x, Compute());
+// NOLINTNEXTLINE(bugprone-macro-parentheses): `lhs` is an assignment
+// target (often a declaration) and `tmp` an identifier; neither can be
+// parenthesized.
 #define QPPT_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
   auto tmp = (expr);                               \
   if (!tmp.ok()) return tmp.status();              \

@@ -1,0 +1,12 @@
+// Clean twin of hot_alloc_violation.cc: arena placement-new and a flat
+// container. qppt_lint must pass this file even with --treat-as-hot.
+#include <new>
+#include <vector>
+
+namespace qppt {
+struct Arena { void* Allocate(unsigned long n, unsigned long a); };
+int* MakeInt(Arena* arena) {
+  return new (arena->Allocate(sizeof(int), alignof(int))) int(7);
+}
+std::vector<int> g_lookup;
+}  // namespace qppt

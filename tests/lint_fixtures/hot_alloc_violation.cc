@@ -1,0 +1,10 @@
+// Fixture: heap allocation and a node-based container, linted with
+// --treat-as-hot. qppt_lint must flag [hot-path-alloc] three times.
+#include <cstdlib>
+#include <map>
+
+namespace qppt {
+int* MakeInt() { return new int(7); }  // raw new: flagged
+void* MakeBytes() { return malloc(64); }  // malloc: flagged
+std::map<int, int> g_lookup;  // node-based container: flagged
+}  // namespace qppt

@@ -1,0 +1,11 @@
+// Fixture: a driver mutates a caller-supplied PlanStats without
+// Clear()/assignment/forwarding — operator rows would accumulate across
+// runs. qppt_lint must flag [planstats-clear].
+#include "core/stats.h"
+
+namespace qppt {
+void RunAndRecord(PlanStats* stats) {
+  stats->total_ms = 1.0;
+  stats->operators.push_back({});
+}
+}  // namespace qppt

@@ -1,0 +1,13 @@
+// Clean twin of raw_slot_violation.cc: the same traversals through the
+// atomic accessors. qppt_lint must pass this file.
+#include "index/prefix_tree.h"
+
+namespace qppt {
+size_t CountUsedSlots(const PrefixTree& tree, size_t fanout) {
+  size_t used = 0;
+  for (size_t i = 0; i < fanout; ++i) {
+    if (PrefixTree::LoadSlot(&tree.root()->slots[i]) != 0) ++used;
+  }
+  return used;
+}
+}  // namespace qppt

@@ -1,0 +1,16 @@
+// Fixture: reads a published tree slot array without the atomic
+// accessor. qppt_lint must flag [raw-slot-read] on both access lines.
+#include "index/prefix_tree.h"
+
+namespace qppt {
+size_t CountUsedSlots(const PrefixTree& tree, size_t fanout) {
+  size_t used = 0;
+  for (size_t i = 0; i < fanout; ++i) {
+    if (tree.root()->slots[i] != 0) ++used;  // raw read: flagged
+  }
+  return used;
+}
+uint32_t PeekRoot(const uint32_t* root_, size_t b) {
+  return root_[b];  // raw read of the KISS root directory: flagged
+}
+}  // namespace qppt

@@ -1,0 +1,14 @@
+// Clean twin of relaxed_violation.cc: every relaxed op justified on the
+// line or just above it. qppt_lint must pass this file.
+#include <atomic>
+
+namespace qppt {
+std::atomic<uint64_t> g_counter{0};
+void Bump() {
+  // relaxed: statistics counter; no ordering needed.
+  g_counter.fetch_add(1, std::memory_order_relaxed);
+}
+uint64_t Peek() {
+  return g_counter.load(std::memory_order_relaxed);  // relaxed: stats read
+}
+}  // namespace qppt

@@ -1,0 +1,9 @@
+// Fixture: relaxed atomics without justification comments. qppt_lint
+// must flag [relaxed-justify] on both operation lines.
+#include <atomic>
+
+namespace qppt {
+std::atomic<uint64_t> g_counter{0};
+void Bump() { g_counter.fetch_add(1, std::memory_order_relaxed); }
+uint64_t Peek() { return g_counter.load(std::memory_order_relaxed); }
+}  // namespace qppt

@@ -1,0 +1,11 @@
+// Clean twin of release_pair_violation.cc: the release store names a
+// catalogued acquire site. qppt_lint must pass this file.
+#include <atomic>
+
+namespace qppt {
+std::atomic<int> g_ready{0};
+void Publish() {
+  // pairs-with: mvcc-head
+  g_ready.store(1, std::memory_order_release);
+}
+}  // namespace qppt

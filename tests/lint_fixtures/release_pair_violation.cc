@@ -1,0 +1,16 @@
+// Fixture: release stores without valid pairs-with tags. qppt_lint must
+// flag [release-pair] twice: once for the missing tag, once for a tag
+// that is not in the catalogue.
+#include <atomic>
+
+namespace qppt {
+std::atomic<int> g_ready{0};
+std::atomic<int> g_other{0};
+void PublishUntagged() {
+  g_ready.store(1, std::memory_order_release);  // no tag: flagged
+}
+void PublishUnknownTag() {
+  // pairs-with: no-such-tag-in-catalogue
+  g_other.store(1, std::memory_order_release);  // unknown tag: flagged
+}
+}  // namespace qppt

@@ -360,7 +360,9 @@ TEST(FindPairScanLevelTest, SlicedScanMatchesIntersection) {
           left, right, level, begin, end,
           [&](const uint8_t* key, const ValueList*, const ValueList*) {
             uint32_t k = DecodeU32(key);
-            if (!first) EXPECT_GT(k, last);
+            if (!first) {
+              EXPECT_GT(k, last);
+            }
             first = false;
             last = k;
             got.push_back(k);

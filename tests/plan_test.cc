@@ -90,6 +90,7 @@ TEST(PlanTest, EmptyPlanNeedsResultSlot) {
   ExecContext ctx(&db);
   Plan plan;
   EXPECT_TRUE(plan.Run(&ctx).ok());  // running zero operators is fine
+  ctx.stats()->Clear();  // PlanStats contract: Clear() before re-running
   EXPECT_TRUE(plan.Execute(&ctx).status().IsInvalidArgument());
 }
 
