@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "engine/retry.h"
 #include "engine/session.h"
 #include "engine/write_session.h"
 #include "ssb/queries_qppt.h"
@@ -131,25 +132,30 @@ void WriterLoop(engine::EngineRunner& runner, ssb::SsbData& data,
   };
 
   while (!stop.load(std::memory_order_acquire)) {
-    engine::WriteSession ws = runner.OpenWriteSession(&data.db);
-    bool ok = true;
-    for (size_t i = 0; i < inserts && ok; ++i) {
-      fill_from(rng() % initial);
-      ok = ws.Insert("lineorder", row).ok();
-    }
-    for (size_t u = 0; u < updates && ok; ++u) {
-      MvccTable::LogicalId id = rng() % initial;
-      fill_from(id);
-      Status st = ws.Update("lineorder", id, row);
-      // First-updater-wins: another writer holds this row — retry the
-      // whole transaction rather than half-commit.
-      if (!st.ok()) ok = false;
-    }
-    if (ok && ws.Commit().ok()) {
+    // First-updater-wins conflicts (AlreadyExists) abort the whole
+    // transaction; RetryTxn re-runs it with jittered backoff, and the
+    // closure re-draws its ids so every attempt targets fresh rows.
+    engine::RetryOptions backoff;
+    backoff.seed = rng();
+    Status st = engine::RetryTxn(
+        &runner, &data.db,
+        [&](engine::WriteSession& ws) -> Status {
+          for (size_t i = 0; i < inserts; ++i) {
+            fill_from(rng() % initial);
+            QPPT_RETURN_NOT_OK(ws.Insert("lineorder", row).status());
+          }
+          for (size_t u = 0; u < updates; ++u) {
+            MvccTable::LogicalId id = rng() % initial;
+            fill_from(id);
+            QPPT_RETURN_NOT_OK(ws.Update("lineorder", id, row));
+          }
+          return Status::OK();
+        },
+        backoff);
+    if (st.ok()) {
       commits.fetch_add(1, std::memory_order_relaxed);
       rows.fetch_add(inserts + updates, std::memory_order_relaxed);
     } else {
-      if (ws.active()) ws.Abort().ok();
       aborts.fetch_add(1, std::memory_order_relaxed);
     }
   }
@@ -244,14 +250,16 @@ void Run(bench::JsonReport& json) {
             mixed_lat.Percentile(50), mixed_lat.Percentile(99), mixed_morsels,
             0});
   double txn_s = 1000.0 * static_cast<double>(commits.load()) / mixed_ms;
+  engine::EngineRunner::WriteStats wstats = runner.write_stats();
   std::printf(
-      "(oltp stream: %llu txns committed (%llu aborted), %.0f txn/s, "
-      "%llu rows upserted)\n",
+      "(oltp stream: %llu txns committed (%llu aborted, %llu conflict "
+      "retries), %.0f txn/s, %llu rows upserted)\n",
       static_cast<unsigned long long>(commits.load()),
-      static_cast<unsigned long long>(aborts.load()), txn_s,
+      static_cast<unsigned long long>(aborts.load()),
+      static_cast<unsigned long long>(wstats.retries), txn_s,
       static_cast<unsigned long long>(upserted.load()));
   json.Add({"oltp", mlabel, "", threads, commits.load(), mixed_ms, txn_s, 0,
-            0, upserted.load(), 0});
+            0, upserted.load(), static_cast<double>(wstats.retries)});
 
   // ---- phase 3: snapshot-consistency identity check ----------------------
   // Writers are quiesced; superseded versions are still reachable (the

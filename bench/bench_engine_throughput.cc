@@ -26,11 +26,20 @@
 // aggregate rows — so the perf trajectory is machine-readable across
 // PRs (bench_common.h JsonReport).
 //
+//  4. deadline — the flight again on the parallel runner, every query
+//     carrying a deadline (`--deadline-ms=<x>` / QPPT_DEADLINE_MS,
+//     default 60000). The generous default completes every query and so
+//     measures the pure cost of the cancellation machinery — the
+//     morsel-boundary polls and serial-loop ticks — against experiment
+//     1's undeadlined flight (ISSUE 9 acceptance: within noise). A
+//     tight value instead counts prompt DeadlineExceeded returns;
+//     expired queries are reported, not fatal. 0 disables the flight.
+//
 // Knobs: QPPT_SSB_SF (default 0.1), QPPT_ENGINE_THREADS (default
 //        hardware_concurrency), QPPT_ENGINE_CLIENTS (default 4),
 //        QPPT_BENCH_REPS (default 3), QPPT_PREFER_KISS (default 1; 0
 //        builds prefix-tree base indexes and intermediates, exercising
-//        the prefix/mixed star-join paths).
+//        the prefix/mixed star-join paths), QPPT_DEADLINE_MS (above).
 //
 // Tracing: QPPT_TRACE_QUERY=4.1 additionally runs that one query with
 // PlanKnobs::trace enabled on the parallel runner and writes its
@@ -39,6 +48,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
 #include <string>
 #include <utility>
@@ -93,7 +103,7 @@ FlightResult RunFlight(engine::EngineRunner& runner, const ssb::SsbData& data,
   return r;
 }
 
-void Run(bench::JsonReport& json) {
+void Run(bench::JsonReport& json, double deadline_ms) {
   size_t threads = bench::EngineThreads();
   size_t clients = static_cast<size_t>(GetEnvInt64("QPPT_ENGINE_CLIENTS", 4));
   int reps = bench::Repetitions();
@@ -144,6 +154,74 @@ void Run(bench::JsonReport& json) {
   if (flight_ms[1] > 0) {
     std::printf("(flight speedup: %.2fx at t=%zu over t=1)\n",
                 flight_ms[0] / flight_ms[1], actual_threads[1]);
+  }
+
+  // ---- experiment 4 (interleaved here so the undeadlined flight above is
+  // the freshest comparison point): the flight under per-query deadlines.
+  if (deadline_ms > 0) {
+    engine::EngineConfig cfg;
+    cfg.threads = threads;
+    engine::EngineRunner runner(cfg);
+    PlanKnobs timed = knobs;
+    timed.deadline_ms = deadline_ms;
+    RunFlight(runner, *data, knobs);  // warm-up
+
+    FlightResult best;
+    double best_ms = 1e300;
+    size_t expired = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+      FlightResult r;
+      size_t rep_expired = 0;
+      Timer wall;
+      for (const auto& id : ssb::AllQueryIds()) {
+        PlanStats stats;
+        auto result = ssb::RunQppt(runner, *data, id, timed, &stats);
+        if (!result.ok()) {
+          if (result.status().IsDeadlineExceeded()) {
+            ++rep_expired;
+            continue;
+          }
+          std::fprintf(stderr, "deadline flight Q%s failed: %s\n",
+                       id.c_str(), result.status().ToString().c_str());
+          std::exit(1);
+        }
+        r.lat.Add(stats.wall_ms);
+        r.morsels += stats.TotalMorsels();
+        r.merge_ms += stats.TotalMergeMs();
+        r.rows.push_back(
+            {id, stats.wall_ms, stats.TotalMorsels(), stats.TotalMergeMs()});
+        ++r.queries;
+      }
+      r.wall_ms = wall.ElapsedMs();
+      if (r.wall_ms < best_ms) {
+        best_ms = r.wall_ms;
+        best = r;
+        expired = rep_expired;
+      }
+    }
+    char label[64];
+    std::snprintf(label, sizeof(label), "t=%zu,dl=%gms", runner.threads(),
+                  deadline_ms);
+    bench::PrintThroughputRow("deadline", label, best.queries, best.wall_ms,
+                              best.lat, best.morsels);
+    for (const auto& q : best.rows) {
+      json.Add({"deadline", label, q.id, runner.threads(), 1, q.wall_ms, 0,
+                0, 0, q.morsels, q.merge_ms});
+    }
+    json.Add({"deadline", label, "", runner.threads(), best.queries,
+              best.wall_ms,
+              best.wall_ms > 0
+                  ? 1000.0 * static_cast<double>(best.queries) / best.wall_ms
+                  : 0,
+              best.lat.Percentile(50), best.lat.Percentile(99), best.morsels,
+              best.merge_ms});
+    if (expired > 0) {
+      std::printf("(deadline flight: %zu of %zu queries exceeded %g ms)\n",
+                  expired, ssb::AllQueryIds().size(), deadline_ms);
+    } else if (flight_ms[1] > 0) {
+      std::printf("(deadline overhead: %.3fx vs the undeadlined flight)\n",
+                  best_ms / flight_ms[1]);
+    }
   }
 
   // ---- experiment 2: closed-loop concurrent clients ----------------------
@@ -308,6 +386,16 @@ void Run(bench::JsonReport& json) {
 
 int main(int argc, char** argv) {
   qppt::bench::JsonReport json(argc, argv);
-  qppt::Run(json);
+  double deadline_ms = static_cast<double>(
+      qppt::GetEnvInt64("QPPT_DEADLINE_MS", 60000));
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--deadline-ms=", 0) == 0) {
+      deadline_ms = std::atof(arg.c_str() + 14);
+    } else if (arg == "--deadline-ms" && i + 1 < argc) {
+      deadline_ms = std::atof(argv[++i]);
+    }
+  }
+  qppt::Run(json, deadline_ms);
   return 0;
 }

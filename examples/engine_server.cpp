@@ -126,7 +126,9 @@ int main(int argc, char** argv) {
           int64_t day = (1992 + static_cast<int64_t>(i % 7)) * 10000 +
                         (1 + static_cast<int64_t>((i / 7) % 12)) * 100 +
                         (1 + static_cast<int64_t>((c + i) % 28));
-          hits += session.PointRead(*by_date, day).size();
+          auto ids = session.PointRead(*by_date, day);
+          if (!ids.ok()) return;
+          hits += ids->size();
         }
         std::snprintf(buf, sizeof(buf),
                       "  client %zu: %zu point reads -> %llu order rows\n",

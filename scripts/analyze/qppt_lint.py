@@ -33,11 +33,18 @@ Repo-specific checks that generic tooling cannot express:
                      ("*stats = ..."), or forward it to a callee that does
                      (the accumulation contract in src/core/stats.h).
 
+  failpoint-tag      Every QPPT_FAILPOINT / QPPT_FAILPOINT_STATUS site must
+                     name a tag catalogued in scripts/analyze/failpoints.txt,
+                     and in full-tree runs every catalogue entry must be
+                     referenced by a site — the catalogue is the live
+                     inventory of injectable faults.
+
 Usage:
   qppt_lint.py                    # lint src/ under the repo root
   qppt_lint.py FILE...            # lint specific files
   --root DIR                      # repo root (default: two dirs up)
   --pairs FILE                    # pairing catalogue override
+  --failpoints FILE               # failpoint catalogue override
   --treat-as-hot                  # apply hot-path-alloc to given FILEs
                                   # (fixture tests)
 
@@ -79,6 +86,7 @@ NODE_CONTAINER_RE = re.compile(
 RAW_NEW_RE = re.compile(r"\bnew\b(?!\s*\()")
 RAW_MALLOC_RE = re.compile(r"\b(?:malloc|calloc)\s*\(")
 PLANSTATS_PARAM_RE = re.compile(r"PlanStats\s*\*\s*(\w+)")
+FAILPOINT_RE = re.compile(r"\bQPPT_FAILPOINT(?:_STATUS)?\s*\(\s*(\w+)\s*\)")
 
 
 def strip_comment(line):
@@ -123,11 +131,14 @@ def is_address_taken(line, start):
 
 
 class Linter:
-    def __init__(self, pairs_path):
+    def __init__(self, pairs_path, failpoints_path):
         self.errors = []
         self.pair_tags = load_pairs(pairs_path)
         self.pairs_path = pairs_path
         self.used_tags = set()
+        self.failpoint_tags = load_pairs(failpoints_path)
+        self.failpoints_path = failpoints_path
+        self.used_failpoints = set()
 
     def error(self, path, line_no, check, msg):
         self.errors.append(f"{path}:{line_no}: [{check}] {msg}")
@@ -139,6 +150,7 @@ class Linter:
         self.check_slots(rel, lines)
         self.check_relaxed(rel, lines)
         self.check_release(rel, lines)
+        self.check_failpoints(rel, lines)
         is_hot = hot_override or any(rel.startswith(d) for d in HOT_PATH_DIRS)
         if is_hot and rel not in HOT_ALLOC_ALLOWLIST:
             self.check_hot_alloc(rel, lines)
@@ -188,6 +200,21 @@ class Linter:
                     f"({self.pairs_path})")
             else:
                 self.used_tags.add(tag)
+
+    def check_failpoints(self, rel, lines):
+        for i, raw in enumerate(lines):
+            if raw.lstrip().startswith("#"):
+                continue  # the macro definitions themselves
+            line = strip_comment(raw)
+            for m in FAILPOINT_RE.finditer(line):
+                tag = m.group(1)
+                if tag not in self.failpoint_tags:
+                    self.error(
+                        rel, i + 1, "failpoint-tag",
+                        f"failpoint tag '{tag}' is not in the catalogue "
+                        f"({self.failpoints_path})")
+                else:
+                    self.used_failpoints.add(tag)
 
     def check_hot_alloc(self, rel, lines):
         for i, raw in enumerate(lines):
@@ -260,6 +287,13 @@ class Linter:
                     self.pairs_path, self.pair_tags[tag], "release-pair",
                     f"catalogue tag '{tag}' is referenced by no release "
                     "store; delete the entry or restore the tag")
+            for tag in sorted(set(self.failpoint_tags)
+                              - self.used_failpoints):
+                self.error(
+                    self.failpoints_path, self.failpoint_tags[tag],
+                    "failpoint-tag",
+                    f"catalogue tag '{tag}' is referenced by no failpoint "
+                    "site; delete the entry or restore the site")
         return self.errors
 
 
@@ -277,6 +311,7 @@ def main():
     ap.add_argument("files", nargs="*")
     ap.add_argument("--root", default=None)
     ap.add_argument("--pairs", default=None)
+    ap.add_argument("--failpoints", default=None)
     ap.add_argument("--treat-as-hot", action="store_true",
                     help="apply hot-path-alloc to the given files")
     args = ap.parse_args()
@@ -289,6 +324,12 @@ def main():
         print(f"qppt_lint: pairing catalogue not found: {pairs}",
               file=sys.stderr)
         return 2
+    failpoints = args.failpoints or os.path.join(
+        root, "scripts", "analyze", "failpoints.txt")
+    if not os.path.exists(failpoints):
+        print(f"qppt_lint: failpoint catalogue not found: {failpoints}",
+              file=sys.stderr)
+        return 2
 
     full_tree = not args.files
     files = args.files or collect_default_files(root)
@@ -296,7 +337,7 @@ def main():
         print("qppt_lint: nothing to lint", file=sys.stderr)
         return 2
 
-    linter = Linter(pairs)
+    linter = Linter(pairs, failpoints)
     for path in files:
         rel = os.path.relpath(os.path.abspath(path), root).replace(
             os.sep, "/")

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "engine/parallel_ops.h"
+#include "util/cancel.h"
 
 namespace qppt {
 
@@ -112,7 +113,10 @@ Status SelectJoinOp::Execute(ExecContext* ctx) {
 
     // Selection scan: qualifying tuples stream straight into the probe
     // pipeline — no intermediate index is ever materialized (§4.3).
+    // Serial loops poll the cancel token every kCancelStride tuples.
+    CancelTicker cancel(ctx->cancel());
     auto emit = [&](uint64_t value) {
+      cancel.Tick();
       if (!left.Visible(value)) return;  // MVCC snapshot filter
       for (const auto& r : residuals) {
         if (!r.Eval(value)) return;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "engine/parallel_ops.h"
+#include "util/cancel.h"
 
 namespace qppt {
 
@@ -99,7 +100,11 @@ Status SelectionOp::Execute(ExecContext* ctx) {
   } else {
     std::vector<uint64_t> row(width);
     std::vector<uint64_t> key_slots(key_positions.size() + 1);
+    // Serial scans poll the cancel token every kCancelStride tuples;
+    // the ticker throws CancelledException and Plan::Run converts it.
+    CancelTicker cancel(ctx->cancel());
     auto emit = [&](uint64_t value) {
+      cancel.Tick();
       process(value, row.data(), key_slots.data(), output.get());
     };
     if (!spec_.composite_range.empty()) {

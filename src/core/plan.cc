@@ -48,7 +48,20 @@ Status Plan::Run(ExecContext* ctx) const {
     double t0 = trace != nullptr ? trace->NowUs() : 0.0;
     Timer op_timer;
     size_t before = ctx->stats()->operators.size();
-    QPPT_RETURN_NOT_OK(op->Execute(ctx));
+    // Cancellation boundary: once before each operator, and any
+    // CancelledException (or injected fault / allocation failure) that
+    // unwound out of the operator's scan loops or morsel batch becomes
+    // the Status the caller sees — partial outputs in ctx slots are
+    // dropped with the context, RAII engine state by our caller.
+    Status op_status = ctx->CheckCancel();
+    if (op_status.ok()) {
+      try {
+        op_status = op->Execute(ctx);
+      } catch (...) {
+        op_status = StatusFromException(std::current_exception());
+      }
+    }
+    QPPT_RETURN_NOT_OK(op_status);
     // The operator appended its stats entry; stamp the wall time and the
     // planner stage label (when one was assigned).
     if (ctx->stats()->operators.size() == before + 1) {
@@ -69,6 +82,9 @@ Status Plan::Run(ExecContext* ctx) const {
 
 Result<QueryResult> Plan::Execute(ExecContext* ctx) const {
   QPPT_RETURN_NOT_OK(Run(ctx));
+  // Last boundary before result extraction: a cancelled query should not
+  // pay for materializing (possibly large) client rows.
+  QPPT_RETURN_NOT_OK(ctx->CheckCancel());
   if (result_slot_.empty()) {
     return Status::InvalidArgument("plan has no result slot configured");
   }

@@ -21,6 +21,7 @@
 #include "core/base_index.h"
 #include "core/indexed_table.h"
 #include "core/stats.h"
+#include "util/cancel.h"
 #include "util/status.h"
 
 namespace qppt {
@@ -28,6 +29,14 @@ namespace qppt {
 namespace engine {
 class WorkerPool;  // engine/scheduler.h — the morsel worker pool
 }  // namespace engine
+
+// Admission class for tiered admission control (engine/session.h). The
+// engine reserves slots for kInteractive work and sheds kBatch work first
+// under overload; core-layer execution ignores the field.
+enum class QueryPriority : int {
+  kInteractive = 0,
+  kBatch = 1,
+};
 
 struct PlanKnobs {
   // Fuse selections into subsequent joins where the plan allows (§4.3).
@@ -50,6 +59,22 @@ struct PlanKnobs {
   // operator) into PlanStats::trace — obs/trace.h. Off by default: spans
   // are cheap but not free, and most queries only need aggregates.
   bool trace = false;
+  // Cooperative cancellation token, or nullptr. The caller owns the token
+  // and must keep it alive for the whole execution; drivers poll it at
+  // morsel boundaries and (stride-gated) inside serial scan loops, so
+  // Plan::Run returns Cancelled/DeadlineExceeded promptly after
+  // RequestCancel() or deadline expiry.
+  const CancelToken* cancel = nullptr;
+  // Per-query deadline in milliseconds; 0 = none. The engine runner
+  // resolves this into a deadline token chained to `cancel` at admission,
+  // so the clock covers queue wait plus execution.
+  double deadline_ms = 0;
+  // Admission class (engine layer); see QueryPriority.
+  QueryPriority priority = QueryPriority::kInteractive;
+  // How long this query may wait for an admission slot before the engine
+  // gives up with ResourceExhausted. Negative = use the engine's
+  // configured default (EngineConfig::admission_timeout_ms).
+  double queue_timeout_ms = -1;
   // Index construction parameters for intermediate tables.
   IndexedTable::Options table_options;
 };
@@ -81,6 +106,14 @@ class ExecContext {
   // knobs().threads > 1.
   engine::WorkerPool* worker_pool() const { return pool_; }
   void set_worker_pool(engine::WorkerPool* pool) { pool_ = pool; }
+
+  // The query's cancellation token, or nullptr when the caller did not
+  // provide one (nothing to poll; execution runs to completion).
+  const CancelToken* cancel() const { return knobs_.cancel; }
+  // Polls the token: OK to continue, Cancelled/DeadlineExceeded to stop.
+  Status CheckCancel() const {
+    return knobs_.cancel == nullptr ? Status::OK() : knobs_.cancel->Check();
+  }
 
   // The query's span timeline, or nullptr when knobs().trace is off.
   // Created by EnsureTrace — the engine runner calls it with the pool's

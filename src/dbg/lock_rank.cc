@@ -33,6 +33,7 @@ const char* RankName(LockRank rank) {
     case LockRank::kMorselTuner: return "morsel-tuner";
     case LockRank::kMetrics: return "metrics";
     case LockRank::kAllocator: return "allocator";
+    case LockRank::kFailpoint: return "failpoint";
   }
   return "?";
 }

@@ -69,6 +69,10 @@ enum class LockRank : int {
   // (concurrent-merge windows). Leaf allocators: nothing is ever
   // acquired under them.
   kAllocator = 1000,
+  // fail::Registry::mu — the failpoint table. Failpoints sit inside the
+  // deepest choke points (including allocator growth paths), so this is
+  // the innermost rank of all.
+  kFailpoint = 1100,
 };
 
 // Enforcement shares the process-wide dbg flag: see

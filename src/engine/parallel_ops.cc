@@ -203,6 +203,7 @@ struct MergeRangePlan {
 MergeRangePlan PlanValidatedMergeRanges(
     const std::vector<std::unique_ptr<IndexedTable>>& partials,
     IndexedTable* final_table, size_t shards) {
+  QPPT_FAILPOINT(merge_plan);
   MergeRangePlan plan;
   if (final_table->kind() == IndexedTable::Kind::kKiss) {
     plan.ranges = PlanKissMergeRanges(partials, shards);
@@ -342,7 +343,16 @@ size_t PartialOutputs::MergePlainInto(const MorselSite& site,
   // destination id; shard statistics are summed and applied once.
   std::vector<IndexedTable::MergeShardStats> shard_stats(ranges.size());
   obs::QueryTrace* trace = site.trace;
+  const CancelToken* cancel = site.cancel;
   pool->Run(ranges.size(), [&](size_t worker, size_t m) {
+    // Shard boundary doubles as a cancellation boundary: a cancelled
+    // merge abandons the final table (it is a context-owned intermediate
+    // the error path drops) without waiting for the remaining shards.
+    if (cancel != nullptr) {
+      Status st = cancel->Check();
+      if (!st.ok()) throw CancelledException(std::move(st));
+    }
+    QPPT_FAILPOINT(merge_shard);
     double t0 = trace != nullptr ? trace->NowUs() : 0.0;
     for (size_t p = 0; p < partials_.size(); ++p) {
       final_table->MergeRangeFrom(*partials_[p], ranges[m], base[p],
@@ -397,7 +407,13 @@ size_t PartialOutputs::MergeAggInto(const MorselSite& site,
   final_table->BeginParallelAggMerge();
   std::vector<IndexedTable::MergeShardStats> shard_stats(ranges.size());
   obs::QueryTrace* trace = site.trace;
+  const CancelToken* cancel = site.cancel;
   pool->Run(ranges.size(), [&](size_t worker, size_t m) {
+    if (cancel != nullptr) {
+      Status st = cancel->Check();
+      if (!st.ok()) throw CancelledException(std::move(st));
+    }
+    QPPT_FAILPOINT(merge_shard);
     double t0 = trace != nullptr ? trace->NowUs() : 0.0;
     final_table->MergeAggRangeFrom(views, ranges[m], &shard_stats[m]);
     if (trace != nullptr) {

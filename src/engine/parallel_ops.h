@@ -35,6 +35,8 @@
 #include "core/sync_scan.h"
 #include "engine/scheduler.h"
 #include "obs/trace.h"
+#include "util/cancel.h"
+#include "util/failpoint.h"
 
 namespace qppt::engine {
 
@@ -58,16 +60,30 @@ struct MorselSite {
   MorselTuner* tuner = nullptr;
   obs::QueryTrace* trace = nullptr;  // nullptr = tracing off
   std::string_view label;            // stage label for trace spans
+  // Query cancellation token (nullptr = not cancellable). Polled once
+  // per morsel — the morsel boundary is the cancellation granularity of
+  // every parallel driver; per-tuple loops stay check-free.
+  const CancelToken* cancel = nullptr;
 };
 
 // Runs fn(worker, morsel) for every morsel, recording per-morsel wall
 // times and feeding them to the site's tuner; when the site carries a
 // trace, every morsel also records a kMorsel span on its worker's lane.
+// When the site carries a cancel token, it is polled before each morsel
+// body: a cancelled/expired query throws CancelledException, which the
+// pool converts into skip-remaining-morsels and rethrows to the
+// submitter (Plan::Run turns it back into a Status).
 template <typename Fn>
 void RunTimedMorsels(const MorselSite& site, size_t count, Fn&& fn) {
   std::vector<double> times(count, 0.0);
   obs::QueryTrace* trace = site.trace;
+  const CancelToken* cancel = site.cancel;
   site.pool->Run(count, [&](size_t worker, size_t m) {
+    if (cancel != nullptr) {
+      Status st = cancel->Check();
+      if (!st.ok()) throw CancelledException(std::move(st));
+    }
+    QPPT_FAILPOINT(morsel_exec);
     double t0 = trace != nullptr ? trace->NowUs() : 0.0;
     Timer t;
     fn(worker, m);

@@ -1,0 +1,86 @@
+// Bounded retry of write transactions around MVCC first-updater-wins
+// conflicts.
+//
+// The engine's conflict signal is AlreadyExists (storage/mvcc.h): the
+// losing writer must abort its whole transaction and try again. RetryTxn
+// packages the loop every client would otherwise hand-roll — fresh
+// session per attempt, commit on success, abort + jittered exponential
+// backoff on conflict, hard stop after max_attempts — and reports each
+// retry to the runner so write_stats().retries tracks contention.
+
+#ifndef QPPT_ENGINE_RETRY_H_
+#define QPPT_ENGINE_RETRY_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <utility>
+
+#include "engine/session.h"
+#include "engine/write_session.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace qppt::engine {
+
+// Tuning for RetryTxn. Backoff is "full jitter": each wait is uniform in
+// [0, current_backoff), with current_backoff growing geometrically from
+// initial_backoff_ms by `multiplier` up to max_backoff_ms.
+struct RetryOptions {
+  int max_attempts = 5;
+  double initial_backoff_ms = 0.1;
+  double multiplier = 2.0;
+  double max_backoff_ms = 5.0;
+  // Seeds the jitter stream (util/rng.h); give each writer thread its
+  // own seed so colliding writers decorrelate deterministically.
+  uint64_t seed = 0x7e7245eedULL;
+};
+
+// Runs `fn` — a callable taking WriteSession& and returning Status — in
+// a fresh write transaction and commits on success. AlreadyExists (from
+// fn or from Commit) aborts the transaction and retries after a jittered
+// backoff; any other error aborts and returns immediately. Returns the
+// last conflict error once max_attempts is exhausted. `fn` must re-derive
+// any ids it writes on every call: the point of the retry is picking a
+// fresh snapshot (and possibly fresh rows) each attempt.
+template <typename Fn>
+Status RetryTxn(EngineRunner* runner, Database* db, Fn&& fn,
+                const RetryOptions& opts = {}) {
+  Rng rng(opts.seed);
+  double backoff_ms = opts.initial_backoff_ms;
+  const int attempts = opts.max_attempts < 1 ? 1 : opts.max_attempts;
+  Status last;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      runner->NoteTxnRetry();
+      // Full jitter: uniform in [0, backoff) so writers that collided
+      // once don't re-collide in lockstep.
+      double sleep_ms = backoff_ms * rng.NextDouble();
+      if (sleep_ms > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(sleep_ms));
+      }
+      backoff_ms = std::min(backoff_ms * opts.multiplier,
+                            opts.max_backoff_ms);
+    }
+    WriteSession ws = runner->OpenWriteSession(db);
+    Status st = fn(ws);
+    if (st.ok()) {
+      Result<Timestamp> committed = ws.Commit();
+      if (committed.ok()) return Status::OK();
+      st = committed.status();
+    }
+    if (ws.active()) {
+      Status aborted = ws.Abort();
+      (void)aborted;
+    }
+    if (st.code() != StatusCode::kAlreadyExists) return st;
+    last = std::move(st);
+  }
+  return last;
+}
+
+}  // namespace qppt::engine
+
+#endif  // QPPT_ENGINE_RETRY_H_

@@ -3,11 +3,15 @@
 #include <algorithm>
 #include <chrono>
 #include <cstddef>
+#include <cstdio>
+#include <cstdlib>
 #include <utility>
 #include <vector>
 
+#include "dbg/invariants.h"
 #include "dbg/lock_rank.h"
 #include "obs/metrics.h"
+#include "util/failpoint.h"
 
 namespace qppt::engine {
 
@@ -18,6 +22,21 @@ uint64_t ElapsedNs(std::chrono::steady_clock::time_point t0,
   return static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
 }
+
+// True while this thread is executing a morsel body (either on a pool
+// worker or on the submitter via the inline no-worker path). Guards the
+// documented "Run must not be called from inside a morsel" rule: a
+// nested submit would block the worker on done_cv_ while its own batch
+// still counts it as outstanding — a silent deadlock. The dbg invariant
+// turns that into a deterministic abort.
+thread_local bool t_in_morsel = false;
+
+struct InMorselScope {
+  InMorselScope() { t_in_morsel = true; }
+  ~InMorselScope() { t_in_morsel = false; }
+  InMorselScope(const InMorselScope&) = delete;
+  InMorselScope& operator=(const InMorselScope&) = delete;
+};
 
 }  // namespace
 
@@ -168,6 +187,7 @@ void WorkerPool::WorkerLoop(size_t worker) {
         if (stolen) tasks_stolen_->AddShard(worker);
         SteadyClock::time_point t0 = SteadyClock::now();
         try {
+          InMorselScope in_morsel;
           (*batch->fn)(worker, item.index);
         } catch (...) {
           error = std::current_exception();
@@ -194,8 +214,20 @@ void WorkerPool::WorkerLoop(size_t worker) {
 
 void WorkerPool::Run(size_t num_morsels, const MorselFn& fn) {
   if (num_morsels == 0) return;
+  if (dbg::InvariantsEnabled() && t_in_morsel) {
+    std::fprintf(stderr,
+                 "qppt dbg: WorkerPool::Run called from inside a morsel — "
+                 "nested batches deadlock (the worker would block on its "
+                 "own batch). Restructure the operator to submit one "
+                 "batch from the driver thread.\n");
+    std::abort();
+  }
+  QPPT_FAILPOINT(sched_submit);
   if (deques_.empty()) {
-    // No workers: inline serial execution, worker id 0.
+    // No workers: inline serial execution, worker id 0. The in-morsel
+    // scope covers this path too — the nested-Run rule is about batch
+    // semantics, not just the deadlock mechanics of pooled mode.
+    InMorselScope in_morsel;
     for (size_t m = 0; m < num_morsels; ++m) fn(0, m);
     tasks_executed_->AddShard(0, num_morsels);
     return;

@@ -22,6 +22,8 @@
 #include "index/key_encoder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/cancel.h"
+#include "util/failpoint.h"
 
 namespace qppt::engine {
 
@@ -40,6 +42,10 @@ struct SessionMetrics {
   obs::Counter* versions_reclaimed_total;
   obs::Gauge* reclaim_horizon_lag;
   obs::Histogram* version_chain_length;
+  obs::Counter* admission_timeouts_total;
+  obs::Counter* queries_shed_total;
+  obs::Counter* queries_cancelled_total;
+  obs::Counter* deadline_exceeded_total;
 
   static SessionMetrics& Get() {
     static SessionMetrics m = [] {
@@ -73,6 +79,20 @@ struct SessionMetrics {
           "engine_version_chain_length",
           {1, 2, 4, 8, 16, 32, 64, 128},
           "Version-chain lengths observed by reclamation sweeps.");
+      s.admission_timeouts_total = reg.GetCounter(
+          "engine_admission_timeouts_total",
+          "Queries rejected because their admission-queue wait timed "
+          "out.");
+      s.queries_shed_total = reg.GetCounter(
+          "engine_queries_shed_total",
+          "Queries rejected immediately by load shedding (batch-priority "
+          "shed threshold or admission queue limit).");
+      s.queries_cancelled_total = reg.GetCounter(
+          "engine_queries_cancelled_total",
+          "Queries that returned Cancelled (client RequestCancel).");
+      s.deadline_exceeded_total = reg.GetCounter(
+          "engine_deadline_exceeded_total",
+          "Queries that returned DeadlineExceeded.");
       return s;
     }();
     return m;
@@ -89,6 +109,11 @@ struct EngineRunner::Batcher {
     int64_t hi = 0;
     bool is_point = false;
     bool done = false;
+    // The leader's verdict for this request: OK with `out` populated, or
+    // the error that aborted the shared scan — every follower of a
+    // failed batch gets the leader's Status instead of a silently-empty
+    // result.
+    Status status;
     std::vector<uint64_t> out;
   };
 
@@ -201,6 +226,17 @@ void AnswerPrefix(const IndexedTable& table,
 }  // namespace
 
 EngineRunner::EngineRunner(EngineConfig config) : config_(config) {
+  // Arm env-configured failpoints (QPPT_FAILPOINTS, util/failpoint.h)
+  // once per process, so any binary that builds an engine honors the
+  // documented chaos syntax. A parse error is loud but non-fatal: a bad
+  // chaos spec must not take down a production binary.
+  static std::once_flag failpoints_armed;
+  std::call_once(failpoints_armed, [] {
+    Status st = fail::ArmFromEnv();
+    if (!st.ok()) {
+      std::fprintf(stderr, "qppt engine: %s\n", st.ToString().c_str());
+    }
+  });
   if (config_.threads == 0) config_.threads = 1;
   // More morsel workers than hardware threads only adds context-switch
   // overhead (the 1-vCPU oversubscription tax): clamp, and say so once
@@ -247,16 +283,16 @@ void EngineRunner::ReleaseReads(const IndexedTable& table) {
   // same table get a fresh batcher.
 }
 
-std::vector<uint64_t> EngineRunner::PointRead(const IndexedTable& table,
-                                              int64_t key) {
+Result<std::vector<uint64_t>> EngineRunner::PointRead(
+    const IndexedTable& table, int64_t key) {
   return RangeRead(table, key, key);
 }
 
-std::vector<uint64_t> EngineRunner::RangeRead(const IndexedTable& table,
-                                              int64_t lo, int64_t hi) {
+Result<std::vector<uint64_t>> EngineRunner::RangeRead(
+    const IndexedTable& table, int64_t lo, int64_t hi) {
   // relaxed: statistics counter; no ordering needed.
   reads_.fetch_add(1, std::memory_order_relaxed);
-  if (table.aggregated() || lo > hi) return {};
+  if (table.aggregated() || lo > hi) return std::vector<uint64_t>{};
   // Hold a reference for the whole read: a concurrent ReleaseReads(table)
   // must not destroy the batcher under a waiting follower.
   std::shared_ptr<Batcher> b = BatcherFor(table);
@@ -273,6 +309,7 @@ std::vector<uint64_t> EngineRunner::RangeRead(const IndexedTable& table,
     // Follower: the leader (or a successor) answers this request.
     SessionMetrics::Get().read_follower_total->Add();
     b->cv.wait(lock, [&] { return req.done; });
+    if (!req.status.ok()) return req.status;
     return std::move(req.out);
   }
   b->leader_active = true;
@@ -289,8 +326,9 @@ std::vector<uint64_t> EngineRunner::RangeRead(const IndexedTable& table,
   // relaxed: statistics counter; no ordering needed.
   batched_keys_.fetch_add(batch.size(), std::memory_order_relaxed);
   uint64_t scans = 0;
-  std::exception_ptr error;
+  Status scan_status;
   try {
+    QPPT_FAILPOINT(read_batch_scan);
     if (table.kind() == IndexedTable::Kind::kKiss) {
       std::vector<Batcher::Request*> points;
       std::vector<Batcher::Request*> ranges;
@@ -303,20 +341,24 @@ std::vector<uint64_t> EngineRunner::RangeRead(const IndexedTable& table,
       AnswerPrefix(table, batch, &scans);
     }
   } catch (...) {
-    // Wake the followers no matter what — a throwing scan must not leave
-    // them blocked on stack-local requests the leader is unwinding past.
-    error = std::current_exception();
+    // A throwing scan must not leave followers blocked on stack-local
+    // requests the leader is unwinding past — every request of the batch
+    // gets the error, then everyone is woken.
+    scan_status = StatusFromException(std::current_exception());
   }
   // relaxed: statistics counter; no ordering needed.
   shared_scans_.fetch_add(scans, std::memory_order_relaxed);
 
   lock.lock();
-  for (Batcher::Request* r : batch) r->done = true;
-  b->cv.notify_all();
-  if (error) {
-    lock.unlock();
-    std::rethrow_exception(error);
+  for (Batcher::Request* r : batch) {
+    if (!scan_status.ok()) {
+      r->status = scan_status;
+      r->out.clear();  // partial gather from the aborted scan
+    }
+    r->done = true;
   }
+  b->cv.notify_all();
+  if (!req.status.ok()) return req.status;
   return std::move(req.out);
 }
 
@@ -331,39 +373,104 @@ EngineRunner::ReadStats EngineRunner::read_stats() const {
 
 // ---- query admission ---------------------------------------------------------
 
-// Counting-semaphore slot (max_concurrent_queries): blocks in the
-// constructor until a slot frees, releases on destruction (any exit
-// path, including error returns).
+// Tiered admission slot. Acquire() returns OK once a slot is held, or
+// an error when the query is shed, its queue wait times out, or its
+// cancel token fires mid-wait. Releases on destruction (any exit path,
+// including error returns) — a failed Acquire holds nothing, so the
+// destructor is a no-op then.
 struct EngineRunner::AdmitSlot {
-  explicit AdmitSlot(EngineRunner* runner) : runner_(runner) {
+  AdmitSlot() = default;
+
+  Status Acquire(EngineRunner* runner, const PlanKnobs& knobs) {
+    runner_ = runner;
     SessionMetrics& m = SessionMetrics::Get();
-    if (runner_->config_.max_concurrent_queries == 0) {
+    const EngineConfig& cfg = runner_->config_;
+    if (cfg.max_concurrent_queries == 0) {
       m.queries_running->Add(1);
       gauge_held_ = true;
-      return;
+      return Status::OK();
     }
+    const bool is_batch = knobs.priority == QueryPriority::kBatch;
+    // Per-query knob wins over the engine-wide default; negative means
+    // wait indefinitely (the seed behaviour).
+    const double timeout_ms = knobs.queue_timeout_ms >= 0
+                                  ? knobs.queue_timeout_ms
+                                  : cfg.admission_timeout_ms;
     Timer wait;
     dbg::LockRankToken rank(dbg::LockRank::kAdmission);
     std::unique_lock<std::mutex> lock(runner_->admit_mu_);
-    if (runner_->queries_running_ >=
-        runner_->config_.max_concurrent_queries) {
+    auto can_admit = [&] {
+      if (runner_->queries_running_ >= cfg.max_concurrent_queries) {
+        return false;
+      }
+      // Batch queries additionally contend for the (smaller) batch
+      // pool, so interactive work always has headroom.
+      return !(is_batch && cfg.max_concurrent_batch != 0 &&
+               runner_->batch_running_ >= cfg.max_concurrent_batch);
+    };
+    if (!can_admit()) {
+      // Load shedding happens before joining the queue: under overload
+      // a fast reject beats a slow timeout.
+      // relaxed: the counter is only mutated under admit_mu_ (held
+      // here); the atomic exists for lock-free stats readers.
+      size_t waiting =
+          runner_->queries_waiting_.load(std::memory_order_relaxed);
+      if (is_batch && cfg.shed_batch_waiting_threshold != 0 &&
+          waiting >= cfg.shed_batch_waiting_threshold) {
+        m.queries_shed_total->Add();
+        return Status::ResourceExhausted(
+            "batch query shed: admission queue over the batch shedding "
+            "threshold");
+      }
+      if (cfg.admission_queue_limit != 0 &&
+          waiting >= cfg.admission_queue_limit) {
+        m.queries_shed_total->Add();
+        return Status::ResourceExhausted(
+            "query rejected: admission queue full");
+      }
       // relaxed: statistics counter; no ordering needed.
       runner_->queries_waiting_.fetch_add(1, std::memory_order_relaxed);
       m.queries_waiting->Add(1);
-      runner_->admit_cv_.wait(lock, [&] {
-        return runner_->queries_running_ <
-               runner_->config_.max_concurrent_queries;
-      });
+      Status st;
+      const bool has_timeout = timeout_ms >= 0;
+      const auto queue_deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double, std::milli>(
+                  has_timeout ? timeout_ms : 0));
+      while (!can_admit()) {
+        if (knobs.cancel != nullptr) {
+          st = knobs.cancel->Check();
+          if (!st.ok()) break;
+        }
+        if (has_timeout &&
+            std::chrono::steady_clock::now() >= queue_deadline) {
+          m.admission_timeouts_total->Add();
+          st = Status::ResourceExhausted(
+              "query timed out waiting for an admission slot");
+          break;
+        }
+        // Bounded slices: an external RequestCancel (or a deadline set
+        // on the token) cannot notify admit_cv_, so the wait polls.
+        runner_->admit_cv_.wait_for(lock, std::chrono::milliseconds(1));
+      }
       m.queries_waiting->Add(-1);
       // relaxed: statistics counter; no ordering needed.
       runner_->queries_waiting_.fetch_sub(1, std::memory_order_relaxed);
+      if (!st.ok()) return st;
     }
     ++runner_->queries_running_;
+    if (is_batch) {
+      ++runner_->batch_running_;
+      batch_held_ = true;
+    }
     held_ = true;
     m.queries_running->Add(1);
     gauge_held_ = true;
     m.admission_wait_ms->Observe(wait.ElapsedMs());
+    return Status::OK();
   }
+
   ~AdmitSlot() {
     if (gauge_held_) SessionMetrics::Get().queries_running->Add(-1);
     if (!held_) return;
@@ -371,14 +478,19 @@ struct EngineRunner::AdmitSlot {
       dbg::RankedLockGuard lock(dbg::LockRank::kAdmission,
                                 runner_->admit_mu_);
       --runner_->queries_running_;
+      if (batch_held_) --runner_->batch_running_;
     }
-    runner_->admit_cv_.notify_one();
+    // notify_all, not notify_one: with tiered classes a single wake
+    // could land on a batch waiter still blocked by the batch cap while
+    // an interactive waiter could have run.
+    runner_->admit_cv_.notify_all();
   }
   AdmitSlot(const AdmitSlot&) = delete;
   AdmitSlot& operator=(const AdmitSlot&) = delete;
 
-  EngineRunner* runner_;
+  EngineRunner* runner_ = nullptr;
   bool held_ = false;        // semaphore slot taken (admission control on)
+  bool batch_held_ = false;  // slot also counts against the batch cap
   bool gauge_held_ = false;  // queries_running gauge incremented
 };
 
@@ -416,10 +528,26 @@ Result<QueryResult> EngineRunner::Execute(const Database& db,
   // assignment (PlanStats contract, core/stats.h).
   if (stats != nullptr) stats->Clear();
   Timer wall;
-  AdmitSlot slot(this);
+  SessionMetrics& m = SessionMetrics::Get();
+  auto fail = [&m](Status st) -> Status {
+    if (st.IsCancelled()) m.queries_cancelled_total->Add();
+    if (st.IsDeadlineExceeded()) m.deadline_exceeded_total->Add();
+    return st;
+  };
+  // A per-query deadline chains a local token to the caller's so queue
+  // wait and execution share one clock without mutating the caller's
+  // token; an explicit RequestCancel on the parent still propagates.
+  CancelToken deadline_token(knobs.cancel);
+  if (knobs.deadline_ms > 0) {
+    deadline_token.SetDeadlineAfter(knobs.deadline_ms);
+    knobs.cancel = &deadline_token;
+  }
+  AdmitSlot slot;
+  Status admit = slot.Acquire(this, knobs);
+  if (!admit.ok()) return fail(std::move(admit));
   // relaxed: statistics counter; no ordering needed.
   queries_admitted_.fetch_add(1, std::memory_order_relaxed);
-  SessionMetrics::Get().queries_total->Add();
+  m.queries_total->Add();
   knobs.threads = config_.threads;
   ReadPin pin(this, db, &knobs);
   ExecContext ctx(&db, knobs);
@@ -429,12 +557,13 @@ Result<QueryResult> EngineRunner::Execute(const Database& db,
     // every worker id maps to its own span lane.
     ctx.EnsureTrace(pool_->num_workers());
   }
-  QPPT_ASSIGN_OR_RETURN(QueryResult result, plan.Execute(&ctx));
+  Result<QueryResult> result = plan.Execute(&ctx);
+  if (!result.ok()) return fail(result.status());
   if (stats != nullptr) {
     *stats = *ctx.stats();
     stats->wall_ms = wall.ElapsedMs();
   }
-  return result;
+  return std::move(result).value();
 }
 
 Result<QueryResult> EngineRunner::Execute(const Database& db,
@@ -477,6 +606,16 @@ WriteSession EngineRunner::OpenWriteSession(Database* db) {
   return WriteSession(this, db);
 }
 
+size_t EngineRunner::queries_running() const {
+  dbg::RankedLockGuard lock(dbg::LockRank::kAdmission, admit_mu_);
+  return queries_running_;
+}
+
+size_t EngineRunner::pinned_snapshots() const {
+  dbg::RankedLockGuard lock(dbg::LockRank::kReadPins, pins_mu_);
+  return pinned_read_ts_.size();
+}
+
 Timestamp EngineRunner::OldestActiveReadTs(const Database& db) const {
   dbg::RankedLockGuard lock(dbg::LockRank::kReadPins, pins_mu_);
   if (pinned_read_ts_.empty()) return db.txn_manager().last_commit_ts();
@@ -497,6 +636,9 @@ size_t EngineRunner::ReclaimVersions(Database* db) {
   // taken after the horizon was computed is exactly the bug this check
   // is for.
   dbg::CheckReclaimHorizon(horizon, OldestActiveReadTs(*db));
+  // Chaos hook: the sweep holds the writer lock, so an injected fault
+  // here must unwind without wedging writers or corrupting chains.
+  QPPT_FAILPOINT(reclaim_sweep);
   size_t unlinked = 0;
   for (const auto& name : db->versioned_table_names()) {
     MvccTable* table = *db->versioned_table(name);

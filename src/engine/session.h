@@ -56,9 +56,27 @@ struct EngineConfig {
   size_t read_batch_max = 64;
   int64_t read_batch_window_us = 100;
   // Admission control: queries executing at once (0 = unlimited). Excess
-  // Execute callers block on a counting semaphore until a slot frees;
-  // queries_waiting() reports how many are blocked.
+  // Execute callers wait for a slot (see the timeout/shedding knobs
+  // below); queries_waiting() reports how many are waiting.
   size_t max_concurrent_queries = 0;
+  // Tiered admission: of the slots above, how many kBatch-priority
+  // queries may run at once (0 = no separate cap). kInteractive work can
+  // always use every slot; the batch cap keeps background flights from
+  // starving interactive clients.
+  size_t max_concurrent_batch = 0;
+  // Default time a query may wait for an admission slot before Execute
+  // gives up with ResourceExhausted. Negative = wait forever (the
+  // pre-tiered behavior). PlanKnobs::queue_timeout_ms overrides
+  // per query.
+  double admission_timeout_ms = -1;
+  // Bound on the admission wait queue (0 = unbounded): a query that
+  // would have to wait while `admission_queue_limit` others already are
+  // is rejected immediately with ResourceExhausted.
+  size_t admission_queue_limit = 0;
+  // Load shedding: when more than this many queries are waiting, kBatch
+  // work is rejected immediately instead of queueing (0 = off).
+  // Interactive queries still queue.
+  size_t shed_batch_waiting_threshold = 0;
 };
 
 class QuerySession;
@@ -78,8 +96,17 @@ class EngineRunner {
   // Admits and executes one query. Safe to call from many client threads
   // concurrently; each call gets a private ExecContext wired to the
   // shared pool, with knobs.threads forced to the engine's configuration.
-  // With max_concurrent_queries set, excess callers block here until a
-  // slot frees.
+  //
+  // Admission: with max_concurrent_queries set, excess callers wait here
+  // until a slot frees — bounded by the queue timeout
+  // (knobs.queue_timeout_ms / EngineConfig::admission_timeout_ms →
+  // ResourceExhausted), the queue limit and batch-shedding knobs
+  // (immediate ResourceExhausted), and knobs.priority's class cap.
+  //
+  // Cancellation: knobs.cancel and/or knobs.deadline_ms bound the whole
+  // call including the admission wait; a stopped query returns
+  // Cancelled/DeadlineExceeded with the admission slot, snapshot pin,
+  // and partial outputs released.
   Result<QueryResult> Execute(const Database& db, const Plan& plan,
                               PlanKnobs knobs, PlanStats* stats = nullptr);
 
@@ -139,11 +166,20 @@ class EngineRunner {
   struct WriteStats {
     uint64_t committed = 0;
     uint64_t aborted = 0;
+    // Conflict retries performed by engine::RetryTxn (engine/retry.h).
+    uint64_t retries = 0;
   };
   WriteStats write_stats() const {
-    // relaxed (both): statistics snapshot; staleness is fine.
+    // relaxed (all): statistics snapshot; staleness is fine.
     return {txns_committed_.load(std::memory_order_relaxed),
-            txns_aborted_.load(std::memory_order_relaxed)};
+            txns_aborted_.load(std::memory_order_relaxed),
+            txn_retries_.load(std::memory_order_relaxed)};
+  }
+  // Accounting hook for engine/retry.h (one first-updater-wins conflict
+  // retried); surfaces in write_stats().retries.
+  void NoteTxnRetry() {
+    // relaxed: statistics counter; no ordering needed.
+    txn_retries_.fetch_add(1, std::memory_order_relaxed);
   }
 
   // All tuple ids stored under `key` in `table`, in unspecified duplicate
@@ -152,13 +188,15 @@ class EngineRunner {
   // a single int64-like key column; aggregated, composite-keyed, or
   // double-keyed tables yield empty results. `table` must outlive every
   // read; the runner keeps a per-table batcher until ReleaseReads(table)
-  // or destruction. If the shared scan throws (e.g. allocation failure),
-  // the leader rethrows and that batch's followers observe empty results.
-  std::vector<uint64_t> PointRead(const IndexedTable& table, int64_t key);
+  // or destruction. If the shared scan fails (e.g. allocation failure),
+  // the leader's error Status is propagated to EVERY request of the
+  // batch — followers never observe silently-empty results.
+  Result<std::vector<uint64_t>> PointRead(const IndexedTable& table,
+                                          int64_t key);
   // All tuple ids with keys in [lo, hi], in ascending key order. Same
   // contract as PointRead.
-  std::vector<uint64_t> RangeRead(const IndexedTable& table, int64_t lo,
-                                  int64_t hi);
+  Result<std::vector<uint64_t>> RangeRead(const IndexedTable& table,
+                                          int64_t lo, int64_t hi);
 
   // Evicts the per-table read batcher, allowing `table` to be destroyed
   // (e.g. a short-lived intermediate). Reads already in flight finish
@@ -176,11 +214,18 @@ class EngineRunner {
     // relaxed: statistics counter; no ordering needed.
     return queries_admitted_.load(std::memory_order_relaxed);
   }
-  // Execute callers currently blocked on the admission semaphore.
+  // Execute callers currently waiting for an admission slot.
   uint64_t queries_waiting() const {
     // relaxed: statistics counter; no ordering needed.
     return queries_waiting_.load(std::memory_order_relaxed);
   }
+  // Queries currently holding an admission slot (0 when admission
+  // control is off). Tests assert this drains to zero after
+  // cancellations/timeouts — a leak here is a lost slot.
+  size_t queries_running() const;
+  // Snapshots currently pinned by in-flight queries; drains to zero with
+  // them.
+  size_t pinned_snapshots() const;
 
   struct Batcher;  // defined in session.cc (shared-read group commit)
 
@@ -210,10 +255,12 @@ class EngineRunner {
   std::atomic<uint64_t> batched_keys_{0};
   std::mutex batchers_mu_;
   std::map<const IndexedTable*, std::shared_ptr<Batcher>> batchers_;
-  // Admission semaphore (max_concurrent_queries > 0).
-  std::mutex admit_mu_;
+  // Tiered admission state (max_concurrent_queries > 0). Both counts are
+  // guarded by admit_mu_; kBatch queries count in both.
+  mutable std::mutex admit_mu_;
   std::condition_variable admit_cv_;
   size_t queries_running_ = 0;
+  size_t batch_running_ = 0;
   std::atomic<uint64_t> queries_waiting_{0};
   // Pinned query snapshots (multiset: many queries may pin the same ts);
   // the minimum is the version-reclamation horizon.
@@ -221,6 +268,7 @@ class EngineRunner {
   std::multiset<Timestamp> pinned_read_ts_;
   std::atomic<uint64_t> txns_committed_{0};
   std::atomic<uint64_t> txns_aborted_{0};
+  std::atomic<uint64_t> txn_retries_{0};
 };
 
 // A client handle onto the runner: same operations, plus per-session
@@ -240,11 +288,12 @@ class QuerySession {
                               const query::QueryParams& params = {},
                               PlanKnobs knobs = PlanKnobs{},
                               PlanStats* stats = nullptr);
-  std::vector<uint64_t> PointRead(const IndexedTable& table, int64_t key) {
+  Result<std::vector<uint64_t>> PointRead(const IndexedTable& table,
+                                          int64_t key) {
     return runner_->PointRead(table, key);
   }
-  std::vector<uint64_t> RangeRead(const IndexedTable& table, int64_t lo,
-                                  int64_t hi) {
+  Result<std::vector<uint64_t>> RangeRead(const IndexedTable& table,
+                                          int64_t lo, int64_t hi) {
     return runner_->RangeRead(table, lo, hi);
   }
 

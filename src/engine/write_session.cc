@@ -9,6 +9,7 @@
 #include "dbg/lock_rank.h"
 #include "engine/session.h"
 #include "obs/metrics.h"
+#include "util/failpoint.h"
 
 namespace qppt::engine {
 
@@ -62,6 +63,7 @@ WriteSession::WriteSession(EngineRunner* runner, Database* db)
 WriteSession::WriteSession(WriteSession&& other) noexcept
     : runner_(other.runner_),
       db_(other.db_),
+      cancel_(other.cancel_),
       txn_(other.txn_),
       touched_(std::move(other.touched_)),
       active_(other.active_) {
@@ -126,14 +128,37 @@ Result<std::optional<Rid>> WriteSession::Read(
 
 Result<Timestamp> WriteSession::Commit() {
   if (!active_) return Status::InvalidArgument("write session is finished");
+  if (cancel_ != nullptr) {
+    Status st = cancel_->Check();
+    if (!st.ok()) {
+      // The commit raced its cancellation/deadline: nothing may land.
+      // Abort releases every pending version chain entry.
+      Status aborted = Abort();
+      (void)aborted;
+      return st;
+    }
+  }
   active_ = false;
   TransactionManager& tm = db_->txn_manager();
+  WriteMetrics& m = WriteMetrics::Get();
   dbg::RankedLockGuard lock(dbg::LockRank::kDatabaseWrite,
                             db_->write_mutex());
+  // Chaos hook, deliberately BEFORE the live-index feed: an injected
+  // commit failure rolls back exactly like Abort and leaves no trace in
+  // any index.
+  try {
+    QPPT_FAILPOINT(commit_publish);
+  } catch (...) {
+    Status st = StatusFromException(std::current_exception());
+    for (MvccTable* table : touched_) table->AbortTransaction(txn_);
+    tm.Abort(txn_);
+    m.txns_aborted->Add();
+    if (runner_ != nullptr) runner_->NoteAbort();
+    return st;
+  }
   // 1. Feed the transaction's new physical rows to the live indexes.
   // They are not yet visible (begin_ts == infinity), so concurrent
   // snapshot scans filter them out via RidVisibleAt.
-  WriteMetrics& m = WriteMetrics::Get();
   uint64_t upserts = 0;
   for (MvccTable* table : touched_) {
     const auto& live = db_->live_indexes(table->name());

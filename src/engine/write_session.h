@@ -41,6 +41,7 @@
 
 #include "core/base_index.h"
 #include "storage/mvcc.h"
+#include "util/cancel.h"
 #include "util/status.h"
 
 namespace qppt::engine {
@@ -59,6 +60,12 @@ class WriteSession {
   Timestamp read_ts() const { return txn_.read_ts; }
   // True until Commit or Abort.
   bool active() const { return active_; }
+
+  // Attaches a cancellation/deadline token. Commit() checks it before
+  // publishing anything and turns a fired token into an Abort — the
+  // caller asked for the work not to land. Token must outlive the
+  // session (or be detached with nullptr).
+  void SetCancelToken(const CancelToken* token) { cancel_ = token; }
 
   // Inserts a new logical row; visible to this session immediately and to
   // others after Commit. Returns the logical row id.
@@ -96,6 +103,7 @@ class WriteSession {
 
   EngineRunner* runner_ = nullptr;
   Database* db_ = nullptr;
+  const CancelToken* cancel_ = nullptr;
   Transaction txn_;
   // Versioned tables with pending writes, in first-touch order.
   std::vector<MvccTable*> touched_;

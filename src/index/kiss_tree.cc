@@ -1,6 +1,7 @@
 #include "index/kiss_tree.h"
 
 #include "dbg/lock_rank.h"
+#include "util/failpoint.h"
 
 #include <bit>
 #include <cassert>
@@ -55,6 +56,7 @@ uint32_t CompactSlab::Allocate(size_t bytes) {
 }
 
 uint32_t CompactSlab::AllocateLocked(size_t bytes) {
+  QPPT_FAILPOINT(slab_grow);
   bytes = (bytes + kGranularity - 1) & ~(kGranularity - 1);
   assert(bytes <= kChunkBytes);
   if (chunk_dir_ == nullptr) {

@@ -1,6 +1,7 @@
 #include "util/arena.h"
 
 #include "dbg/lock_rank.h"
+#include "util/failpoint.h"
 
 #include <mutex>
 
@@ -42,6 +43,9 @@ void* Arena::AllocateLocked(size_t size, size_t align) {
 }
 
 char* Arena::AllocateNewBlock(size_t min_size) {
+  // Chaos hook: growth is where a real allocator fails, so the injected
+  // bad_alloc exercises the same unwind as genuine memory pressure.
+  QPPT_FAILPOINT(arena_grow);
   size_t size = min_size > block_size_ ? min_size : block_size_;
   Block block;
   block.data.reset(new char[size]);
@@ -72,6 +76,7 @@ void* PageArena::Allocate(size_t size) {
 void* PageArena::AllocateLocked(size_t size) {
   if (size == 0) size = 8;
   if (size > kPageSize) {
+    QPPT_FAILPOINT(page_arena_grow);
     // Oversized requests get their own page-aligned region.
     size_t pages = (size + kPageSize - 1) / kPageSize;
     size_t raw_bytes = pages * kPageSize + kPageSize;
@@ -89,6 +94,7 @@ void* PageArena::AllocateLocked(size_t size) {
   uintptr_t aligned = AlignUp(current, size);
   if (ptr_ == nullptr ||
       aligned + size > reinterpret_cast<uintptr_t>(end_)) {
+    QPPT_FAILPOINT(page_arena_grow);
     size_t chunk_bytes = kChunkPages * kPageSize;
     char* raw = new char[chunk_bytes + kPageSize];
     chunks_.emplace_back(raw);

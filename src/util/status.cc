@@ -24,6 +24,10 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Internal error";
     case StatusCode::kIOError:
       return "IO error";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "Deadline exceeded";
   }
   return "Unknown";
 }

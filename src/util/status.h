@@ -27,6 +27,8 @@ enum class StatusCode : int {
   kUnimplemented = 6,
   kInternal = 7,
   kIOError = 8,
+  kCancelled = 9,
+  kDeadlineExceeded = 10,
 };
 
 // Returns a human-readable name for `code` ("OK", "Invalid argument", ...).
@@ -80,6 +82,12 @@ class Status {
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const {
@@ -96,6 +104,10 @@ class Status {
   }
   bool IsResourceExhausted() const {
     return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
   }
 
   std::string ToString() const;

@@ -7,13 +7,16 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/parallel.h"
 #include "engine/session.h"
 #include "ssb/queries_qppt.h"
+#include "util/cancel.h"
 
 namespace qppt::ssb {
 namespace {
@@ -148,6 +151,91 @@ TEST_F(EngineQueryTest, ConcurrentClientsAgreeWithSerial) {
   fork.Join();
   EXPECT_EQ(failures.load(), 0);
   EXPECT_EQ(runner.queries_admitted(), kClients * AllQueryIds().size());
+}
+
+// The fail-safe acceptance gate: a deadline that expires mid-flight on
+// the deepest query (Q4.1) must surface DeadlineExceeded well inside
+// 50 ms of wall clock, release every slot and pin, and leave the SAME
+// runner able to complete the whole 13-query flight with results
+// identical to the serial reference.
+TEST_F(EngineQueryTest, ExpiredDeadlineReturnsPromptlyAndRunnerStaysHealthy) {
+  engine::EngineConfig cfg;
+  cfg.threads = 4;
+  cfg.clamp_threads_to_hardware = false;  // tiny CI boxes
+  engine::EngineRunner runner(cfg);
+
+  PlanKnobs timed;
+  timed.deadline_ms = 0.01;  // expires before the first morsel boundary
+  auto t0 = std::chrono::steady_clock::now();
+  auto result = RunQppt(runner, *data_, "4.1", timed);
+  double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsDeadlineExceeded()) << result.status();
+  EXPECT_LT(elapsed_ms, 50.0);
+  EXPECT_EQ(runner.queries_running(), 0u);
+  EXPECT_EQ(runner.pinned_snapshots(), 0u);
+
+  // A generous deadline changes nothing about the results.
+  PlanKnobs generous;
+  generous.deadline_ms = 60000;
+  auto unhurried = RunQppt(runner, *data_, "4.1", generous);
+  ASSERT_TRUE(unhurried.ok()) << unhurried.status();
+
+  for (const auto& id : AllQueryIds()) {
+    auto serial = RunQppt(*data_, id, PlanKnobs{});
+    ASSERT_TRUE(serial.ok()) << serial.status();
+    auto engine_result = RunQppt(runner, *data_, id, PlanKnobs{});
+    ASSERT_TRUE(engine_result.ok()) << engine_result.status();
+    ExpectSameResults(*serial, *engine_result, "post-deadline Q" + id);
+  }
+}
+
+// A token cancelled before submission: the query never runs, and a
+// token cancelled from another thread stops a query mid-flight.
+TEST_F(EngineQueryTest, CancelTokenStopsQueries) {
+  engine::EngineConfig cfg;
+  cfg.threads = 4;
+  cfg.clamp_threads_to_hardware = false;  // tiny CI boxes
+  engine::EngineRunner runner(cfg);
+
+  CancelToken pre_cancelled;
+  pre_cancelled.RequestCancel();
+  PlanKnobs knobs;
+  knobs.cancel = &pre_cancelled;
+  auto result = RunQppt(runner, *data_, "4.1", knobs);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCancelled()) << result.status();
+  EXPECT_EQ(runner.queries_running(), 0u);
+  EXPECT_EQ(runner.pinned_snapshots(), 0u);
+
+  // Mid-flight: fire the token from a second thread while the flight
+  // loops; every outcome must be clean (ok before the flip, Cancelled
+  // after), and the runner stays healthy.
+  CancelToken token;
+  PlanKnobs cancellable;
+  cancellable.cancel = &token;
+  std::atomic<bool> done{false};
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    token.RequestCancel();
+    done = true;
+  });
+  for (int i = 0; i < 1000 && !done.load(); ++i) {
+    auto r = RunQppt(runner, *data_, "4.1", cancellable);
+    if (!r.ok()) {
+      EXPECT_TRUE(r.status().IsCancelled()) << r.status();
+    }
+  }
+  canceller.join();
+  // The flip happened mid-loop; the queries after it must have failed.
+  auto post = RunQppt(runner, *data_, "4.1", cancellable);
+  ASSERT_FALSE(post.ok());
+  EXPECT_TRUE(post.status().IsCancelled());
+  EXPECT_EQ(runner.queries_running(), 0u);
+  EXPECT_EQ(runner.pinned_snapshots(), 0u);
 }
 
 }  // namespace

@@ -755,10 +755,14 @@ TEST_F(SessionReadTest, ConcurrentPointReadsMatchReference) {
       for (size_t i = 0; i < kReadsPerClient; ++i) {
         int64_t key = static_cast<int64_t>(rng.NextBounded(2200));
         auto ids = session.PointRead(*table_, key);
+        if (!ids.ok()) {
+          mismatches++;
+          continue;
+        }
         auto it = reference_.find(key);
         std::multiset<uint64_t> want =
             it == reference_.end() ? std::multiset<uint64_t>{} : it->second;
-        if (Resolve(ids) != want) mismatches++;
+        if (Resolve(*ids) != want) mismatches++;
       }
     });
   }
@@ -775,7 +779,9 @@ TEST_F(SessionReadTest, ConcurrentPointReadsMatchReference) {
 TEST_F(SessionReadTest, RangeReadsAscendAndMatchReference) {
   engine::EngineRunner runner(engine::EngineConfig{.threads = 1});
   auto session = runner.OpenSession();
-  auto ids = session.RangeRead(*table_, 100, 140);
+  auto result = session.RangeRead(*table_, 100, 140);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const std::vector<uint64_t>& ids = *result;
   std::multiset<uint64_t> want;
   for (int64_t k = 100; k <= 140; ++k) {
     auto it = reference_.find(k);
@@ -792,21 +798,23 @@ TEST_F(SessionReadTest, RangeReadsAscendAndMatchReference) {
     last = k;
   }
   // Degenerate inputs.
-  EXPECT_TRUE(session.RangeRead(*table_, 50, 40).empty());
-  EXPECT_TRUE(session.PointRead(*table_, 999999).empty());
+  EXPECT_TRUE(session.RangeRead(*table_, 50, 40)->empty());
+  EXPECT_TRUE(session.PointRead(*table_, 999999)->empty());
 }
 
 TEST_F(SessionReadTest, ReleaseReadsEvictsBatcherAndLaterReadsStillWork) {
   engine::EngineRunner runner(engine::EngineConfig{.threads = 1});
   int64_t key = reference_.begin()->first;
   auto before = runner.PointRead(*table_, key);
-  EXPECT_EQ(Resolve(before), reference_[key]);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(Resolve(*before), reference_[key]);
 
   // Evict the per-table batcher (the short-lived-intermediate pattern):
   // the next read must build a fresh one and answer identically.
   runner.ReleaseReads(*table_);
   auto after = runner.PointRead(*table_, key);
-  EXPECT_EQ(Resolve(after), reference_[key]);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(Resolve(*after), reference_[key]);
 
   // Releasing an unknown / already-released table is a no-op.
   runner.ReleaseReads(*table_);

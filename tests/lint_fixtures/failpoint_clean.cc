@@ -1,0 +1,12 @@
+// Clean twin of failpoint_violation.cc: both sites name catalogued tags
+// (scripts/analyze/failpoints.txt). qppt_lint must pass this file.
+#include "util/failpoint.h"
+#include "util/status.h"
+
+namespace qppt {
+void Grow() { QPPT_FAILPOINT(arena_grow); }
+Status Publish() {
+  QPPT_FAILPOINT_STATUS(commit_publish);
+  return Status::OK();
+}
+}  // namespace qppt

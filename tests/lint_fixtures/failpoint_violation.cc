@@ -1,0 +1,13 @@
+// Fixture: failpoint sites naming tags that are not catalogued in
+// scripts/analyze/failpoints.txt. qppt_lint must flag [failpoint-tag]
+// on both sites.
+#include "util/failpoint.h"
+#include "util/status.h"
+
+namespace qppt {
+void Grow() { QPPT_FAILPOINT(totally_unknown_tag); }
+Status Publish() {
+  QPPT_FAILPOINT_STATUS(another_unknown_tag);
+  return Status::OK();
+}
+}  // namespace qppt

@@ -28,6 +28,8 @@ CASES = [
     ("hot_alloc_clean.cc", ["--treat-as-hot"], {}),
     ("planstats_violation.cc", [], {"planstats-clear": 1}),
     ("planstats_clean.cc", [], {}),
+    ("failpoint_violation.cc", [], {"failpoint-tag": 2}),
+    ("failpoint_clean.cc", [], {}),
 ]
 
 
