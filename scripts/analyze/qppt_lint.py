@@ -131,7 +131,13 @@ def is_address_taken(line, start):
 
 
 class Linter:
-    def __init__(self, pairs_path, failpoints_path):
+    def __init__(self, pairs_path, failpoints_path, ast_fallback=True):
+        # When the qppt-tidy clang-tidy plugin has already run (CI), the
+        # three regex checks it supersedes — relaxed-justify,
+        # release-pair, hot-path-alloc — are skipped here; the
+        # file-shape checks (raw-slot-read, planstats-clear,
+        # failpoint-tag, unused-catalogue-tag) always run.
+        self.ast_fallback = ast_fallback
         self.errors = []
         self.pair_tags = load_pairs(pairs_path)
         self.pairs_path = pairs_path
@@ -148,11 +154,12 @@ class Linter:
             text = f.read()
         lines = text.splitlines()
         self.check_slots(rel, lines)
-        self.check_relaxed(rel, lines)
+        if self.ast_fallback:
+            self.check_relaxed(rel, lines)
         self.check_release(rel, lines)
         self.check_failpoints(rel, lines)
         is_hot = hot_override or any(rel.startswith(d) for d in HOT_PATH_DIRS)
-        if is_hot and rel not in HOT_ALLOC_ALLOWLIST:
+        if self.ast_fallback and is_hot and rel not in HOT_ALLOC_ALLOWLIST:
             self.check_hot_alloc(rel, lines)
         self.check_planstats(rel, text, lines)
 
@@ -188,16 +195,18 @@ class Linter:
                 continue
             tag = nearby_pair_tag(lines, i)
             if tag is None:
-                self.error(
-                    rel, i + 1, "release-pair",
-                    "release store without a \"pairs-with: <tag>\" comment "
-                    "naming its acquire site (catalogue: "
-                    "scripts/analyze/atomics_pairs.txt)")
+                if self.ast_fallback:
+                    self.error(
+                        rel, i + 1, "release-pair",
+                        "release store without a \"pairs-with: <tag>\" "
+                        "comment naming its acquire site (catalogue: "
+                        "scripts/analyze/atomics_pairs.txt)")
             elif tag not in self.pair_tags:
-                self.error(
-                    rel, i + 1, "release-pair",
-                    f"pairs-with tag '{tag}' is not in the catalogue "
-                    f"({self.pairs_path})")
+                if self.ast_fallback:
+                    self.error(
+                        rel, i + 1, "release-pair",
+                        f"pairs-with tag '{tag}' is not in the catalogue "
+                        f"({self.pairs_path})")
             else:
                 self.used_tags.add(tag)
 
@@ -314,6 +323,11 @@ def main():
     ap.add_argument("--failpoints", default=None)
     ap.add_argument("--treat-as-hot", action="store_true",
                     help="apply hot-path-alloc to the given files")
+    ap.add_argument("--ast-checks", choices=["python", "skip"],
+                    default="python",
+                    help="python (default): run the regex fallbacks for "
+                    "the checks the qppt-tidy plugin supersedes; skip: "
+                    "omit them because the plugin already ran (CI)")
     args = ap.parse_args()
 
     root = args.root or os.path.dirname(
@@ -337,7 +351,8 @@ def main():
         print("qppt_lint: nothing to lint", file=sys.stderr)
         return 2
 
-    linter = Linter(pairs, failpoints)
+    linter = Linter(pairs, failpoints,
+                    ast_fallback=args.ast_checks == "python")
     for path in files:
         rel = os.path.relpath(os.path.abspath(path), root).replace(
             os.sep, "/")

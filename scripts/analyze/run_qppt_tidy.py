@@ -1,0 +1,237 @@
+#!/usr/bin/env python3
+"""Driver for the qppt-tidy clang-tidy plugin (tools/qppt-tidy).
+
+Two modes:
+
+  Full sweep (default) — runs all five qppt-* checks over every repo
+  translation unit in the compilation database. This is the CI gate:
+  any diagnostic fails with exit 1.
+
+      python3 scripts/analyze/run_qppt_tidy.py --build-dir build
+
+  Fixture corpus (--fixtures) — runs each check against its seeded
+  violation fixture and clean twin under tests/lint_fixtures/tidy/.
+  Expected diagnostics are the lines marked `// expect-warning`; the
+  driver fails on any mismatch in either direction.
+
+Exit codes: 0 clean, 1 findings/mismatch, 2 infrastructure error,
+3 skipped (plugin .so or clang-tidy binary unavailable — the plugin is
+build-optional; the regex lint still covers the tree).
+"""
+
+import argparse
+import concurrent.futures
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+FIXTURES = os.path.join(ROOT, "tests", "lint_fixtures", "tidy")
+
+ALL_CHECKS = [
+    "qppt-unchecked-status",
+    "qppt-cancel-coverage",
+    "qppt-ranked-lock",
+    "qppt-atomics-discipline",
+    "qppt-hot-path-alloc",
+]
+
+# fixture stem -> (check, extra CheckOptions). Empty HotDirs = the check
+# applies everywhere, so fixtures need not live under the real hot dirs.
+FIXTURE_CASES = {
+    "unchecked_status": ("qppt-unchecked-status", {}),
+    "cancel_coverage": ("qppt-cancel-coverage",
+                        {"qppt-cancel-coverage.HotDirs": ""}),
+    "ranked_lock": ("qppt-ranked-lock",
+                    {"qppt-ranked-lock.RankedMutexFile":
+                     os.path.join(FIXTURES, "ranked_mutexes_fixture.txt")}),
+    "atomics_discipline": ("qppt-atomics-discipline",
+                           {"qppt-atomics-discipline.PairsFile":
+                            os.path.join(FIXTURES,
+                                         "atomics_pairs_fixture.txt")}),
+    "hot_path_alloc": ("qppt-hot-path-alloc",
+                       {"qppt-hot-path-alloc.HotDirs": ""}),
+}
+
+DIAG_RE = re.compile(r"^(?P<file>[^\s:][^:]*):(?P<line>\d+):\d+: "
+                     r"(?:warning|error): .* \[(?P<check>qppt-[\w-]+)\]")
+
+
+def find_clang_tidy(explicit):
+    if explicit:
+        return explicit if shutil.which(explicit) else None
+    for name in ["clang-tidy"] + [f"clang-tidy-{v}" for v in
+                                  range(19, 13, -1)]:
+        if shutil.which(name):
+            return name
+    return None
+
+
+def find_plugin(explicit, build_dir):
+    if explicit:
+        return explicit if os.path.exists(explicit) else None
+    path = os.path.join(build_dir, "tools", "qppt-tidy", "libqppt-tidy.so")
+    return path if os.path.exists(path) else None
+
+
+def config_str(options):
+    entries = [{"key": k, "value": v} for k, v in sorted(options.items())]
+    return json.dumps({"CheckOptions": entries})
+
+
+def run_tidy(tidy, plugin, checks, options, files, extra_args):
+    cmd = [tidy, "-load", plugin, f"-checks=-*,{checks}",
+           "-config=" + config_str(options)] + files + extra_args
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    return proc.returncode, proc.stdout, proc.stderr
+
+
+def parse_diags(stdout):
+    diags = []
+    for line in stdout.splitlines():
+        m = DIAG_RE.match(line)
+        if m:
+            diags.append((os.path.normpath(m.group("file")),
+                          int(m.group("line")), m.group("check"), line))
+    return diags
+
+
+def run_fixtures(tidy, plugin):
+    failures = []
+    cases = 0
+    for stem, (check, options) in sorted(FIXTURE_CASES.items()):
+        for kind in ("violation", "clean"):
+            path = os.path.join(FIXTURES, f"{stem}_{kind}.cc")
+            if not os.path.exists(path):
+                failures.append(f"{stem}_{kind}.cc: fixture missing")
+                continue
+            cases += 1
+            expected = set()
+            with open(path) as f:
+                for i, line in enumerate(f, start=1):
+                    if "// expect-warning" in line:
+                        expected.add(i)
+            code, out, err = run_tidy(
+                tidy, plugin, check, options, [path],
+                ["--", "-std=c++20", "-w"])
+            if code not in (0, 1):
+                failures.append(f"{stem}_{kind}.cc: clang-tidy exit {code}:"
+                                f"\n{out}\n{err}")
+                continue
+            got = {line for f_, line, c, _ in parse_diags(out)
+                   if c == check and os.path.samefile(f_, path)}
+            missing = expected - got
+            surprise = got - expected
+            if missing:
+                failures.append(f"{stem}_{kind}.cc: no [{check}] diagnostic "
+                                f"on expected line(s) {sorted(missing)}:"
+                                f"\n{out}")
+            if surprise:
+                failures.append(f"{stem}_{kind}.cc: unexpected [{check}] "
+                                f"diagnostic on line(s) {sorted(surprise)}:"
+                                f"\n{out}")
+    if failures:
+        print("qppt-tidy fixture test FAILED:")
+        for f in failures:
+            print("  -", f)
+        return 1
+    print(f"qppt-tidy fixture test: {cases} fixtures behaved as expected")
+    return 0
+
+
+def repo_tus(build_dir):
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.exists(db_path):
+        print(f"error: {db_path} not found (configure with CMake first)",
+              file=sys.stderr)
+        sys.exit(2)
+    with open(db_path) as f:
+        db = json.load(f)
+    files = []
+    for entry in db:
+        path = os.path.normpath(os.path.join(entry["directory"],
+                                             entry["file"]))
+        if not path.startswith(ROOT + os.sep) or "/_deps/" in path:
+            continue  # third-party (gtest) TUs are not ours to lint
+        files.append(path)
+    return sorted(set(files))
+
+
+def run_full(tidy, plugin, build_dir, jobs):
+    options = {
+        "qppt-ranked-lock.RankedMutexFile":
+            os.path.join(ROOT, "scripts", "analyze", "ranked_mutexes.txt"),
+        "qppt-atomics-discipline.PairsFile":
+            os.path.join(ROOT, "scripts", "analyze", "atomics_pairs.txt"),
+    }
+    files = repo_tus(build_dir)
+    header_filter = "^" + re.escape(ROOT) + "/(src|tests|bench|examples)/"
+    checks = ",".join(ALL_CHECKS)
+    findings = {}
+    hard_errors = []
+
+    def one(path):
+        # -w: compiler warnings (incl. -Werror promotions under clang's
+        # stricter diagnostics) must not fail the sweep — only qppt-*
+        # check output matters here.
+        return path, run_tidy(
+            tidy, plugin, checks, options, [path],
+            ["-p", build_dir, f"--header-filter={header_filter}",
+             "--extra-arg=-w"])
+
+    with concurrent.futures.ThreadPoolExecutor(max_workers=jobs) as pool:
+        for path, (code, out, err) in pool.map(one, files):
+            for file_, line, check, text in parse_diags(out):
+                findings[(file_, line, check)] = text
+            if code not in (0, 1) or "error: " in err:
+                hard_errors.append(f"{os.path.relpath(path, ROOT)}: "
+                                   f"clang-tidy exit {code}\n{err.strip()}")
+
+    if hard_errors:
+        print("qppt-tidy: infrastructure errors:")
+        for e in hard_errors:
+            print("  -", e)
+        return 2
+    if findings:
+        print(f"qppt-tidy: {len(findings)} finding(s) over "
+              f"{len(files)} translation units:")
+        for key in sorted(findings):
+            print("  " + findings[key])
+        return 1
+    print(f"qppt-tidy: clean over {len(files)} translation units "
+          f"({len(ALL_CHECKS)} checks)")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build-dir", default=os.path.join(ROOT, "build"))
+    ap.add_argument("--clang-tidy", default=None,
+                    help="clang-tidy binary (default: search PATH)")
+    ap.add_argument("--plugin", default=None,
+                    help="plugin .so (default: <build-dir>/tools/qppt-tidy/)")
+    ap.add_argument("--fixtures", action="store_true",
+                    help="run the fixture corpus instead of the full sweep")
+    ap.add_argument("--jobs", type=int, default=os.cpu_count() or 4)
+    args = ap.parse_args()
+
+    tidy = find_clang_tidy(args.clang_tidy)
+    if tidy is None:
+        print("qppt-tidy: SKIPPED — no clang-tidy binary found")
+        return 3
+    plugin = find_plugin(args.plugin, args.build_dir)
+    if plugin is None:
+        print("qppt-tidy: SKIPPED — plugin not built "
+              "(libqppt-tidy.so missing; needs LLVM/Clang dev headers)")
+        return 3
+
+    if args.fixtures:
+        return run_fixtures(tidy, plugin)
+    return run_full(tidy, plugin, args.build_dir, args.jobs)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "util/cancel.h"
+
 namespace qppt {
 
 Status HavingOp::Execute(ExecContext* ctx) {
@@ -46,7 +48,11 @@ Status HavingOp::Execute(ExecContext* ctx) {
                                              ctx->knobs().table_options));
 
   stats.input_tuples = input->num_keys();
+  // Serial group scan: poll the cancel token every kCancelStride groups
+  // (the ticker throws CancelledException; Plan::Run converts it).
+  CancelTicker cancel(ctx->cancel());
   input->ScanGroups([&](const uint64_t* row) {
+    cancel.Tick();
     for (const auto& b : bound) {
       if (b.is_double) {
         // Compare in the double domain against the int64 literal.

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/sync_scan.h"
+#include "util/cancel.h"
 
 namespace qppt {
 
@@ -17,6 +18,7 @@ Status IntersectOp::Execute(ExecContext* ctx) {
   QPPT_ASSIGN_OR_RETURN(
       auto right, BoundSide::Bind(*ctx, spec_.right, spec_.right_columns));
 
+  // alloc-exempt: O(columns) schema copy, once per operator bind.
   std::vector<ColumnDef> defs = left.column_defs();
   defs.insert(defs.end(), right.column_defs().begin(),
               right.column_defs().end());
@@ -29,7 +31,12 @@ Status IntersectOp::Execute(ExecContext* ctx) {
   std::vector<uint64_t> row(assembled.num_columns());
   size_t left_width = left.num_columns();
 
+  // Serial synchronous scan: poll the cancel token every kCancelStride
+  // emitted tuples (the ticker throws CancelledException; Plan::Run
+  // converts it).
+  CancelTicker cancel(ctx->cancel());
   auto emit = [&](uint64_t lv, uint64_t rv) {
+    cancel.Tick();
     left.Fill(lv, row.data());
     right.Fill(rv, row.data() + left_width);
     output->Insert(row.data());
@@ -87,8 +94,12 @@ Status UnionDistinctOp::Execute(ExecContext* ctx) {
   stats.input_tuples = left.num_input_tuples() + right.num_input_tuples();
   std::vector<uint64_t> row(assembled.num_columns());
 
+  // Serial full scans of both sides: poll the cancel token every
+  // kCancelStride emitted tuples.
+  CancelTicker cancel(ctx->cancel());
   auto emit_side = [&](const BoundSide& side) {
     auto emit = [&](uint64_t v) {
+      cancel.Tick();
       side.Fill(v, row.data());
       output->InsertIfAbsent(row.data());
     };

@@ -8,6 +8,7 @@
 
 #include "core/sync_scan.h"
 #include "engine/parallel_ops.h"
+#include "util/cancel.h"
 
 namespace qppt {
 
@@ -30,6 +31,7 @@ Status StarJoinOp::Execute(ExecContext* ctx) {
       auto right, BoundSide::Bind(*ctx, spec_.right, spec_.right_columns));
 
   // Assembled-tuple layout: left ++ right ++ assist carries.
+  // alloc-exempt: O(columns) schema copy, once per operator bind.
   std::vector<ColumnDef> defs = left.column_defs();
   defs.insert(defs.end(), right.column_defs().begin(),
               right.column_defs().end());
@@ -53,9 +55,18 @@ Status StarJoinOp::Execute(ExecContext* ctx) {
 
   stats.input_tuples = left.num_input_tuples() + right.num_input_tuples();
 
+  // Serial scans poll the cancel token every kCancelStride emitted
+  // pairs, mirroring the selection/select-join loops: the ticker throws
+  // CancelledException and Plan::Run converts it back to a Status. The
+  // parallel branches poll per morsel inside the drivers instead (the
+  // ticker is not thread-safe), so only run_serial arms the pointer.
+  CancelTicker serial_cancel(ctx->cancel());
+  CancelTicker* serial_ticker = nullptr;
+
   // Cross-product emission shared by all scan branches (nested-loop over
   // the duplicate lists of one matched key, §4.2).
   auto emit_pair = [&](CandidatePipeline* pipeline, uint64_t l, uint64_t r) {
+    if (serial_ticker != nullptr) serial_ticker->Tick();
     // MVCC snapshot filter: no-op branches for non-versioned sides.
     if (!left.Visible(l) || !right.Visible(r)) return;
     uint64_t* row = pipeline->AddRow();
@@ -109,6 +120,7 @@ Status StarJoinOp::Execute(ExecContext* ctx) {
   };
 
   auto run_serial = [&](auto&& scan) {
+    serial_ticker = &serial_cancel;
     CandidatePipeline pipeline(assists, width, output.get(), key_positions,
                                ctx->knobs().join_buffer_size);
     scan(&pipeline);

@@ -15,36 +15,6 @@
 
 namespace qppt::engine {
 
-size_t RunKissRangeMorsels(
-    const MorselSite& site, const KissTree& tree, uint32_t lo, uint32_t hi,
-    const std::function<void(size_t, uint32_t, uint32_t)>& fn) {
-  MorselTuner* tuner =
-      site.tuner != nullptr ? site.tuner : site.pool->tuner();
-  auto ranges = PartitionKissRange(
-      tree, lo, hi, tuner->MorselTarget(site.pool->num_workers()));
-  if (ranges.empty()) return 0;
-  RunTimedMorsels(site, ranges.size(), [&](size_t worker, size_t m) {
-    fn(worker, ranges[m].first, ranges[m].second);
-  });
-  return ranges.size();
-}
-
-size_t RunPrefixPairMorsels(
-    const MorselSite& site, const PrefixTree& left, const PrefixTree& right,
-    const std::function<void(size_t, const PairScanLevel&, size_t, size_t)>&
-        fn) {
-  MorselTuner* tuner =
-      site.tuner != nullptr ? site.tuner : site.pool->tuner();
-  PairScanLevel level = FindPairScanLevel(left, right);
-  if (level.slots.empty()) return 0;
-  auto slices = SplitEvenly(level.slots.size(),
-                            tuner->MorselTarget(site.pool->num_workers()));
-  RunTimedMorsels(site, slices.size(), [&](size_t worker, size_t m) {
-    fn(worker, level, slices[m].first, slices[m].second);
-  });
-  return slices.size();
-}
-
 namespace {
 
 // Test-only mutation of planned merge ranges (injects non-covering

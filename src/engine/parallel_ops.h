@@ -175,13 +175,28 @@ class PartialOutputs {
 
 // Partitions `tree` ∩ [lo, hi] into morsel key ranges and runs
 // fn(worker, morsel_lo, morsel_hi) for each on the site's pool. Returns
-// the number of morsels executed (0 = empty intersection).
-size_t RunKissRangeMorsels(
-    const MorselSite& site, const KissTree& tree, uint32_t lo, uint32_t hi,
-    const std::function<void(size_t, uint32_t, uint32_t)>& fn);
-inline size_t RunKissRangeMorsels(
-    WorkerPool* pool, MorselTuner* tuner, const KissTree& tree, uint32_t lo,
-    uint32_t hi, const std::function<void(size_t, uint32_t, uint32_t)>& fn) {
+// the number of morsels executed (0 = empty intersection). Templated on
+// the callback (rather than taking a std::function) so operator call
+// sites never type-erase their capture state onto the heap — the morsel
+// drivers sit on every parallel query's hot path.
+template <typename Fn>
+size_t RunKissRangeMorsels(const MorselSite& site, const KissTree& tree,
+                           uint32_t lo, uint32_t hi, const Fn& fn) {
+  MorselTuner* tuner =
+      site.tuner != nullptr ? site.tuner : site.pool->tuner();
+  auto ranges = PartitionKissRange(
+      tree, lo, hi, tuner->MorselTarget(site.pool->num_workers()));
+  if (ranges.empty()) return 0;
+  RunTimedMorsels(site, ranges.size(), [&](size_t worker, size_t m) {
+    fn(worker, ranges[m].first, ranges[m].second);
+  });
+  return ranges.size();
+}
+
+template <typename Fn>
+size_t RunKissRangeMorsels(WorkerPool* pool, MorselTuner* tuner,
+                           const KissTree& tree, uint32_t lo, uint32_t hi,
+                           const Fn& fn) {
   return RunKissRangeMorsels(MorselSite{pool, tuner, nullptr, {}}, tree, lo,
                              hi, fn);
 }
@@ -191,11 +206,22 @@ inline size_t RunKissRangeMorsels(
 // fn(worker, level, begin, end) for each slot-list slice on the pool —
 // the driver of the parallel prefix-tree star join; the callback scans
 // its slice with SynchronousScanPairSlots. Returns the number of
-// morsels executed (0 = the trees share no subtree).
-size_t RunPrefixPairMorsels(
-    const MorselSite& site, const PrefixTree& left, const PrefixTree& right,
-    const std::function<void(size_t, const PairScanLevel&, size_t, size_t)>&
-        fn);
+// morsels executed (0 = the trees share no subtree). Templated for the
+// same no-type-erasure reason as RunKissRangeMorsels above.
+template <typename Fn>
+size_t RunPrefixPairMorsels(const MorselSite& site, const PrefixTree& left,
+                            const PrefixTree& right, const Fn& fn) {
+  MorselTuner* tuner =
+      site.tuner != nullptr ? site.tuner : site.pool->tuner();
+  PairScanLevel level = FindPairScanLevel(left, right);
+  if (level.slots.empty()) return 0;
+  auto slices = SplitEvenly(level.slots.size(),
+                            tuner->MorselTarget(site.pool->num_workers()));
+  RunTimedMorsels(site, slices.size(), [&](size_t worker, size_t m) {
+    fn(worker, level, slices[m].first, slices[m].second);
+  });
+  return slices.size();
+}
 
 // Values per slice morsel when the gather fallback below kicks in.
 inline constexpr size_t kMinSliceValues = 1024;

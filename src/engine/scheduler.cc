@@ -172,6 +172,10 @@ bool WorkerPool::PopOrStealLocked(size_t worker, Item* item, bool* stolen) {
 void WorkerPool::WorkerLoop(size_t worker) {
   using SteadyClock = std::chrono::steady_clock;
   dbg::NoteLockAcquired(dbg::LockRank::kScheduler);
+  // lock-rank: manual — the unlocked morsel-execution window below must
+  // drop and re-note the rank token precisely (RankedUniqueLock's token
+  // would claim the rank across the window and veto locks the morsel
+  // body legitimately takes at lower ranks).
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     Item item;
@@ -246,9 +250,8 @@ void WorkerPool::Run(size_t num_morsels, const MorselFn& fn) {
     }
   }
   work_cv_.notify_all();
-  dbg::LockRankToken rank(dbg::LockRank::kScheduler);
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [&] { return batch.outstanding == 0; });
+  dbg::RankedUniqueLock lock(dbg::LockRank::kScheduler, mu_);
+  done_cv_.wait(lock.lock(), [&] { return batch.outstanding == 0; });
   if (batch.error) std::rethrow_exception(batch.error);
 }
 

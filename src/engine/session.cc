@@ -301,14 +301,13 @@ Result<std::vector<uint64_t>> EngineRunner::RangeRead(
   req.hi = hi;
   req.is_point = lo == hi;
 
-  dbg::LockRankToken rank(dbg::LockRank::kReadBatcher);
-  std::unique_lock<std::mutex> lock(b->mu);
+  dbg::RankedUniqueLock lock(dbg::LockRank::kReadBatcher, b->mu);
   b->pending.push_back(&req);
   b->cv.notify_all();  // a gathering leader may now be at its batch cap
   if (b->leader_active) {
     // Follower: the leader (or a successor) answers this request.
     SessionMetrics::Get().read_follower_total->Add();
-    b->cv.wait(lock, [&] { return req.done; });
+    b->cv.wait(lock.lock(), [&] { return req.done; });
     if (!req.status.ok()) return req.status;
     return std::move(req.out);
   }
@@ -316,7 +315,8 @@ Result<std::vector<uint64_t>> EngineRunner::RangeRead(
   SessionMetrics::Get().read_leader_total->Add();
   // Gather co-arriving requests: flush at the batch cap or after the
   // window, whichever comes first.
-  b->cv.wait_for(lock, std::chrono::microseconds(config_.read_batch_window_us),
+  b->cv.wait_for(lock.lock(),
+                 std::chrono::microseconds(config_.read_batch_window_us),
                  [&] { return b->pending.size() >= config_.read_batch_max; });
   std::vector<Batcher::Request*> batch = std::move(b->pending);
   b->pending.clear();
@@ -349,7 +349,7 @@ Result<std::vector<uint64_t>> EngineRunner::RangeRead(
   // relaxed: statistics counter; no ordering needed.
   shared_scans_.fetch_add(scans, std::memory_order_relaxed);
 
-  lock.lock();
+  lock.relock();
   for (Batcher::Request* r : batch) {
     if (!scan_status.ok()) {
       r->status = scan_status;
@@ -397,8 +397,8 @@ struct EngineRunner::AdmitSlot {
                                   ? knobs.queue_timeout_ms
                                   : cfg.admission_timeout_ms;
     Timer wait;
-    dbg::LockRankToken rank(dbg::LockRank::kAdmission);
-    std::unique_lock<std::mutex> lock(runner_->admit_mu_);
+    dbg::RankedUniqueLock lock(dbg::LockRank::kAdmission,
+                               runner_->admit_mu_);
     auto can_admit = [&] {
       if (runner_->queries_running_ >= cfg.max_concurrent_queries) {
         return false;
@@ -452,7 +452,8 @@ struct EngineRunner::AdmitSlot {
         }
         // Bounded slices: an external RequestCancel (or a deadline set
         // on the token) cannot notify admit_cv_, so the wait polls.
-        runner_->admit_cv_.wait_for(lock, std::chrono::milliseconds(1));
+        runner_->admit_cv_.wait_for(lock.lock(),
+                                    std::chrono::milliseconds(1));
       }
       m.queries_waiting->Add(-1);
       // relaxed: statistics counter; no ordering needed.

@@ -107,14 +107,16 @@ class EngineRunner {
   // call including the admission wait; a stopped query returns
   // Cancelled/DeadlineExceeded with the admission slot, snapshot pin,
   // and partial outputs released.
-  Result<QueryResult> Execute(const Database& db, const Plan& plan,
-                              PlanKnobs knobs, PlanStats* stats = nullptr);
+  [[nodiscard]] Result<QueryResult> Execute(const Database& db,
+                                            const Plan& plan, PlanKnobs knobs,
+                                            PlanStats* stats = nullptr);
 
   // Declarative front door: plans `spec` with the rule-based planner
   // (core/query/planner.h) and executes the result.
-  Result<QueryResult> Execute(const Database& db,
-                              const query::QuerySpec& spec, PlanKnobs knobs,
-                              PlanStats* stats = nullptr);
+  [[nodiscard]] Result<QueryResult> Execute(const Database& db,
+                                            const query::QuerySpec& spec,
+                                            PlanKnobs knobs,
+                                            PlanStats* stats = nullptr);
 
   // EXPLAIN ANALYZE: plans `spec`, executes it through the normal
   // admission path, and returns the ExplainPlan rendering with each
@@ -124,23 +126,22 @@ class EngineRunner {
   // the PlanStats rows align line-for-line. `stats`, when given,
   // receives the same executed statistics (including the trace handle
   // when knobs.trace is set).
-  Result<std::string> ExplainAnalyze(const Database& db,
-                                     const query::QuerySpec& spec,
-                                     PlanKnobs knobs = PlanKnobs{},
-                                     PlanStats* stats = nullptr);
+  [[nodiscard]] Result<std::string> ExplainAnalyze(
+      const Database& db, const query::QuerySpec& spec,
+      PlanKnobs knobs = PlanKnobs{}, PlanStats* stats = nullptr);
 
   // Compiles `spec` once against `db` and returns a cached-plan handle;
   // fails fast on a spec the planner rejects. `db` must outlive every
   // execution of the prepared query.
-  Result<PreparedQuery> Prepare(const Database& db, query::QuerySpec spec);
+  [[nodiscard]] Result<PreparedQuery> Prepare(const Database& db,
+                                              query::QuerySpec spec);
 
   // Executes a prepared query, re-binding `params` into the predicate
   // constants. Replanning is skipped whenever this (knobs, params)
   // combination ran before on the same PreparedQuery.
-  Result<QueryResult> Execute(const PreparedQuery& prepared,
-                              const query::QueryParams& params = {},
-                              PlanKnobs knobs = PlanKnobs{},
-                              PlanStats* stats = nullptr);
+  [[nodiscard]] Result<QueryResult> Execute(
+      const PreparedQuery& prepared, const query::QueryParams& params = {},
+      PlanKnobs knobs = PlanKnobs{}, PlanStats* stats = nullptr);
 
   QuerySession OpenSession();
 
@@ -191,12 +192,12 @@ class EngineRunner {
   // or destruction. If the shared scan fails (e.g. allocation failure),
   // the leader's error Status is propagated to EVERY request of the
   // batch — followers never observe silently-empty results.
-  Result<std::vector<uint64_t>> PointRead(const IndexedTable& table,
-                                          int64_t key);
+  [[nodiscard]] Result<std::vector<uint64_t>> PointRead(
+      const IndexedTable& table, int64_t key);
   // All tuple ids with keys in [lo, hi], in ascending key order. Same
   // contract as PointRead.
-  Result<std::vector<uint64_t>> RangeRead(const IndexedTable& table,
-                                          int64_t lo, int64_t hi);
+  [[nodiscard]] Result<std::vector<uint64_t>> RangeRead(
+      const IndexedTable& table, int64_t lo, int64_t hi);
 
   // Evicts the per-table read batcher, allowing `table` to be destroyed
   // (e.g. a short-lived intermediate). Reads already in flight finish
@@ -279,21 +280,22 @@ class QuerySession {
   uint64_t queries_run() const { return queries_run_; }
   double total_wall_ms() const { return total_wall_ms_; }
 
-  Result<QueryResult> Execute(const Database& db, const Plan& plan,
-                              PlanKnobs knobs, PlanStats* stats = nullptr);
-  Result<QueryResult> Execute(const Database& db,
-                              const query::QuerySpec& spec, PlanKnobs knobs,
-                              PlanStats* stats = nullptr);
-  Result<QueryResult> Execute(const PreparedQuery& prepared,
-                              const query::QueryParams& params = {},
-                              PlanKnobs knobs = PlanKnobs{},
-                              PlanStats* stats = nullptr);
-  Result<std::vector<uint64_t>> PointRead(const IndexedTable& table,
-                                          int64_t key) {
+  [[nodiscard]] Result<QueryResult> Execute(const Database& db,
+                                            const Plan& plan, PlanKnobs knobs,
+                                            PlanStats* stats = nullptr);
+  [[nodiscard]] Result<QueryResult> Execute(const Database& db,
+                                            const query::QuerySpec& spec,
+                                            PlanKnobs knobs,
+                                            PlanStats* stats = nullptr);
+  [[nodiscard]] Result<QueryResult> Execute(
+      const PreparedQuery& prepared, const query::QueryParams& params = {},
+      PlanKnobs knobs = PlanKnobs{}, PlanStats* stats = nullptr);
+  [[nodiscard]] Result<std::vector<uint64_t>> PointRead(
+      const IndexedTable& table, int64_t key) {
     return runner_->PointRead(table, key);
   }
-  Result<std::vector<uint64_t>> RangeRead(const IndexedTable& table,
-                                          int64_t lo, int64_t hi) {
+  [[nodiscard]] Result<std::vector<uint64_t>> RangeRead(
+      const IndexedTable& table, int64_t lo, int64_t hi) {
     return runner_->RangeRead(table, lo, hi);
   }
 

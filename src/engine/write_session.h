@@ -69,17 +69,19 @@ class WriteSession {
 
   // Inserts a new logical row; visible to this session immediately and to
   // others after Commit. Returns the logical row id.
-  Result<MvccTable::LogicalId> Insert(const std::string& table,
-                                      std::span<const uint64_t> row);
+  [[nodiscard]] Result<MvccTable::LogicalId> Insert(
+      const std::string& table, std::span<const uint64_t> row);
 
   // Installs a new version of logical row `id`. AlreadyExists = lost a
   // write-write conflict (first-updater-wins); NotFound = row deleted in
   // this snapshot or never committed.
-  Status Update(const std::string& table, MvccTable::LogicalId id,
-                std::span<const uint64_t> row);
+  [[nodiscard]] Status Update(const std::string& table,
+                              MvccTable::LogicalId id,
+                              std::span<const uint64_t> row);
 
   // Marks `id` deleted. Same failure contract as Update.
-  Status Delete(const std::string& table, MvccTable::LogicalId id);
+  [[nodiscard]] Status Delete(const std::string& table,
+                              MvccTable::LogicalId id);
 
   // Physical rid of the version visible to this session (reads through
   // its own uncommitted writes), or nullopt if invisible/deleted.
@@ -88,7 +90,7 @@ class WriteSession {
 
   // Publishes this transaction: live-index inserts, stamp, publish (see
   // file comment for the order). Returns the commit timestamp.
-  Result<Timestamp> Commit();
+  [[nodiscard]] Result<Timestamp> Commit();
 
   // Reverts every pending write. Rows already fed to live indexes by an
   // earlier Commit are unaffected (Abort before Commit never reaches

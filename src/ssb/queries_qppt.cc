@@ -322,14 +322,16 @@ Result<Plan> BuildQpptPlan(const SsbData& data, const std::string& query_id,
   return query::PlanQuery(data.db, spec, knobs);
 }
 
-void ApplyOrderBy(const std::string& query_id, QueryResult* result) {
-  if (query_id[0] != '3') return;  // everything else is index-ordered
+Status ApplyOrderBy(const std::string& query_id, QueryResult* result) {
+  if (query_id[0] != '3') {
+    return Status::OK();  // everything else is index-ordered
+  }
   // Q3.x: order by d_year asc, revenue desc — the same sort the planner
   // attaches to the QPPT plans, resolved by column name here too so the
   // baseline layouts cannot drift silently (every Q3 result carries
-  // d_year and revenue columns).
-  Status st = SortResult({{"d_year", false}, {"revenue", true}}, result);
-  (void)st;
+  // d_year and revenue columns). A sort failure must propagate: an
+  // unsorted baseline poisons every differential identity check.
+  return SortResult({{"d_year", false}, {"revenue", true}}, result);
 }
 
 Result<QueryResult> RunQppt(const SsbData& data, const std::string& query_id,

@@ -59,8 +59,10 @@ Result<QueryResult> RunQppt(engine::EngineRunner& engine, const SsbData& data,
 
 // Applies a query's ORDER BY to extracted rows (used by the baseline
 // engines so all three systems return comparable row orders; QPPT plans
-// carry their ORDER BY in Plan::result_order()).
-void ApplyOrderBy(const std::string& query_id, QueryResult* result);
+// carry their ORDER BY in Plan::result_order()). Fails when the result
+// is missing an ORDER BY column — a silently unsorted baseline would
+// corrupt every differential comparison downstream.
+Status ApplyOrderBy(const std::string& query_id, QueryResult* result);
 
 }  // namespace qppt::ssb
 

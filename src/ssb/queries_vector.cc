@@ -11,7 +11,7 @@ Result<QueryResult> RunVector(SsbData& data, const std::string& query_id) {
   QPPT_ASSIGN_OR_RETURN(StarQuerySpec spec, SpecForQuery(data, query_id));
   QPPT_ASSIGN_OR_RETURN(QueryResult result,
                         baseline::RunVectorAtATime(data, spec));
-  ApplyOrderBy(query_id, &result);
+  QPPT_RETURN_NOT_OK(ApplyOrderBy(query_id, &result));
   return result;
 }
 

@@ -34,7 +34,10 @@ enum class StatusCode : int {
 // Returns a human-readable name for `code` ("OK", "Invalid argument", ...).
 std::string_view StatusCodeToString(StatusCode code);
 
-class Status {
+// [[nodiscard]] on the class makes every by-value Status return checked:
+// a discarded error is a silent correctness bug (enforced by -Werror in
+// src/ and by the qppt-unchecked-status tidy check everywhere else).
+class [[nodiscard]] Status {
  public:
   // Default construction yields OK; this is the fast path.
   Status() = default;
@@ -126,7 +129,7 @@ inline std::ostream& operator<<(std::ostream& os, const Status& s) {
 
 // Result<T>: either a value of type T or an error Status.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Intentionally implicit so `return value;` and `return status;` both work.
   Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)

@@ -1,0 +1,32 @@
+// Fixture: qppt-atomics-discipline clean twin — justified relaxed ops,
+// a catalogued release edge, and default (seq_cst) operations must all
+// pass.
+
+#include <atomic>
+
+namespace fixture {
+
+std::atomic<int> Counter{0};
+std::atomic<unsigned> Flags{0};
+
+int Read() {
+  // relaxed: monotonic statistics counter, no ordering required.
+  return Counter.load(std::memory_order_relaxed);
+}
+
+void Publish() {
+  // pairs-with: fixture-edge
+  Flags.store(1, std::memory_order_release);
+}
+
+unsigned AcquireSide() {
+  return Flags.load(std::memory_order_acquire);  // acquire needs no tag
+}
+
+int ReadDefault() {
+  return Counter.load();  // defaulted seq_cst — never annotation-worthy
+}
+
+void Bump() { Counter.fetch_add(1); }
+
+}  // namespace fixture

@@ -1,0 +1,31 @@
+// Fixture: qppt-atomics-discipline must flag unjustified relaxed
+// operations, untagged release stores, and unknown pairing tags. The
+// aliased-order case is the one the regex lint cannot see: the order is
+// recovered by constant evaluation, not text matching.
+
+#include <atomic>
+
+namespace fixture {
+
+std::atomic<int> Counter{0};
+std::atomic<unsigned> Flags{0};
+
+int ReadHot() {
+  return Counter.load(std::memory_order_relaxed);  // expect-warning
+}
+
+int ReadAliased() {
+  constexpr auto kOrder = std::memory_order_relaxed;
+  return Counter.load(kOrder);  // expect-warning
+}
+
+void Publish() {
+  Flags.store(1, std::memory_order_release);  // expect-warning
+}
+
+void PublishWrongTag() {
+  // pairs-with: not-a-real-tag
+  Flags.store(2, std::memory_order_release);  // expect-warning
+}
+
+}  // namespace fixture

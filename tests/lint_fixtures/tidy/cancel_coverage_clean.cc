@@ -1,0 +1,71 @@
+// Fixture: qppt-cancel-coverage clean twin — a polling function, a
+// helper with no cancel source in scope (the index-internal shape), and
+// the cancel-exempt escape hatch must all pass.
+
+namespace qppt {
+
+class CancelToken {
+ public:
+  bool cancel_requested() const { return false; }
+  int Check() const { return 0; }
+};
+
+class CancelTicker {
+ public:
+  explicit CancelTicker(const CancelToken* t) : token_(t) {}
+  void Tick() {}
+
+ private:
+  const CancelToken* token_;
+};
+
+struct ExecContext {
+  const CancelToken* cancel() const { return &token_; }
+  CancelToken token_;
+};
+
+template <typename Fn>
+void SynchronousScan(const Fn& fn) {
+  for (int i = 0; i < 100; ++i) fn(i);
+}
+
+}  // namespace qppt
+
+namespace fixture {
+
+// Polls once per emitted tuple — the serial-operator pattern.
+int PolledScan(qppt::ExecContext* ctx) {
+  qppt::CancelTicker ticker(ctx->cancel());
+  int sum = 0;
+  qppt::SynchronousScan([&](int v) {
+    ticker.Tick();
+    sum += v;
+  });
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) sum += i * j;
+  }
+  return sum;
+}
+
+// No cancel source reachable from here: cancellation is the caller's
+// job (the kiss_tree.cc shape), so nothing is flagged.
+int PureHelper() {
+  int sum = 0;
+  qppt::SynchronousScan([&](int v) { sum += v; });
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) sum += i * j;
+  }
+  return sum;
+}
+
+// Deliberately exempt: constant-bounded work.
+int ExemptScan(qppt::ExecContext* ctx) {
+  int sum = ctx != nullptr ? 1 : 0;
+  // cancel-exempt: bounded 3x3 constant walk, finishes in nanoseconds.
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) sum += i * j;
+  }
+  return sum;
+}
+
+}  // namespace fixture

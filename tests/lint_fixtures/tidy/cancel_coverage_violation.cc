@@ -1,0 +1,45 @@
+// Fixture: qppt-cancel-coverage must flag scan primitives and nested
+// loops in a function that can reach the cancellation machinery but
+// never polls it. (The fixture run sets HotDirs to empty = everywhere.)
+
+namespace qppt {
+
+class CancelToken {
+ public:
+  bool cancel_requested() const { return false; }
+  int Check() const { return 0; }
+};
+
+class CancelTicker {
+ public:
+  explicit CancelTicker(const CancelToken* t) : token_(t) {}
+  void Tick() {}
+
+ private:
+  const CancelToken* token_;
+};
+
+struct ExecContext {
+  const CancelToken* cancel() const { return &token_; }
+  CancelToken token_;
+};
+
+template <typename Fn>
+void SynchronousScan(const Fn& fn) {
+  for (int i = 0; i < 100; ++i) fn(i);
+}
+
+}  // namespace qppt
+
+namespace fixture {
+
+int UnpolledScan(qppt::ExecContext* ctx) {
+  int sum = ctx != nullptr ? 1 : 0;
+  qppt::SynchronousScan([&](int v) { sum += v; });  // expect-warning
+  for (int i = 0; i < 8; ++i) {                     // expect-warning
+    for (int j = 0; j < 8; ++j) sum += i * j;
+  }
+  return sum;
+}
+
+}  // namespace fixture

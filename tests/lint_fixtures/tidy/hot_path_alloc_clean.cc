@@ -1,0 +1,33 @@
+// Fixture: qppt-hot-path-alloc clean twin — arena placement new, a
+// template callback (no type erasure), reference views instead of
+// copies, and the alloc-exempt escape hatch must all pass.
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace fixture {
+
+template <typename Fn>
+int RunInline(const Fn& fn) {
+  return fn(7);
+}
+
+struct Node {
+  int v;
+};
+
+alignas(Node) unsigned char Arena[64];
+
+int HotLoop(const std::vector<int>& values) {
+  int sum = 0;
+  Node* n = new (Arena) Node{1};  // placement new into the arena
+  sum += RunInline([&](int v) { return v + sum; });
+  const std::vector<int>& view = values;  // a view, not a copy
+  // alloc-exempt: fixture demonstrates the sanctioned setup-copy hatch.
+  std::vector<int> copy = values;
+  sum += static_cast<int>(view.size() + copy.size()) + n->v;
+  return sum;
+}
+
+}  // namespace fixture

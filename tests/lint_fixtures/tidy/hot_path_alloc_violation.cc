@@ -1,0 +1,25 @@
+// Fixture: qppt-hot-path-alloc must flag the allocations a regex token
+// ban cannot see — raw operator new, the implicit std::function
+// construction at a type-erased call boundary, and a deep container
+// copy. (The fixture run sets HotDirs to empty = everywhere.)
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace fixture {
+
+int RunErased(const std::function<int(int)>& fn) { return fn(7); }
+
+int HotLoop(const std::vector<int>& values) {
+  int sum = 0;
+  int* scratch = new int[4];                        // expect-warning
+  scratch[0] = 1;
+  sum += RunErased([&](int v) { return v + sum; });  // expect-warning
+  std::vector<int> copy = values;                   // expect-warning
+  sum += static_cast<int>(copy.size()) + scratch[0];
+  delete[] scratch;
+  return sum;
+}
+
+}  // namespace fixture

@@ -1,0 +1,34 @@
+// Fixture: qppt-ranked-lock clean twin — a ranked wrapper, a raw guard
+// over an unregistered mutex, and the lock-rank: manual escape hatch
+// must all pass.
+
+#include <mutex>
+
+namespace fixture {
+
+struct Engine {
+  std::mutex mu_;
+};
+
+std::mutex GlobalMu;
+std::mutex FreeAgent;  // not rank-registered — raw guards stay legal
+
+// Stand-in for dbg::RankedLockGuard: guards built over a *parameter*
+// never resolve to a registered member, so the wrapper itself is clean.
+class RankedLockGuard {
+ public:
+  explicit RankedLockGuard(std::mutex& mu) : lock_(mu) {}
+
+ private:
+  std::lock_guard<std::mutex> lock_;
+};
+
+void Guards(Engine* e) {
+  RankedLockGuard g1(e->mu_);
+  std::lock_guard<std::mutex> g2(FreeAgent);
+  // lock-rank: manual — fixture demonstrates the escape hatch.
+  std::unique_lock<std::mutex> g3(GlobalMu);
+  g3.unlock();
+}
+
+}  // namespace fixture

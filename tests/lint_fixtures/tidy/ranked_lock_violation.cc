@@ -1,0 +1,21 @@
+// Fixture: qppt-ranked-lock must flag raw std guards over mutexes
+// listed in the fixture registry (ranked_mutexes_fixture.txt):
+// fixture::Engine::mu_ and fixture::GlobalMu.
+
+#include <mutex>
+
+namespace fixture {
+
+struct Engine {
+  std::mutex mu_;
+};
+
+std::mutex GlobalMu;
+
+void RawGuards(Engine* e) {
+  std::lock_guard<std::mutex> g1(e->mu_);     // expect-warning
+  std::unique_lock<std::mutex> g2(GlobalMu);  // expect-warning
+  g2.unlock();
+}
+
+}  // namespace fixture

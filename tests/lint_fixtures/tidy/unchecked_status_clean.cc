@@ -1,0 +1,46 @@
+// Fixture: qppt-unchecked-status clean twin — checked, propagated, and
+// explicitly-voided returns must produce no diagnostics, and a
+// reference-returning accessor is never a by-value discard.
+
+namespace qppt {
+
+class Status {
+ public:
+  Status() = default;
+  ~Status() {}
+  bool ok() const { return ok_; }
+
+ private:
+  bool ok_ = true;
+};
+
+template <typename T>
+class Result {
+ public:
+  explicit Result(T v) : value_(v) {}
+  ~Result() {}
+  const T& value() const { return value_; }
+
+ private:
+  T value_;
+};
+
+Status DoWork();
+Result<int> Compute();
+Status& SharedStatus();
+
+}  // namespace qppt
+
+namespace fixture {
+
+int Driver() {
+  qppt::Status st = qppt::DoWork();
+  if (!st.ok()) return -1;
+  // Sanctioned discard: the explicit void cast documents intent.
+  (void)qppt::DoWork();
+  qppt::Result<int> r = qppt::Compute();
+  qppt::SharedStatus();  // reference return — nothing is discarded
+  return r.value();
+}
+
+}  // namespace fixture

@@ -1,0 +1,43 @@
+// Fixture: qppt-unchecked-status must flag every marked line — a
+// by-value qppt::Status / qppt::Result discarded as a bare statement.
+// The check keys on the return TYPE, not [[nodiscard]], so it holds in
+// TUs compiled without -Werror.
+
+namespace qppt {
+
+class Status {
+ public:
+  Status() = default;
+  ~Status() {}  // non-trivial, like the real Status (ExprWithCleanups)
+  bool ok() const { return ok_; }
+
+ private:
+  bool ok_ = true;
+};
+
+template <typename T>
+class Result {
+ public:
+  explicit Result(T v) : value_(v) {}
+  ~Result() {}
+  const T& value() const { return value_; }
+
+ private:
+  T value_;
+};
+
+Status DoWork();
+Result<int> Compute();
+
+}  // namespace qppt
+
+namespace fixture {
+
+void Driver(bool flag) {
+  qppt::DoWork();            // expect-warning
+  qppt::Compute();           // expect-warning
+  if (flag) qppt::DoWork();  // expect-warning
+  for (int i = 0; i < 2; ++i) qppt::DoWork();  // expect-warning
+}
+
+}  // namespace fixture

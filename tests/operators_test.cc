@@ -13,6 +13,7 @@
 #include "core/operators/set_ops.h"
 #include "core/operators/star_join.h"
 #include "core/plan.h"
+#include "util/cancel.h"
 #include "util/rng.h"
 
 namespace qppt {
@@ -590,6 +591,39 @@ TEST(StarJoinFamiliesTest, ExtremeKeysJoinIdenticallyAcrossFamilies) {
   EXPECT_EQ(run(true, false), reference) << "kiss x prefix diverged";
   EXPECT_EQ(run(false, true), reference) << "prefix x kiss diverged";
   EXPECT_EQ(run(false, false), reference) << "prefix x prefix diverged";
+}
+
+// Regression (qppt-cancel-coverage finding): the SERIAL star-join scan
+// paths had no cancellation polls at all — only the parallel morsel
+// drivers checked the token, so a single-threaded join of two large
+// mains was unstoppable. The operator is driven directly (not through
+// Plan::Run) so the plan-boundary check cannot mask a missing in-loop
+// poll; a pre-cancelled token must unwind via CancelledException after
+// at most kCancelStride emitted pairs.
+TEST_F(OperatorsTest, SerialStarJoinPollsCancellationMidScan) {
+  CancelToken cancelled;
+  cancelled.RequestCancel();
+  PlanKnobs knobs = Knobs();
+  knobs.cancel = &cancelled;
+  ExecContext ctx(&db_, knobs);
+
+  // sales ⋈ part on partkey: 20000 emitted pairs > kCancelStride.
+  StarJoinSpec join;
+  join.left = SideRef::Base("sales_partkey");
+  join.left_columns = {"orderdate", "amount"};
+  join.right = SideRef::Base("part_pk");
+  join.right_columns = {};
+  join.output = {"result", {"orderdate"}, {}};
+  StarJoinOp op(join);
+  bool unwound = false;
+  try {
+    Status st = op.Execute(&ctx);
+    FAIL() << "serial star join ignored its cancel token: " << st;
+  } catch (const CancelledException& e) {
+    unwound = true;
+    EXPECT_TRUE(e.status().IsCancelled()) << e.status();
+  }
+  EXPECT_TRUE(unwound);
 }
 
 }  // namespace

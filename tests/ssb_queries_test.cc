@@ -197,5 +197,19 @@ TEST_F(SsbQueriesTest, UnknownQueryIdFails) {
   EXPECT_TRUE(RunVector(*data_, "9.9").status().IsInvalidArgument());
 }
 
+// Regression (qppt-unchecked-status finding): ApplyOrderBy used to drop
+// the SortResult error on the floor, so a Q3.x baseline result missing
+// an ORDER BY column came back silently UNSORTED — poisoning every
+// differential comparison instead of failing loudly.
+TEST(ApplyOrderByTest, MissingOrderColumnPropagatesError) {
+  QueryResult result;
+  result.schema = Schema({{"unrelated", ValueType::kInt64, nullptr}});
+  Status st = ApplyOrderBy("3.1", &result);
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsNotFound() || st.IsInvalidArgument()) << st;
+  // Non-Q3 ids never sort, so they cannot fail on the missing column.
+  EXPECT_TRUE(ApplyOrderBy("1.1", &result).ok());
+}
+
 }  // namespace
 }  // namespace qppt::ssb

@@ -1,0 +1,149 @@
+#include "AtomicsDisciplineCheck.h"
+
+#include <fstream>
+
+#include "QpptTidyUtils.h"
+#include "clang/AST/Expr.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+namespace clang::tidy::qppt {
+
+using namespace ast_matchers;
+
+namespace {
+
+constexpr unsigned kCommentLookback = 3;
+
+// C++ [atomics.order]: the enumerator values are specified, so constant
+// evaluation is portable across library implementations.
+constexpr uint64_t kOrderRelaxed = 0;
+constexpr uint64_t kOrderRelease = 3;
+
+std::set<std::string> LoadTags(const std::string &Path) {
+  std::set<std::string> Tags;
+  if (Path.empty())
+    return Tags;
+  std::ifstream In(Path);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    size_t B = Line.find_first_not_of(" \t\r");
+    if (B == std::string::npos || Line[B] == '#')
+      continue;
+    size_t E = Line.find_first_of(" \t\r", B);
+    Tags.insert(Line.substr(B, (E == std::string::npos ? Line.size() : E) - B));
+  }
+  return Tags;
+}
+
+bool IsTagChar(char C) {
+  return (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+         (C >= '0' && C <= '9') || C == '_' || C == '-';
+}
+
+// The `pairs-with: <tag>` annotation nearest above `Loc` (same
+// lookback contract as the escape comments); empty = none found.
+std::string FindPairsTag(const SourceManager &SM, SourceLocation Loc) {
+  if (Loc.isInvalid())
+    return std::string();
+  Loc = SM.getExpansionLoc(Loc);
+  bool Invalid = false;
+  llvm::StringRef Buf = SM.getBufferData(SM.getFileID(Loc), &Invalid);
+  if (Invalid)
+    return std::string();
+  unsigned Line = SM.getExpansionLineNumber(Loc);
+  llvm::SmallVector<llvm::StringRef, 0> Lines;
+  Buf.split(Lines, '\n');
+  unsigned Begin =
+      Line > kCommentLookback + 1 ? Line - kCommentLookback - 1 : 0;
+  for (unsigned I = Begin; I < Line && I < Lines.size(); ++I) {
+    size_t Pos = Lines[I].find("pairs-with:");
+    if (Pos == llvm::StringRef::npos)
+      continue;
+    llvm::StringRef Rest = Lines[I].substr(Pos + strlen("pairs-with:")).ltrim();
+    size_t End = 0;
+    while (End < Rest.size() && IsTagChar(Rest[End]))
+      ++End;
+    if (End > 0)
+      return Rest.substr(0, End).str();
+  }
+  return std::string();
+}
+
+}  // namespace
+
+AtomicsDisciplineCheck::AtomicsDisciplineCheck(StringRef Name,
+                                               ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      PairsFile(Options.get("PairsFile", "")),
+      KnownTags(LoadTags(PairsFile)) {}
+
+void AtomicsDisciplineCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "PairsFile", PairsFile);
+}
+
+void AtomicsDisciplineCheck::registerMatchers(MatchFinder *Finder) {
+  // Member operations on std::atomic<T> / std::atomic_flag objects
+  // (load, store, exchange, fetch_*, compare_exchange_*, ...) — any
+  // call carrying a memory_order argument is interesting; the rest are
+  // filtered in check().
+  Finder->addMatcher(
+      cxxMemberCallExpr(on(expr(hasType(hasCanonicalType(hasDeclaration(
+                            namedDecl(hasAnyName("::std::atomic",
+                                                 "::std::atomic_flag"))))))))
+          .bind("op"),
+      this);
+  // Fences take their order as the sole argument.
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(hasAnyName("::std::atomic_thread_fence",
+                                              "::std::atomic_signal_fence"))))
+          .bind("op"),
+      this);
+}
+
+void AtomicsDisciplineCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Op = Result.Nodes.getNodeAs<CallExpr>("op");
+  if (Op == nullptr)
+    return;
+  bool HasRelaxed = false;
+  bool HasRelease = false;
+  for (const Expr *Arg : Op->arguments()) {
+    if (Arg == nullptr || llvm::isa<CXXDefaultArgExpr>(Arg))
+      continue;  // defaulted seq_cst — never annotation-worthy
+    if (!TypeMentionsAny(Arg->getType(), {"memory_order"}))
+      continue;
+    Expr::EvalResult ER;
+    if (!Arg->EvaluateAsInt(ER, *Result.Context))
+      continue;  // dependent order in a template pattern
+    uint64_t V = ER.Val.getInt().getZExtValue();
+    HasRelaxed |= V == kOrderRelaxed;
+    HasRelease |= V == kOrderRelease;
+  }
+  if (!HasRelaxed && !HasRelease)
+    return;
+  const SourceManager &SM = *Result.SourceManager;
+  SourceLocation Loc = Op->getBeginLoc();
+  if (HasRelaxed &&
+      !HasEscapeComment(SM, Loc, "relaxed:", kCommentLookback)) {
+    diag(Loc,
+         "memory_order_relaxed operation without a '// relaxed: <why>' "
+         "justification within %0 lines")
+        << kCommentLookback;
+  }
+  if (HasRelease) {
+    std::string Tag = FindPairsTag(SM, Loc);
+    if (Tag.empty()) {
+      diag(Loc,
+           "memory_order_release operation without a 'pairs-with: <tag>' "
+           "annotation naming its acquire side (catalogue: "
+           "scripts/analyze/atomics_pairs.txt)");
+    } else if (!KnownTags.empty() && KnownTags.count(Tag) == 0) {
+      diag(Loc,
+           "release annotation names unknown pairing tag '%0' — add it to "
+           "the catalogue or fix the reference")
+          << Tag;
+    }
+  }
+}
+
+}  // namespace clang::tidy::qppt

@@ -1,0 +1,43 @@
+// qppt-atomics-discipline: AST-accurate enforcement of the repo's
+// memory-ordering annotation contract (the regex version lives in
+// scripts/analyze/qppt_lint.py and can be fooled by aliases, wrappers,
+// and line breaks — this check evaluates the actual memory_order
+// argument):
+//
+//  * a memory_order_relaxed operation needs `// relaxed: <why>` on the
+//    line or within 3 lines above — every relaxed access must say why
+//    relaxation is sound;
+//  * a memory_order_release operation (the store side of a
+//    release/acquire edge) needs `pairs-with: <tag>` naming an entry in
+//    the pairing catalogue (scripts/analyze/atomics_pairs.txt via the
+//    PairsFile option) so each edge's acquire side is documented.
+//
+// Orders are recovered by constant-evaluating the argument, so
+// `std::memory_order::relaxed`, named constants, and aliases all
+// resolve correctly.
+
+#ifndef QPPT_TIDY_ATOMICS_DISCIPLINE_CHECK_H_
+#define QPPT_TIDY_ATOMICS_DISCIPLINE_CHECK_H_
+
+#include <set>
+#include <string>
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::qppt {
+
+class AtomicsDisciplineCheck : public ClangTidyCheck {
+ public:
+  AtomicsDisciplineCheck(StringRef Name, ClangTidyContext *Context);
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+ private:
+  const std::string PairsFile;
+  std::set<std::string> KnownTags;  // empty PairsFile = any tag accepted
+};
+
+}  // namespace clang::tidy::qppt
+
+#endif  // QPPT_TIDY_ATOMICS_DISCIPLINE_CHECK_H_

@@ -1,0 +1,42 @@
+// qppt-cancel-coverage: scan loops in the engine's hot directories must
+// stay cancellable. A function that can reach the query's cancellation
+// machinery (it mentions CancelToken / CancelTicker / ExecContext /
+// MorselSite anywhere in its body) but drives a tree-scan primitive or
+// a nested loop without ever polling (CancelTicker::Tick,
+// CancelToken::Check / cancel_requested, ExecContext::CheckCancelled,
+// or delegating to a MorselSite driver — those poll per morsel) is an
+// unbounded-latency bug: a cancelled or deadline-expired query keeps
+// burning a core until the scan finishes on its own.
+//
+// Deliberate exceptions carry `// cancel-exempt: <reason>` on the line
+// or within 3 lines above. Pure index internals (kiss_tree.cc and
+// friends) have no cancel source in scope and are skipped by the
+// has-access precondition — cancellation is the *operator's* job.
+
+#ifndef QPPT_TIDY_CANCEL_COVERAGE_CHECK_H_
+#define QPPT_TIDY_CANCEL_COVERAGE_CHECK_H_
+
+#include <string>
+#include <vector>
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::qppt {
+
+class CancelCoverageCheck : public ClangTidyCheck {
+ public:
+  CancelCoverageCheck(StringRef Name, ClangTidyContext *Context);
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+ private:
+  // Semicolon-separated path fragments that scope the check; empty =
+  // everywhere (used by the fixture corpus).
+  const std::string RawHotDirs;
+  std::vector<std::string> HotDirs;
+};
+
+}  // namespace clang::tidy::qppt
+
+#endif  // QPPT_TIDY_CANCEL_COVERAGE_CHECK_H_

@@ -1,0 +1,89 @@
+#include "HotPathAllocCheck.h"
+
+#include "QpptTidyUtils.h"
+#include "clang/AST/Expr.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+namespace clang::tidy::qppt {
+
+using namespace ast_matchers;
+
+namespace {
+
+constexpr char kDefaultHotDirs[] = "src/index;src/core/operators";
+constexpr unsigned kCommentLookback = 3;
+
+}  // namespace
+
+HotPathAllocCheck::HotPathAllocCheck(StringRef Name,
+                                     ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      RawHotDirs(Options.get("HotDirs", kDefaultHotDirs)),
+      HotDirs(ParseSemiList(RawHotDirs)) {}
+
+void HotPathAllocCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "HotDirs", RawHotDirs);
+}
+
+void HotPathAllocCheck::registerMatchers(MatchFinder *Finder) {
+  Finder->addMatcher(cxxNewExpr().bind("new"), this);
+  Finder->addMatcher(
+      cxxConstructExpr(hasType(hasCanonicalType(hasDeclaration(
+                           namedDecl(hasAnyName("::std::function"))))))
+          .bind("function"),
+      this);
+  Finder->addMatcher(
+      cxxConstructExpr(
+          hasDeclaration(cxxConstructorDecl(
+              isCopyConstructor(),
+              ofClass(hasAnyName("::std::vector", "::std::basic_string",
+                                 "::std::map", "::std::unordered_map",
+                                 "::std::set", "::std::unordered_set",
+                                 "::std::deque")))))
+          .bind("copy"),
+      this);
+}
+
+void HotPathAllocCheck::check(const MatchFinder::MatchResult &Result) {
+  const Expr *Site = nullptr;
+  const char *What = nullptr;
+  if (const auto *New = Result.Nodes.getNodeAs<CXXNewExpr>("new")) {
+    if (New->getNumPlacementArgs() > 0)
+      return;  // arena placement-new is the sanctioned allocation path
+    Site = New;
+    What = "raw operator new";
+  } else if (const auto *Fn =
+                 Result.Nodes.getNodeAs<CXXConstructExpr>("function")) {
+    Site = Fn;
+    What = "implicit std::function construction (heap-allocates the "
+           "closure); take a template callback instead";
+  } else if (const auto *Copy =
+                 Result.Nodes.getNodeAs<CXXConstructExpr>("copy")) {
+    Site = Copy;
+    What = "copy construction of an allocating container";
+  }
+  if (Site == nullptr)
+    return;
+  const SourceManager &SM = *Result.SourceManager;
+  SourceLocation Loc = Site->getBeginLoc();
+  std::string File = NormalizedFile(SM, Loc);
+  if (!InAnyDir(File, HotDirs))
+    return;
+  if (SM.isInSystemHeader(SM.getExpansionLoc(Loc)))
+    return;
+  // Compiler-generated members (defaulted copy constructors of structs
+  // holding containers) diagnose at the class head — skip them; the
+  // human-written copy *call site* is what matters.
+  const FunctionDecl *FD = NearestEnclosingFunction(*Result.Context, Site);
+  if (FD != nullptr && (FD->isImplicit() || FD->isDefaulted()))
+    return;
+  if (HasEscapeComment(SM, Loc, "alloc-exempt:", kCommentLookback))
+    return;
+  diag(Loc,
+       "heap allocation on the scan hot path: %0; use the arena, hoist it "
+       "out of the per-tuple path, or annotate '// alloc-exempt: <reason>'")
+      << What;
+}
+
+}  // namespace clang::tidy::qppt

@@ -1,0 +1,42 @@
+// qppt-hot-path-alloc: the engine's hot directories (src/index,
+// src/core/operators) are arena-only territory — per-tuple heap
+// allocation is the single biggest scan-throughput killer the paper's
+// design avoids. The regex lint bans literal `new`/`malloc` tokens;
+// this check catches what regexes cannot see:
+//
+//  * non-placement operator new (however spelled), while arena
+//    placement-new stays allowed;
+//  * implicit std::function construction — a capturing lambda that
+//    crosses a std::function boundary heap-allocates its closure;
+//  * copy construction of allocating containers (vector, string, maps,
+//    sets, deque) — an innocent-looking `auto v = other.values()` that
+//    deep-copies on the scan path.
+//
+// Setup-time allocations that are genuinely O(schema), not O(tuples),
+// annotate `// alloc-exempt: <reason>` within 3 lines above.
+
+#ifndef QPPT_TIDY_HOT_PATH_ALLOC_CHECK_H_
+#define QPPT_TIDY_HOT_PATH_ALLOC_CHECK_H_
+
+#include <string>
+#include <vector>
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::qppt {
+
+class HotPathAllocCheck : public ClangTidyCheck {
+ public:
+  HotPathAllocCheck(StringRef Name, ClangTidyContext *Context);
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+ private:
+  const std::string RawHotDirs;
+  std::vector<std::string> HotDirs;
+};
+
+}  // namespace clang::tidy::qppt
+
+#endif  // QPPT_TIDY_HOT_PATH_ALLOC_CHECK_H_

@@ -1,0 +1,44 @@
+// The qppt-tidy plugin module: registers the five repo-specific checks
+// under the qppt- prefix. Loaded out-of-tree:
+//
+//   clang-tidy -load build/tools/qppt-tidy/libqppt-tidy.so \
+//              -checks='-*,qppt-*' -p build <file>...
+//
+// scripts/analyze/run_qppt_tidy.py wraps this invocation (full
+// compile-database sweep and fixture-corpus modes).
+
+#include "AtomicsDisciplineCheck.h"
+#include "CancelCoverageCheck.h"
+#include "HotPathAllocCheck.h"
+#include "RankedLockCheck.h"
+#include "UncheckedStatusCheck.h"
+#include "clang-tidy/ClangTidyModule.h"
+#include "clang-tidy/ClangTidyModuleRegistry.h"
+
+namespace clang::tidy {
+namespace qppt {
+
+class QpptTidyModule : public ClangTidyModule {
+ public:
+  void addCheckFactories(ClangTidyCheckFactories &CheckFactories) override {
+    CheckFactories.registerCheck<UncheckedStatusCheck>(
+        "qppt-unchecked-status");
+    CheckFactories.registerCheck<CancelCoverageCheck>(
+        "qppt-cancel-coverage");
+    CheckFactories.registerCheck<RankedLockCheck>("qppt-ranked-lock");
+    CheckFactories.registerCheck<AtomicsDisciplineCheck>(
+        "qppt-atomics-discipline");
+    CheckFactories.registerCheck<HotPathAllocCheck>("qppt-hot-path-alloc");
+  }
+};
+
+}  // namespace qppt
+
+static ClangTidyModuleRegistry::Add<qppt::QpptTidyModule>
+    X("qppt-module", "Adds the qppt engine-invariant checks.");
+
+// Referenced so the translation unit is never dead-stripped from the
+// plugin shared object.
+volatile int QpptTidyModuleAnchorSource = 0;
+
+}  // namespace clang::tidy

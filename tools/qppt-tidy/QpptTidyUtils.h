@@ -1,0 +1,141 @@
+// Shared helpers for the qppt-* clang-tidy checks: escape-comment
+// lookback (the same contract the regex lint used — a marker on the
+// flagged line or within N lines above it), hot-directory path
+// filtering, and enclosing-function climbs that skip lambdas.
+//
+// Kept header-only so every check .cc stays a single translation unit
+// next to its class.
+
+#ifndef QPPT_TIDY_QPPT_TIDY_UTILS_H_
+#define QPPT_TIDY_QPPT_TIDY_UTILS_H_
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/ASTTypeTraits.h"
+#include "clang/AST/Decl.h"
+#include "clang/AST/DeclCXX.h"
+#include "clang/Basic/SourceManager.h"
+#include "llvm/ADT/SmallVector.h"
+#include "llvm/ADT/StringRef.h"
+
+namespace clang::tidy::qppt {
+
+// True when `Marker` appears on the line holding `Loc` or within
+// `Lookback` lines above it — the escape-comment contract shared with
+// scripts/analyze/qppt_lint.py (COMMENT_LOOKBACK).
+inline bool HasEscapeComment(const SourceManager &SM, SourceLocation Loc,
+                             llvm::StringRef Marker, unsigned Lookback) {
+  if (Loc.isInvalid())
+    return false;
+  Loc = SM.getExpansionLoc(Loc);
+  bool Invalid = false;
+  llvm::StringRef Buf = SM.getBufferData(SM.getFileID(Loc), &Invalid);
+  if (Invalid)
+    return false;
+  unsigned Line = SM.getExpansionLineNumber(Loc);  // 1-based
+  llvm::SmallVector<llvm::StringRef, 0> Lines;
+  Buf.split(Lines, '\n');
+  unsigned Begin = Line > Lookback + 1 ? Line - Lookback - 1 : 0;
+  for (unsigned I = Begin; I < Line && I < Lines.size(); ++I) {
+    if (Lines[I].contains(Marker))
+      return true;
+  }
+  return false;
+}
+
+// Expansion-location file name with forward slashes (so the hot-dir
+// substring filters below behave identically on every host).
+inline std::string NormalizedFile(const SourceManager &SM,
+                                  SourceLocation Loc) {
+  if (Loc.isInvalid())
+    return std::string();
+  std::string S = SM.getFilename(SM.getExpansionLoc(Loc)).str();
+  std::replace(S.begin(), S.end(), '\\', '/');
+  return S;
+}
+
+// Splits a semicolon-separated option value ("src/index;src/engine")
+// into its non-empty components.
+inline std::vector<std::string> ParseSemiList(llvm::StringRef Raw) {
+  std::vector<std::string> Out;
+  llvm::SmallVector<llvm::StringRef, 8> Parts;
+  Raw.split(Parts, ';', /*MaxSplit=*/-1, /*KeepEmpty=*/false);
+  for (llvm::StringRef P : Parts)
+    Out.push_back(P.trim().str());
+  return Out;
+}
+
+// True when `File` lives under any of `Dirs` (substring match on the
+// normalized path). An empty dir list means "everywhere" — the fixture
+// corpus uses that to exercise checks outside the real hot dirs.
+inline bool InAnyDir(llvm::StringRef File,
+                     const std::vector<std::string> &Dirs) {
+  if (Dirs.empty())
+    return true;
+  for (const std::string &D : Dirs) {
+    if (File.contains(D))
+      return true;
+  }
+  return false;
+}
+
+// Outermost enclosing function that is not a lambda call operator: the
+// unit at which cancellation coverage is judged (a per-tuple callback
+// lambda polls on behalf of the operator function that owns it).
+inline const FunctionDecl *EnclosingNonLambdaFunction(ASTContext &Ctx,
+                                                      const Stmt *S) {
+  const FunctionDecl *Best = nullptr;
+  DynTypedNode Node = DynTypedNode::create(*S);
+  for (;;) {
+    auto Parents = Ctx.getParents(Node);
+    if (Parents.empty())
+      break;
+    Node = Parents[0];
+    if (const auto *FD = Node.get<FunctionDecl>()) {
+      const auto *MD = llvm::dyn_cast<CXXMethodDecl>(FD);
+      bool IsLambda = MD != nullptr && MD->getParent()->isLambda();
+      if (!IsLambda)
+        Best = FD;
+    }
+  }
+  return Best;
+}
+
+// Nearest enclosing function of any kind (lambdas included) — used to
+// suppress diagnostics inside compiler-generated functions such as
+// defaulted copy constructors.
+inline const FunctionDecl *NearestEnclosingFunction(ASTContext &Ctx,
+                                                    const Stmt *S) {
+  DynTypedNode Node = DynTypedNode::create(*S);
+  for (;;) {
+    auto Parents = Ctx.getParents(Node);
+    if (Parents.empty())
+      break;
+    Node = Parents[0];
+    if (const auto *FD = Node.get<FunctionDecl>())
+      return FD;
+  }
+  return nullptr;
+}
+
+// True when the canonical spelling of `T` mentions any of `Names` —
+// a deliberately string-level test so pointers, references, and
+// const-qualified forms of the interesting types all register.
+inline bool TypeMentionsAny(QualType T,
+                            std::initializer_list<llvm::StringRef> Names) {
+  if (T.isNull())
+    return false;
+  std::string S = T.getCanonicalType().getAsString();
+  for (llvm::StringRef N : Names) {
+    if (llvm::StringRef(S).contains(N))
+      return true;
+  }
+  return false;
+}
+
+}  // namespace clang::tidy::qppt
+
+#endif  // QPPT_TIDY_QPPT_TIDY_UTILS_H_

@@ -1,0 +1,118 @@
+#include "RankedLockCheck.h"
+
+#include <fstream>
+
+#include "QpptTidyUtils.h"
+#include "clang/AST/Expr.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+namespace clang::tidy::qppt {
+
+using namespace ast_matchers;
+
+namespace {
+
+constexpr unsigned kCommentLookback = 5;  // the reason is often multi-line
+
+std::set<std::string> LoadRegistry(const std::string &Path) {
+  std::set<std::string> Names;
+  if (Path.empty())
+    return Names;
+  std::ifstream In(Path);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    // Trim; '#' starts a comment. Names may contain spaces (anonymous
+    // namespaces print as "(anonymous namespace)"), so everything up to
+    // a comment or trailing whitespace is the name.
+    size_t Hash = Line.find('#');
+    if (Hash != std::string::npos)
+      Line = Line.substr(0, Hash);
+    size_t B = Line.find_first_not_of(" \t\r");
+    if (B == std::string::npos)
+      continue;
+    size_t E = Line.find_last_not_of(" \t\r");
+    Names.insert(Line.substr(B, E - B + 1));
+  }
+  return Names;
+}
+
+// The mutex-valued declaration a guard argument names, seen through
+// parens, implicit casts, address-of/deref, and unique_ptr's operator*
+// (the lazily-created arena mutexes are held by unique_ptr). A call
+// resolves to its callee so accessor-returned mutexes (e.g.
+// Database::write_mutex()) register under the accessor's name.
+const NamedDecl *ReferencedMutexDecl(const Expr *E) {
+  if (E == nullptr)
+    return nullptr;
+  E = E->IgnoreParenImpCasts();
+  if (const auto *UO = llvm::dyn_cast<UnaryOperator>(E)) {
+    if (UO->getOpcode() == UO_Deref || UO->getOpcode() == UO_AddrOf)
+      return ReferencedMutexDecl(UO->getSubExpr());
+  }
+  if (const auto *OC = llvm::dyn_cast<CXXOperatorCallExpr>(E)) {
+    if (OC->getOperator() == OO_Star && OC->getNumArgs() == 1)
+      return ReferencedMutexDecl(OC->getArg(0));
+  }
+  if (const auto *ME = llvm::dyn_cast<MemberExpr>(E))
+    return ME->getMemberDecl();
+  if (const auto *DRE = llvm::dyn_cast<DeclRefExpr>(E))
+    return DRE->getDecl();
+  if (const auto *CE = llvm::dyn_cast<CallExpr>(E))
+    return CE->getDirectCallee();
+  return nullptr;
+}
+
+}  // namespace
+
+RankedLockCheck::RankedLockCheck(StringRef Name, ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      RankedMutexFile(Options.get("RankedMutexFile", "")),
+      RankedMutexes(LoadRegistry(RankedMutexFile)) {}
+
+void RankedLockCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "RankedMutexFile", RankedMutexFile);
+}
+
+void RankedLockCheck::registerMatchers(MatchFinder *Finder) {
+  Finder->addMatcher(
+      varDecl(hasType(hasCanonicalType(hasDeclaration(
+                  namedDecl(hasAnyName("::std::lock_guard",
+                                       "::std::unique_lock",
+                                       "::std::scoped_lock"))))),
+              hasInitializer(expr()))
+          .bind("guard"),
+      this);
+}
+
+void RankedLockCheck::check(const MatchFinder::MatchResult &Result) {
+  if (RankedMutexes.empty())
+    return;
+  const auto *Guard = Result.Nodes.getNodeAs<VarDecl>("guard");
+  if (Guard == nullptr || Guard->getInit() == nullptr)
+    return;
+  const auto *Ctor = llvm::dyn_cast<CXXConstructExpr>(
+      Guard->getInit()->IgnoreImplicit());
+  if (Ctor == nullptr)
+    return;
+  for (unsigned I = 0; I < Ctor->getNumArgs(); ++I) {
+    const NamedDecl *Mutex = ReferencedMutexDecl(Ctor->getArg(I));
+    if (Mutex == nullptr)
+      continue;
+    if (RankedMutexes.count(Mutex->getQualifiedNameAsString()) == 0)
+      continue;
+    const SourceManager &SM = *Result.SourceManager;
+    SourceLocation Loc = Guard->getBeginLoc();
+    if (HasEscapeComment(SM, Loc, "lock-rank: manual", kCommentLookback))
+      return;
+    diag(Loc,
+         "%0 is rank-registered (src/dbg/lock_rank.h) but locked through "
+         "a raw std guard, bypassing deadlock-order enforcement; use "
+         "dbg::RankedLockGuard / dbg::RankedUniqueLock, or annotate "
+         "'// lock-rank: manual — <reason>'")
+        << Mutex;
+    return;
+  }
+}
+
+}  // namespace clang::tidy::qppt

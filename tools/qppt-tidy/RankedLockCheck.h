@@ -1,0 +1,40 @@
+// qppt-ranked-lock: every mutex in the lock-rank table
+// (src/dbg/lock_rank.h) must be taken through dbg::RankedLockGuard /
+// dbg::RankedUniqueLock so the runtime rank checker sees the
+// acquisition. A raw std::lock_guard / std::unique_lock /
+// std::scoped_lock over a rank-registered mutex silently opts the site
+// out of deadlock-order enforcement — the exact hole the dbg layer
+// exists to close.
+//
+// The registered mutexes are listed (one fully qualified member,
+// variable, or accessor name per line) in the file named by the
+// RankedMutexFile option — scripts/analyze/ranked_mutexes.txt for the
+// real tree. Sites that must manage the rank token by hand (e.g. a
+// worker loop that drops the lock across a work window) annotate
+// `// lock-rank: manual — <reason>` within 5 lines above the guard.
+
+#ifndef QPPT_TIDY_RANKED_LOCK_CHECK_H_
+#define QPPT_TIDY_RANKED_LOCK_CHECK_H_
+
+#include <set>
+#include <string>
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::qppt {
+
+class RankedLockCheck : public ClangTidyCheck {
+ public:
+  RankedLockCheck(StringRef Name, ClangTidyContext *Context);
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+ private:
+  const std::string RankedMutexFile;
+  std::set<std::string> RankedMutexes;
+};
+
+}  // namespace clang::tidy::qppt
+
+#endif  // QPPT_TIDY_RANKED_LOCK_CHECK_H_

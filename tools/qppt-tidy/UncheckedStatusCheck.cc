@@ -1,0 +1,56 @@
+#include "UncheckedStatusCheck.h"
+
+#include "clang/AST/Expr.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+namespace clang::tidy::qppt {
+
+using namespace ast_matchers;
+
+void UncheckedStatusCheck::registerMatchers(MatchFinder *Finder) {
+  // Any call (free, member, or operator) whose declared return type
+  // canonically is qppt::Status or a qppt::Result<T> specialization.
+  // hasCanonicalType sees through `using` aliases and typedef sugar.
+  auto StatusReturningCall =
+      callExpr(callee(functionDecl(returns(hasCanonicalType(
+                   hasDeclaration(namedDecl(hasAnyName(
+                       "::qppt::Status", "::qppt::Result"))))))))
+          .bind("call");
+
+  // The discarded-value positions, mirroring bugprone-unused-return-value:
+  // a statement context where the full expression's value is dropped.
+  // ignoringImplicit strips the ExprWithCleanups / CXXBindTemporaryExpr
+  // wrappers the Status destructor induces; an explicit `(void)` cast is
+  // NOT implicit, so sanctioned discards stay unmatched.
+  auto Discarded =
+      expr(ignoringImplicit(ignoringParenImpCasts(StatusReturningCall)));
+
+  Finder->addMatcher(
+      stmt(anyOf(compoundStmt(forEach(Discarded)),
+                 ifStmt(eachOf(hasThen(Discarded), hasElse(Discarded))),
+                 whileStmt(hasBody(Discarded)), doStmt(hasBody(Discarded)),
+                 forStmt(eachOf(hasLoopInit(Discarded),
+                                hasIncrement(Discarded), hasBody(Discarded))),
+                 cxxForRangeStmt(hasBody(Discarded)),
+                 switchCase(forEach(Discarded)))),
+      this);
+}
+
+void UncheckedStatusCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Call = Result.Nodes.getNodeAs<CallExpr>("call");
+  if (Call == nullptr)
+    return;
+  const FunctionDecl *Callee = Call->getDirectCallee();
+  if (Callee != nullptr) {
+    diag(Call->getBeginLoc(),
+         "qppt::Status/Result returned by %0 is discarded; check it, wrap "
+         "it in QPPT_RETURN_NOT_OK, or cast to void with a reason")
+        << Callee;
+  } else {
+    diag(Call->getBeginLoc(),
+         "qppt::Status/Result return value is discarded; check it, wrap it "
+         "in QPPT_RETURN_NOT_OK, or cast to void with a reason");
+  }
+}
+
+}  // namespace clang::tidy::qppt

@@ -1,0 +1,26 @@
+// qppt-unchecked-status: flags call expressions whose qppt::Status /
+// qppt::Result<T> return value is discarded as a bare expression
+// statement. [[nodiscard]] on the classes (util/status.h) already makes
+// this -Werror inside src/; the check extends the same guarantee to
+// tests/, bench/, and examples/, which compile without -Werror. A
+// deliberate discard stays expressible as `(void)Call();` — explicit
+// casts are not flagged.
+
+#ifndef QPPT_TIDY_UNCHECKED_STATUS_CHECK_H_
+#define QPPT_TIDY_UNCHECKED_STATUS_CHECK_H_
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::qppt {
+
+class UncheckedStatusCheck : public ClangTidyCheck {
+ public:
+  UncheckedStatusCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+}  // namespace clang::tidy::qppt
+
+#endif  // QPPT_TIDY_UNCHECKED_STATUS_CHECK_H_
